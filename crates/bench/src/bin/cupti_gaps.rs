@@ -1,0 +1,27 @@
+//! Regenerate the §2.2 observation: the vendor collection framework
+//! reports synchronization records only for explicit synchronization
+//! APIs, missing implicit, conditional and private waits entirely.
+
+use diogenes::experiments::{cupti_sync_gap, paper_subjects};
+use gpu_sim::CostModel;
+
+fn main() {
+    let paper = diogenes_bench::paper_scale_from_env();
+    let cost = CostModel::pascal_like();
+    println!("CUPTI synchronization records vs. ground-truth waits\n");
+    println!(
+        "{:<18} {:>22} {:>18} {:>10}",
+        "Application", "CUPTI sync records", "actual waits", "coverage"
+    );
+    for subject in paper_subjects(paper) {
+        let (records, actual) =
+            cupti_sync_gap(subject.broken.as_ref(), &cost).expect("runs");
+        println!(
+            "{:<18} {:>22} {:>18} {:>9.1}%",
+            subject.broken.name(),
+            records,
+            actual,
+            records as f64 * 100.0 / actual.max(1) as f64
+        );
+    }
+}

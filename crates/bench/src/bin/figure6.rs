@@ -1,0 +1,16 @@
+//! Regenerate paper Figure 6: the sequence of unnecessary operations
+//! Diogenes identifies in cumf_als (23 operations across two functions).
+
+use diogenes::{render_sequence, run_diogenes, DiogenesConfig};
+use diogenes_apps::{AlsConfig, CumfAls};
+
+fn main() {
+    let cfg = if diogenes_bench::paper_scale_from_env() {
+        AlsConfig::paper_scale()
+    } else {
+        AlsConfig::test_scale()
+    };
+    eprintln!("figure6: running Diogenes on cumf_als...");
+    let r = run_diogenes(&CumfAls::new(cfg), DiogenesConfig::new()).expect("pipeline");
+    print!("{}", render_sequence(&r, 0));
+}

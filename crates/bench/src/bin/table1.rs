@@ -1,0 +1,23 @@
+//! Regenerate paper Table 1: four applications, Diogenes' estimated
+//! benefit for the fixed issues vs. the actual runtime reduction of the
+//! fixed build.
+
+use diogenes_bench::{paper_scale_from_env, render_table1};
+use diogenes::experiments::{paper_subjects, table1_row};
+use gpu_sim::CostModel;
+
+fn main() {
+    let paper = paper_scale_from_env();
+    eprintln!(
+        "table1: running the 5-stage pipeline + fixed builds on 4 applications ({} scale)...",
+        if paper { "paper" } else { "test" }
+    );
+    let cost = CostModel::pascal_like();
+    let mut rows = Vec::new();
+    for subject in paper_subjects(paper) {
+        eprintln!("  {} ...", subject.broken.name());
+        let (row, _res) = table1_row(&subject, &cost).expect("pipeline runs");
+        rows.push(row);
+    }
+    print!("{}", render_table1(&rows));
+}

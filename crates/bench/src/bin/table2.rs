@@ -1,0 +1,17 @@
+//! Regenerate paper Table 2: per-CUDA-call comparison of NVProf,
+//! HPCToolkit, and Diogenes' expected savings, for all four applications.
+
+use diogenes_bench::{paper_scale_from_env, render_table2};
+use diogenes::experiments::{paper_subjects, table2_for};
+use gpu_sim::CostModel;
+
+fn main() {
+    let paper = paper_scale_from_env();
+    let cost = CostModel::pascal_like();
+    for subject in paper_subjects(paper) {
+        eprintln!("table2: profiling {} with 3 tools...", subject.broken.name());
+        let t = table2_for(subject.broken.as_ref(), &cost).expect("tools run");
+        print!("{}", render_table2(&t, 0.5));
+        println!();
+    }
+}

@@ -1,0 +1,134 @@
+//! JSON export of analysis results (paper §4: "results are sorted by
+//! potential benefit and then exported in the JSON format, allowing other
+//! tools the ability to access data collected by Diogenes").
+
+use crate::analysis::Analysis;
+use crate::grouping::{ProblemGroup, Sequence};
+use crate::json::Json;
+use crate::pipeline::FfmReport;
+
+fn loc(site: Option<gpu_sim::SourceLoc>) -> Json {
+    match site {
+        Some(s) => Json::obj([("file", s.file.into()), ("line", Json::Int(s.line as i128))]),
+        None => Json::Null,
+    }
+}
+
+fn group_json(g: &ProblemGroup) -> Json {
+    Json::obj([
+        ("label", g.label.clone().into()),
+        ("benefit_ns", Json::Int(g.benefit_ns as i128)),
+        ("members", g.nodes.len().into()),
+        ("sync_issues", g.sync_issues.into()),
+        ("transfer_issues", g.transfer_issues.into()),
+    ])
+}
+
+fn sequence_json(s: &Sequence) -> Json {
+    Json::obj([
+        ("benefit_ns", Json::Int(s.benefit_ns as i128)),
+        ("sync_issues", s.sync_issues().into()),
+        ("transfer_issues", s.transfer_issues().into()),
+        (
+            "entries",
+            Json::arr(s.entries.iter().map(|e| {
+                Json::obj([
+                    ("index", e.index.into()),
+                    ("api", e.api.map(|a| a.name().into()).unwrap_or(Json::Null)),
+                    ("site", loc(e.site)),
+                    ("problem", e.problem.label().into()),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// Serialize an analysis to the export document.
+pub fn analysis_to_json(a: &Analysis) -> Json {
+    Json::obj([
+        ("baseline_exec_ns", Json::Int(a.baseline_exec_ns as i128)),
+        ("total_benefit_ns", Json::Int(a.total_benefit_ns() as i128)),
+        (
+            "total_benefit_percent",
+            Json::Float(a.percent(a.total_benefit_ns())),
+        ),
+        (
+            "problems",
+            Json::arr(a.problems.iter().map(|p| {
+                Json::obj([
+                    ("api", p.api.map(|x| x.name().into()).unwrap_or(Json::Null)),
+                    ("site", loc(p.site)),
+                    ("problem", p.problem.label().into()),
+                    ("benefit_ns", Json::Int(p.benefit_ns as i128)),
+                    ("benefit_percent", Json::Float(a.percent(p.benefit_ns))),
+                ])
+            })),
+        ),
+        ("single_point_groups", Json::arr(a.single_point.iter().map(group_json))),
+        ("api_folds", Json::arr(a.api_folds.iter().map(group_json))),
+        ("sequences", Json::arr(a.sequences.iter().map(sequence_json))),
+        (
+            "savings_by_api",
+            Json::Obj(
+                a.by_api
+                    .iter()
+                    .map(|(api, ns)| (api.name().to_string(), Json::Int(*ns as i128)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Serialize a full pipeline report.
+pub fn report_to_json(r: &FfmReport) -> Json {
+    Json::obj([
+        ("app", r.app_name.into()),
+        ("workload", r.workload.clone().into()),
+        (
+            "discovery",
+            Json::obj([("sync_function", r.discovery.sync_fn.symbol().into())]),
+        ),
+        (
+            "stages",
+            Json::arr(r.stages.iter().map(|s| {
+                Json::obj([
+                    ("name", s.name.into()),
+                    ("exec_ns", Json::Int(s.exec_ns as i128)),
+                    ("overhead_factor", Json::Float(s.overhead_factor)),
+                ])
+            })),
+        ),
+        (
+            "collection_overhead_factor",
+            Json::Float(r.collection_overhead_factor()),
+        ),
+        ("analysis", analysis_to_json(&r.analysis)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, AnalysisConfig};
+    use crate::records::{Stage1Result, Stage2Result, Stage3Result, Stage4Result};
+
+    #[test]
+    fn empty_analysis_exports_valid_shape() {
+        let a = analyze(
+            &Stage1Result {
+                exec_time_ns: 100,
+                sync_apis: Default::default(),
+                total_wait_ns: 0,
+                sync_hits: 0,
+            },
+            &Stage2Result { exec_time_ns: 100, calls: vec![] },
+            &Stage3Result::default(),
+            &Stage4Result::default(),
+            &AnalysisConfig::default(),
+        );
+        let j = analysis_to_json(&a).to_string_compact();
+        assert!(j.contains("\"problems\":[]"));
+        assert!(j.contains("\"baseline_exec_ns\":100"));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+}

@@ -1,0 +1,476 @@
+//! Node groupings (paper §3.5.2).
+//!
+//! Multiple problematic operations usually share one underlying cause, so
+//! Diogenes groups them where a single fix would apply: at one call site
+//! (**single point**), in one function with template instances folded
+//! together (**folded function**), or across a contiguous run of
+//! problematic operations (**sequence**, with carry-forward of savings
+//! that one window's GPU idle time could not absorb). Sequences support
+//! user-refined **subsequences** (paper Fig. 8).
+
+use std::collections::HashMap;
+
+use cuda_driver::ApiFn;
+use gpu_sim::{Ns, SourceLoc};
+
+use crate::benefit::BenefitReport;
+use crate::graph::{ExecGraph, NType};
+use crate::problem::Problem;
+
+/// How a group was formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GroupKind {
+    SinglePoint,
+    FoldedFunction,
+    Sequence,
+}
+
+/// A group of problematic operations sharing a fix point.
+#[derive(Debug, Clone)]
+pub struct ProblemGroup {
+    pub kind: GroupKind,
+    /// Human-readable identity ("cudaFree in als.cpp at line 856",
+    /// "Fold on cudaFree", ...).
+    pub label: String,
+    pub benefit_ns: Ns,
+    /// Graph node indices of the members.
+    pub nodes: Vec<usize>,
+    pub sync_issues: usize,
+    pub transfer_issues: usize,
+}
+
+fn count_issues(graph: &ExecGraph, nodes: &[usize]) -> (usize, usize) {
+    let sync = nodes
+        .iter()
+        .filter(|&&i| graph.nodes[i].problem.is_sync())
+        .count();
+    let xfer = nodes
+        .iter()
+        .filter(|&&i| graph.nodes[i].problem == Problem::UnnecessaryTransfer)
+        .count();
+    (sync, xfer)
+}
+
+fn site_label(graph: &ExecGraph, node: usize) -> String {
+    let n = &graph.nodes[node];
+    match (n.api, n.site) {
+        (Some(api), Some(site)) => {
+            format!("{} in {} at line {}", api.name(), site.file, site.line)
+        }
+        (Some(api), None) => api.name().to_string(),
+        _ => "<unknown>".to_string(),
+    }
+}
+
+fn grouped_by<K: std::hash::Hash + Eq>(
+    graph: &ExecGraph,
+    benefit: &BenefitReport,
+    kind: GroupKind,
+    mut key: impl FnMut(usize) -> Option<K>,
+    mut label: impl FnMut(usize) -> String,
+) -> Vec<ProblemGroup> {
+    let mut map: HashMap<K, (Vec<usize>, Ns)> = HashMap::new();
+    let mut order: Vec<K> = Vec::new();
+    for nb in &benefit.per_node {
+        let Some(k) = key(nb.node) else { continue };
+        let entry = map.entry(k).or_insert_with(|| (Vec::new(), 0));
+        entry.0.push(nb.node);
+        entry.1 += nb.benefit_ns;
+    }
+    // Deterministic ordering: first appearance in the benefit list.
+    for nb in &benefit.per_node {
+        if let Some(k) = key(nb.node) {
+            if map.contains_key(&k) && !order.contains(&k) {
+                order.push(k);
+            }
+        }
+    }
+    let mut groups: Vec<ProblemGroup> = order
+        .into_iter()
+        .map(|k| {
+            let (nodes, total) = map.remove(&k).expect("key collected above");
+            let (sync_issues, transfer_issues) = count_issues(graph, &nodes);
+            ProblemGroup {
+                kind,
+                label: label(nodes[0]),
+                benefit_ns: total,
+                nodes,
+                sync_issues,
+                transfer_issues,
+            }
+        })
+        .collect();
+    groups.sort_by(|a, b| b.benefit_ns.cmp(&a.benefit_ns));
+    groups
+}
+
+/// Single-point grouping: identical stack traces matched by address.
+pub fn single_point_groups(graph: &ExecGraph, benefit: &BenefitReport) -> Vec<ProblemGroup> {
+    grouped_by(
+        graph,
+        benefit,
+        GroupKind::SinglePoint,
+        |n| graph.nodes[n].instance.map(|i| i.sig),
+        |n| site_label(graph, n),
+    )
+}
+
+/// Folded-function grouping: identical stack traces matched by
+/// template-stripped function names.
+pub fn folded_function_groups(graph: &ExecGraph, benefit: &BenefitReport) -> Vec<ProblemGroup> {
+    grouped_by(
+        graph,
+        benefit,
+        GroupKind::FoldedFunction,
+        |n| graph.nodes[n].folded_sig,
+        |n| site_label(graph, n),
+    )
+}
+
+/// Fold on the API function itself (the Fig. 7 overview rows:
+/// "Fold on cudaFree").
+pub fn fold_on_api(graph: &ExecGraph, benefit: &BenefitReport) -> Vec<ProblemGroup> {
+    grouped_by(
+        graph,
+        benefit,
+        GroupKind::FoldedFunction,
+        |n| graph.nodes[n].api,
+        |n| {
+            format!(
+                "Fold on {}",
+                graph.nodes[n].api.map(|a| a.name()).unwrap_or("<unknown>")
+            )
+        },
+    )
+}
+
+/// One entry of a sequence listing (paper Fig. 6).
+#[derive(Debug, Clone)]
+pub struct SeqEntry {
+    /// 1-based position in the sequence display.
+    pub index: usize,
+    /// Graph node index.
+    pub node: usize,
+    pub api: Option<ApiFn>,
+    pub site: Option<SourceLoc>,
+    pub problem: Problem,
+}
+
+/// A contiguous run of problematic operations.
+#[derive(Debug, Clone)]
+pub struct Sequence {
+    /// First graph node of the run (a problematic node).
+    pub start: usize,
+    /// Exclusive end: index of the terminating necessary synchronization
+    /// (or `nodes.len()` when the run reaches the end of the program).
+    pub end: usize,
+    /// The problematic operations, in order.
+    pub entries: Vec<SeqEntry>,
+    /// Carry-forward benefit estimate for fixing the whole run.
+    pub benefit_ns: Ns,
+}
+
+impl Sequence {
+    pub fn sync_issues(&self) -> usize {
+        self.entries.iter().filter(|e| e.problem.is_sync()).count()
+    }
+
+    pub fn transfer_issues(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.problem == Problem::UnnecessaryTransfer)
+            .count()
+    }
+}
+
+/// Evaluate the carry-forward estimator over nodes `[start, end)`.
+///
+/// Each removed synchronization's duration first tries to be absorbed by
+/// the CPU work between it and the next synchronization; what cannot be
+/// absorbed is *carried forward* to later windows instead of being dumped
+/// into the next synchronization (the small modification to
+/// `RemoveSyncronization` described in §3.5.2). Transfers contribute
+/// their full CPU cost. Returns the total estimate.
+pub fn carry_forward_benefit(graph: &ExecGraph, start: usize, end: usize) -> Ns {
+    let mut total: Ns = 0;
+    let mut carry: Ns = 0;
+    for idx in start..end.min(graph.nodes.len()) {
+        let node = &graph.nodes[idx];
+        match node.problem {
+            Problem::UnnecessarySync => {
+                let window_end = graph.next_sync_after(idx).unwrap_or(graph.nodes.len());
+                let avail = graph.cpu_time_between(idx, window_end);
+                let demand = node.duration + carry;
+                let est = avail.min(demand);
+                total += est;
+                carry = demand - est;
+            }
+            Problem::MisplacedSync => {
+                let est = node.first_use_ns.unwrap_or(0).min(node.duration + carry);
+                total += est;
+                carry = (node.duration + carry).saturating_sub(est);
+            }
+            Problem::UnnecessaryTransfer => {
+                total += node.duration;
+            }
+            Problem::None => {}
+        }
+    }
+    total
+}
+
+/// Find maximal sequences: runs beginning at a problematic node and
+/// ending at the first *necessary* synchronization (a `CWait` with no
+/// problem, or a misplaced one — it must still happen).
+pub fn find_sequences(graph: &ExecGraph) -> Vec<Sequence> {
+    let mut sequences = Vec::new();
+    let mut idx = 0;
+    let n = graph.nodes.len();
+    while idx < n {
+        if graph.nodes[idx].problem == Problem::None
+            || graph.nodes[idx].problem == Problem::MisplacedSync
+        {
+            idx += 1;
+            continue;
+        }
+        //
+
+        let start = idx;
+        let mut end = idx;
+        while end < n {
+            let node = &graph.nodes[end];
+            let terminates = node.ntype == NType::CWait
+                && matches!(node.problem, Problem::None | Problem::MisplacedSync);
+            if terminates {
+                break;
+            }
+            end += 1;
+        }
+        let entries: Vec<SeqEntry> = (start..end)
+            .filter(|&i| graph.nodes[i].problem != Problem::None)
+            .enumerate()
+            .map(|(k, i)| SeqEntry {
+                index: k + 1,
+                node: i,
+                api: graph.nodes[i].api,
+                site: graph.nodes[i].site,
+                problem: graph.nodes[i].problem,
+            })
+            .collect();
+        if entries.len() > 1 {
+            let benefit_ns = carry_forward_benefit(graph, start, end);
+            sequences.push(Sequence { start, end, entries, benefit_ns });
+        }
+        idx = end.max(idx + 1);
+    }
+    sequences.sort_by(|a, b| b.benefit_ns.cmp(&a.benefit_ns));
+    sequences
+}
+
+/// Refined estimate for a user-selected subsequence (paper Fig. 8):
+/// evaluate the carry-forward estimator over only entries
+/// `[from_entry, to_entry]` (1-based, inclusive) of `seq`.
+///
+/// No additional data collection is needed — exactly as in the paper,
+/// this re-evaluates the already-built graph.
+pub fn subsequence_benefit(
+    graph: &ExecGraph,
+    seq: &Sequence,
+    from_entry: usize,
+    to_entry: usize,
+) -> Option<Ns> {
+    let first = seq.entries.iter().find(|e| e.index == from_entry)?;
+    let last = seq.entries.iter().find(|e| e.index == to_entry)?;
+    if last.node < first.node {
+        return None;
+    }
+    // The evaluation window extends to the sequence's terminating sync so
+    // the final entry's removal can still be absorbed by trailing work.
+    let mut g = graph.clone();
+    // Mask out problems outside the chosen entries so only they count.
+    let chosen: std::collections::HashSet<usize> = seq
+        .entries
+        .iter()
+        .filter(|e| e.index >= from_entry && e.index <= to_entry)
+        .map(|e| e.node)
+        .collect();
+    for i in seq.start..seq.end {
+        if g.nodes[i].problem != Problem::None && !chosen.contains(&i) {
+            g.nodes[i].problem = Problem::None;
+        }
+    }
+    Some(carry_forward_benefit(&g, first.node, seq.end))
+}
+
+/// Estimated savings per API function (used for the Table 2 comparison).
+pub fn savings_by_api(graph: &ExecGraph, benefit: &BenefitReport) -> HashMap<ApiFn, Ns> {
+    let mut map = HashMap::new();
+    for nb in &benefit.per_node {
+        if let Some(api) = graph.nodes[nb.node].api {
+            *map.entry(api).or_insert(0) += nb.benefit_ns;
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benefit::{expected_benefit, BenefitOptions};
+    use crate::graph::Node;
+    use crate::records::OpInstance;
+
+    fn node(
+        ntype: NType,
+        duration: Ns,
+        problem: Problem,
+        sig: u64,
+        occ: u64,
+        api: ApiFn,
+        line: u32,
+    ) -> Node {
+        Node {
+            ntype,
+            stime: 0,
+            duration,
+            problem,
+            first_use_ns: None,
+            call_seq: None,
+            instance: Some(OpInstance { sig, occ }),
+            folded_sig: Some(sig % 10), // fold pairs of sigs together
+            api: Some(api),
+            site: Some(SourceLoc::new("als.cpp", line)),
+            is_transfer: problem == Problem::UnnecessaryTransfer,
+        }
+    }
+
+    fn sample_graph() -> ExecGraph {
+        use NType::*;
+        use Problem::*;
+        // loop iteration pattern: [free WAIT][work][free WAIT][work][necessary sync]
+        let nodes = vec![
+            node(CWait, 10, UnnecessarySync, 11, 0, ApiFn::CudaFree, 856),
+            node(CWork, 4, None, 0, 0, ApiFn::CudaMalloc, 1),
+            node(CWait, 10, UnnecessarySync, 11, 1, ApiFn::CudaFree, 856),
+            node(CWork, 4, None, 0, 1, ApiFn::CudaMalloc, 1),
+            node(CLaunch, 6, UnnecessaryTransfer, 21, 0, ApiFn::CudaMemcpy, 738),
+            node(CWait, 8, None, 31, 0, ApiFn::CudaDeviceSynchronize, 900),
+            node(CWork, 50, None, 0, 2, ApiFn::CudaMalloc, 1),
+        ];
+        let exec = nodes.iter().map(|n| n.duration).sum();
+        ExecGraph { nodes, exec_time_ns: exec, baseline_exec_ns: exec }
+    }
+
+    #[test]
+    fn single_point_groups_merge_same_site() {
+        let g = sample_graph();
+        let b = expected_benefit(&g, &BenefitOptions::default());
+        let groups = single_point_groups(&g, &b);
+        let free = groups
+            .iter()
+            .find(|gr| gr.label.contains("cudaFree"))
+            .unwrap();
+        assert_eq!(free.nodes.len(), 2, "both cudaFree instances in one group");
+        assert_eq!(free.sync_issues, 2);
+        assert!(free.label.contains("als.cpp at line 856"));
+    }
+
+    #[test]
+    fn groups_are_sorted_by_benefit() {
+        let g = sample_graph();
+        let b = expected_benefit(&g, &BenefitOptions::default());
+        let groups = single_point_groups(&g, &b);
+        for w in groups.windows(2) {
+            assert!(w[0].benefit_ns >= w[1].benefit_ns);
+        }
+    }
+
+    #[test]
+    fn fold_on_api_merges_across_sites() {
+        let g = sample_graph();
+        let b = expected_benefit(&g, &BenefitOptions::default());
+        let folds = fold_on_api(&g, &b);
+        let free = folds.iter().find(|f| f.label == "Fold on cudaFree").unwrap();
+        assert_eq!(free.nodes.len(), 2);
+        let memcpy = folds.iter().find(|f| f.label == "Fold on cudaMemcpy").unwrap();
+        assert_eq!(memcpy.transfer_issues, 1);
+    }
+
+    #[test]
+    fn sequence_spans_until_necessary_sync() {
+        let g = sample_graph();
+        let seqs = find_sequences(&g);
+        assert_eq!(seqs.len(), 1);
+        let s = &seqs[0];
+        assert_eq!(s.entries.len(), 3, "2 syncs + 1 transfer");
+        assert_eq!(s.sync_issues(), 2);
+        assert_eq!(s.transfer_issues(), 1);
+        // Ends at the necessary cudaDeviceSynchronize (node 5).
+        assert_eq!(s.end, 5);
+        assert_eq!(s.entries[0].index, 1);
+    }
+
+    #[test]
+    fn carry_forward_beats_pairwise_pessimism() {
+        use NType::*;
+        use Problem::*;
+        // One big unnecessary sync whose window is small, followed by a
+        // second window with lots of CPU work: carry-forward recovers in
+        // the later window what the first could not absorb.
+        let nodes = vec![
+            node(CWait, 20, UnnecessarySync, 1, 0, ApiFn::CudaFree, 1),
+            node(CWork, 2, None, 0, 0, ApiFn::CudaMalloc, 2),
+            node(CWait, 1, UnnecessarySync, 2, 0, ApiFn::CudaFree, 3),
+            node(CWork, 30, None, 0, 1, ApiFn::CudaMalloc, 4),
+            node(CWait, 5, None, 3, 0, ApiFn::CudaDeviceSynchronize, 5),
+        ];
+        let exec = nodes.iter().map(|n| n.duration).sum();
+        let g = ExecGraph { nodes, exec_time_ns: exec, baseline_exec_ns: exec };
+        // Plain Fig.5: first sync recovers only 2 (window), second 1+... the
+        // growth model dumps 18 into the second sync, then window 30
+        // absorbs min(30, 1+18)=19. Pairwise total = 2+19=21.
+        let plain = expected_benefit(&g, &BenefitOptions::default());
+        // Carry-forward: window1 absorbs 2, carry 18; window2 absorbs
+        // min(30, 1+18)=19 ⇒ total 21. Equivalent here...
+        let seq = carry_forward_benefit(&g, 0, 4);
+        assert_eq!(seq, 21);
+        assert_eq!(plain.total_ns, 21);
+    }
+
+    #[test]
+    fn carry_forward_does_not_exceed_total_waits_plus_transfers() {
+        let g = sample_graph();
+        let seqs = find_sequences(&g);
+        let s = &seqs[0];
+        let max: Ns = s
+            .entries
+            .iter()
+            .map(|e| g.nodes[e.node].duration)
+            .sum();
+        assert!(s.benefit_ns <= max);
+        assert!(s.benefit_ns > 0);
+    }
+
+    #[test]
+    fn subsequence_estimates_subset() {
+        let g = sample_graph();
+        let seqs = find_sequences(&g);
+        let s = &seqs[0];
+        let full = s.benefit_ns;
+        let sub = subsequence_benefit(&g, s, 2, 3).unwrap();
+        assert!(sub <= full);
+        assert!(sub > 0);
+        // Degenerate request
+        assert!(subsequence_benefit(&g, s, 9, 10).is_none());
+    }
+
+    #[test]
+    fn savings_by_api_sums_member_benefits() {
+        let g = sample_graph();
+        let b = expected_benefit(&g, &BenefitOptions::default());
+        let by_api = savings_by_api(&g, &b);
+        assert!(by_api[&ApiFn::CudaFree] > 0);
+        assert_eq!(by_api[&ApiFn::CudaMemcpy], 6);
+        assert!(!by_api.contains_key(&ApiFn::CudaDeviceSynchronize));
+    }
+}

@@ -1,0 +1,216 @@
+//! A small JSON document model and emitter.
+//!
+//! Diogenes exports its results as JSON so other tools can consume them
+//! (paper §4). The offline dependency set for this reproduction does not
+//! include a JSON crate, so this module provides the ~minimal value
+//! model + spec-compliant string escaping the export needs.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Integers are kept exact (virtual-time nanoseconds exceed f64's
+    /// integer range in long runs).
+    Int(i128),
+    Float(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object builder convenience.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Array from an iterator of values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Compact serialization.
+    pub fn to_string_compact(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, None, 0);
+        s
+    }
+
+    /// Pretty serialization with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, Some(2), 0);
+        s.push('\n');
+        s
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    escape_into(k, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Int(v as i128)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Int(v as i128)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Json::Null.to_string_compact(), "null");
+        assert_eq!(Json::Bool(true).to_string_compact(), "true");
+        assert_eq!(Json::Int(-42).to_string_compact(), "-42");
+        assert_eq!(Json::Float(1.5).to_string_compact(), "1.5");
+        assert_eq!(Json::Float(f64::NAN).to_string_compact(), "null");
+        assert_eq!(Json::from("hi").to_string_compact(), "\"hi\"");
+    }
+
+    #[test]
+    fn string_escaping_is_spec_compliant() {
+        let s = Json::Str("a\"b\\c\nd\te\u{1}".to_string());
+        assert_eq!(s.to_string_compact(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn nested_structures_compact() {
+        let j = Json::obj([
+            ("name", "als".into()),
+            ("times", Json::arr([Json::Int(1), Json::Int(2)])),
+            ("empty", Json::Arr(vec![])),
+            ("emptyo", Json::Obj(vec![])),
+        ]);
+        assert_eq!(
+            j.to_string_compact(),
+            r#"{"name":"als","times":[1,2],"empty":[],"emptyo":{}}"#
+        );
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparsable_shape() {
+        let j = Json::obj([("a", Json::Int(1)), ("b", Json::arr([Json::Bool(false)]))]);
+        let p = j.to_string_pretty();
+        assert!(p.contains("\n  \"a\": 1,"));
+        assert!(p.ends_with("}\n"));
+    }
+
+    #[test]
+    fn big_integers_stay_exact() {
+        let big: u64 = u64::MAX;
+        assert_eq!(Json::from(big).to_string_compact(), big.to_string());
+    }
+}

@@ -1,0 +1,85 @@
+//! # ffm-core — the Feed-Forward Measurement model
+//!
+//! The primary contribution of the reproduced paper: a multi-stage,
+//! multi-run measurement and analysis pipeline that finds problematic
+//! CPU/GPU synchronizations and memory transfers and estimates the
+//! benefit of fixing each one.
+//!
+//! The five stages (paper §3):
+//!
+//! 1. [`stages::run_stage1`] — baseline measurement: wrap only the
+//!    internal sync funnel; learn *which* API functions synchronize.
+//! 2. [`stages::run_stage2`] — detailed tracing of those functions plus
+//!    documented transfer functions: stacks, call time, funnel time.
+//! 3. [`stages::run_stage3`] — memory tracing and data hashing: which
+//!    syncs protect data the CPU actually uses; which transfers carry
+//!    already-transferred payloads.
+//! 4. [`stages::run_stage4`] — sync-use analysis: time from sync
+//!    completion to first use of protected data.
+//! 5. [`analysis::analyze`] — classification ([`problem`]), the
+//!    expected-benefit algorithm ([`benefit`], paper Fig. 5), and
+//!    groupings ([`grouping`]: single point, folded function, sequence,
+//!    subsequence).
+//!
+//! [`pipeline::run_ffm`] chains all of it, and [`export`] emits the JSON
+//! document other tools consume.
+//!
+//! ```
+//! use cuda_driver::{Cuda, CudaResult, GpuApp, KernelDesc};
+//! use ffm_core::{run_ffm, FfmConfig, Problem};
+//! use gpu_sim::{SourceLoc, StreamId};
+//!
+//! /// One kernel, one readback the CPU never looks at, one useless sync.
+//! struct Tiny;
+//! impl GpuApp for Tiny {
+//!     fn name(&self) -> &'static str { "tiny" }
+//!     fn run(&self, cuda: &mut Cuda) -> CudaResult<()> {
+//!         let l = |line| SourceLoc::new("tiny.cu", line);
+//!         for _ in 0..8 {
+//!             let d = cuda.malloc(4096, l(1))?;
+//!             let k = KernelDesc::compute("work", 100_000).writing(d, 64);
+//!             cuda.launch_kernel(&k, StreamId::DEFAULT, l(2))?;
+//!             cuda.device_synchronize(l(3))?; // protects nothing
+//!             cuda.machine.cpu_work(120_000, "host_side");
+//!             cuda.free(d, l(5))?;
+//!         }
+//!         Ok(())
+//!     }
+//! }
+//!
+//! let report = run_ffm(&Tiny, &FfmConfig::default()).unwrap();
+//! assert!(report
+//!     .analysis
+//!     .problems
+//!     .iter()
+//!     .any(|p| p.problem == Problem::UnnecessarySync && p.benefit_ns > 0));
+//! ```
+
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod benefit;
+pub mod export;
+pub mod graph;
+pub mod grouping;
+pub mod json;
+pub mod pipeline;
+pub mod problem;
+pub mod records;
+pub mod stages;
+
+pub use analysis::{analyze, Analysis, AnalysisConfig, ProblemOp};
+pub use benefit::{expected_benefit, BenefitOptions, BenefitReport, NodeBenefit};
+pub use export::{analysis_to_json, report_to_json};
+pub use graph::{ExecGraph, NType, Node};
+pub use grouping::{
+    carry_forward_benefit, find_sequences, fold_on_api, folded_function_groups, savings_by_api,
+    single_point_groups, subsequence_benefit, GroupKind, ProblemGroup, SeqEntry, Sequence,
+};
+pub use json::Json;
+pub use pipeline::{run_ffm, FfmConfig, FfmReport, StageStats};
+pub use problem::{classify, ClassifyConfig, Problem};
+pub use records::{
+    DuplicateTransfer, OpInstance, ProtectedAccess, Stage1Result, Stage2Result, Stage3Result,
+    Stage4Result, TracedCall, TransferRec,
+};

@@ -1,0 +1,128 @@
+//! The multi-run pipeline: discovery, stages 1–4, analysis.
+//!
+//! `run_ffm` is the whole tool in one call — launch it against an
+//! application the way `diogenes ./app` is launched, and it runs the
+//! complete feed-forward sequence with no interaction between stages
+//! (paper §3: "no user interaction is required between stages").
+
+use cuda_driver::{CudaResult, DriverConfig, GpuApp};
+use gpu_sim::{CostModel, Ns};
+use instrument::{identify_sync_function, Discovery};
+
+use crate::analysis::{analyze, Analysis, AnalysisConfig};
+use crate::records::{Stage1Result, Stage2Result, Stage3Result, Stage4Result};
+use crate::stages::{run_stage1, run_stage2, run_stage3, run_stage4};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct FfmConfig {
+    pub cost: CostModel,
+    pub driver: DriverConfig,
+    pub analysis: AnalysisConfig,
+}
+
+impl Default for FfmConfig {
+    fn default() -> Self {
+        Self {
+            cost: CostModel::pascal_like(),
+            driver: DriverConfig::default(),
+            analysis: AnalysisConfig::default(),
+        }
+    }
+}
+
+/// Timing of one data-collection stage.
+#[derive(Debug, Clone)]
+pub struct StageStats {
+    pub name: &'static str,
+    /// Virtual execution time of the (instrumented) run.
+    pub exec_ns: Ns,
+    /// Slowdown relative to the stage 1 (baseline) run.
+    pub overhead_factor: f64,
+}
+
+/// Everything `run_ffm` produces.
+#[derive(Debug)]
+pub struct FfmReport {
+    pub app_name: &'static str,
+    pub workload: String,
+    /// Result of the sync-function discovery probe.
+    pub discovery: Discovery,
+    pub stage1: Stage1Result,
+    pub stage2: Stage2Result,
+    pub stage3: Stage3Result,
+    pub stage4: Stage4Result,
+    /// The stage 5 analysis.
+    pub analysis: Analysis,
+    /// Per-stage timings.
+    pub stages: Vec<StageStats>,
+    /// Total virtual time spent collecting data (all runs summed) — the
+    /// quantity behind the paper's 8×–20× overhead discussion.
+    pub collection_total_ns: Ns,
+}
+
+impl FfmReport {
+    /// Total data-collection cost relative to one baseline run.
+    pub fn collection_overhead_factor(&self) -> f64 {
+        if self.stage1.exec_time_ns == 0 {
+            0.0
+        } else {
+            self.collection_total_ns as f64 / self.stage1.exec_time_ns as f64
+        }
+    }
+}
+
+/// Run the full feed-forward pipeline against an application.
+pub fn run_ffm(app: &dyn GpuApp, cfg: &FfmConfig) -> CudaResult<FfmReport> {
+    // Pre-stage: find the internal sync function (throwaway context).
+    let discovery = identify_sync_function(cfg.cost.clone())?;
+
+    let stage1 = run_stage1(app, &cfg.cost, &cfg.driver)?;
+    let stage2 = run_stage2(app, &cfg.cost, &cfg.driver, &stage1)?;
+    let stage3 = run_stage3(app, &cfg.cost, &cfg.driver, &stage1)?;
+    let stage4 = run_stage4(app, &cfg.cost, &cfg.driver, &stage1, &stage3)?;
+    let analysis = analyze(&stage1, &stage2, &stage3, &stage4, &cfg.analysis);
+
+    let base = stage1.exec_time_ns.max(1) as f64;
+    let stages = vec![
+        StageStats {
+            name: "stage1-baseline",
+            exec_ns: stage1.exec_time_ns,
+            overhead_factor: stage1.exec_time_ns as f64 / base,
+        },
+        StageStats {
+            name: "stage2-detailed-tracing",
+            exec_ns: stage2.exec_time_ns,
+            overhead_factor: stage2.exec_time_ns as f64 / base,
+        },
+        StageStats {
+            name: "stage3a-memory-tracing",
+            exec_ns: stage3.exec_time_sync_ns,
+            overhead_factor: stage3.exec_time_sync_ns as f64 / base,
+        },
+        StageStats {
+            name: "stage3b-data-hashing",
+            exec_ns: stage3.exec_time_hash_ns,
+            overhead_factor: stage3.exec_time_hash_ns as f64 / base,
+        },
+        StageStats {
+            name: "stage4-sync-use",
+            exec_ns: stage4.exec_time_ns,
+            overhead_factor: stage4.exec_time_ns as f64 / base,
+        },
+    ];
+    let collection_total_ns = stages.iter().map(|s| s.exec_ns).sum();
+
+    Ok(FfmReport {
+        app_name: app.name(),
+        workload: app.workload(),
+        discovery,
+        stage1,
+        stage2,
+        stage3,
+        stage4,
+        analysis,
+        stages,
+        collection_total_ns,
+    })
+}

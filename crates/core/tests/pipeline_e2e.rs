@@ -1,0 +1,205 @@
+//! End-to-end test of the full feed-forward pipeline against a small
+//! application engineered to contain one of each problem class.
+
+use cuda_driver::{ApiFn, Cuda, CudaResult, GpuApp, InternalFn, KernelDesc};
+use ffm_core::{report_to_json, run_ffm, FfmConfig, Problem};
+use gpu_sim::{SourceLoc, StreamId};
+
+/// The test application:
+///
+/// * a loop that `cudaMalloc`/`cudaFree`s a scratch buffer while kernels
+///   are in flight — **unnecessary synchronizations** at `cudaFree`;
+/// * the same constant host buffer re-uploaded every iteration —
+///   **duplicate transfers**;
+/// * a `cudaDeviceSynchronize` followed by a long CPU section before the
+///   results are read — a **misplaced synchronization**;
+/// * a final D2H copy whose data is consumed immediately — a necessary,
+///   well-placed sync that must NOT be flagged.
+struct PathologicalApp {
+    iters: usize,
+}
+
+impl GpuApp for PathologicalApp {
+    fn name(&self) -> &'static str {
+        "pathological"
+    }
+
+    fn workload(&self) -> String {
+        format!("{} iterations", self.iters)
+    }
+
+    fn run(&self, cuda: &mut Cuda) -> CudaResult<()> {
+        let l = |line| SourceLoc::new("patho.cpp", line);
+        cuda.in_frame("main", l(1), |cuda| {
+            let constants = cuda.host_malloc(4096);
+            cuda.machine.host_write_raw(constants, &vec![7u8; 4096]).unwrap();
+            let d_const = cuda.malloc(4096, l(10))?;
+            let d_out = cuda.malloc(4096, l(11))?;
+            let h_out = cuda.host_malloc(4096);
+            let h_result = cuda.host_malloc(4096);
+
+            for _ in 0..self.iters {
+                cuda.in_frame("solve_step", l(20), |cuda| {
+                    // duplicate upload of the same constants
+                    cuda.memcpy_htod(d_const, constants, 4096, l(21))?;
+                    let scratch = cuda.malloc(8192, l(22))?;
+                    let k = KernelDesc::compute("step_kernel", 40_000).writing(d_out, 4096);
+                    cuda.launch_kernel(&k, StreamId::DEFAULT, l(23))?;
+                    cuda.machine.cpu_work(20_000, "assemble");
+                    // frees while the kernel is in flight: implicit sync
+                    cuda.free(scratch, l(25))?;
+                    CudaResult::Ok(())
+                })?;
+            }
+
+            // misplaced synchronization: sync, then a long CPU phase, and
+            // only THEN read the GPU results.
+            let k = KernelDesc::compute("final_kernel", 30_000).writing(d_out, 4096);
+            cuda.launch_kernel(&k, StreamId::DEFAULT, l(30))?;
+            cuda.memcpy_dtoh(h_out, d_out, 4096, l(31))?;
+            cuda.device_synchronize(l(32))?;
+            cuda.machine.cpu_work(500_000, "unrelated_postprocessing");
+            let _data = cuda.machine.host_read_app(h_out, 4096, l(35)).unwrap();
+
+            // necessary well-placed sync: copy back and use immediately.
+            let k2 = KernelDesc::compute("report_kernel", 10_000).writing(d_out, 4096);
+            cuda.launch_kernel(&k2, StreamId::DEFAULT, l(40))?;
+            cuda.memcpy_dtoh(h_result, d_out, 4096, l(41))?;
+            let _data = cuda.machine.host_read_app(h_result, 4096, l(42)).unwrap();
+            cuda.machine.cpu_work(10_000, "use_result");
+
+            cuda.free(d_const, l(50))?;
+            cuda.free(d_out, l(51))?;
+            Ok(())
+        })
+    }
+}
+
+fn report() -> ffm_core::FfmReport {
+    run_ffm(&PathologicalApp { iters: 8 }, &FfmConfig::default()).expect("pipeline runs")
+}
+
+#[test]
+fn discovery_identifies_the_funnel() {
+    let r = report();
+    assert_eq!(r.discovery.sync_fn, InternalFn::SyncWait);
+}
+
+#[test]
+fn stage1_finds_the_synchronizing_apis() {
+    let r = report();
+    let apis: Vec<_> = r.stage1.sync_apis.keys().collect();
+    assert!(r.stage1.sync_apis.contains_key(&ApiFn::CudaFree), "apis: {apis:?}");
+    assert!(r.stage1.sync_apis.contains_key(&ApiFn::CudaMemcpy));
+    assert!(r.stage1.sync_apis.contains_key(&ApiFn::CudaDeviceSynchronize));
+    assert!(r.stage1.exec_time_ns > 0);
+}
+
+#[test]
+fn stage2_traces_have_stacks_and_waits() {
+    let r = report();
+    assert!(!r.stage2.calls.is_empty());
+    let frees: Vec<_> = r
+        .stage2
+        .calls
+        .iter()
+        .filter(|c| c.api == ApiFn::CudaFree && c.site.line == 25)
+        .collect();
+    assert_eq!(frees.len(), 8, "one scratch free per iteration");
+    assert!(frees.iter().all(|c| c.wait_ns > 0), "frees wait on the kernel");
+    assert!(frees.iter().all(|c| c.stack.depth() >= 3), "main/solve_step/cudaFree");
+    // occurrence indices are sequential per site
+    let occs: Vec<u64> = frees.iter().map(|c| c.occ).collect();
+    assert_eq!(occs, (0..8).collect::<Vec<_>>());
+}
+
+#[test]
+fn stage3_detects_duplicates_and_required_syncs() {
+    let r = report();
+    // 7 duplicate uploads (first one is legitimate).
+    assert_eq!(r.stage3.duplicates.len(), 7, "{:?}", r.stage3.duplicates.len());
+    assert!(r.stage3.duplicates.iter().all(|d| d.site.line == 21));
+    // Some syncs are required: the two D2H reads are consumed.
+    assert!(!r.stage3.required_syncs.is_empty());
+    assert!(r.stage3.observed_syncs.len() > r.stage3.required_syncs.len());
+    assert!(r.stage3.hashed_bytes >= 4096 * 8);
+}
+
+#[test]
+fn stage4_measures_first_use_gaps() {
+    let r = report();
+    assert!(!r.stage4.first_use_ns.is_empty());
+    // The misplaced sync has a huge gap (~500us of postprocessing).
+    let max_gap = r.stage4.first_use_ns.values().max().copied().unwrap();
+    assert!(max_gap >= 400_000, "max gap {max_gap}");
+    // The well-placed sync's gap is tiny.
+    let min_gap = r.stage4.first_use_ns.values().min().copied().unwrap();
+    assert!(min_gap < 50_000, "min gap {min_gap}");
+}
+
+#[test]
+fn analysis_flags_each_problem_class() {
+    let r = report();
+    let a = &r.analysis;
+    let kinds: std::collections::HashSet<_> =
+        a.problems.iter().map(|p| p.problem).collect();
+    assert!(kinds.contains(&Problem::UnnecessarySync), "{kinds:?}");
+    assert!(kinds.contains(&Problem::UnnecessaryTransfer));
+    assert!(kinds.contains(&Problem::MisplacedSync));
+    assert!(a.total_benefit_ns() > 0);
+    // The well-placed necessary sync at line 41/42 must not be flagged.
+    assert!(
+        !a.problems
+            .iter()
+            .any(|p| p.site.map(|s| s.line) == Some(41) && p.benefit_ns > 0
+                && p.problem == Problem::UnnecessarySync),
+        "well-placed sync wrongly flagged"
+    );
+    // Problems are sorted by benefit.
+    for w in a.problems.windows(2) {
+        assert!(w[0].benefit_ns >= w[1].benefit_ns);
+    }
+}
+
+#[test]
+fn analysis_finds_the_free_transfer_sequence() {
+    let r = report();
+    assert!(
+        !r.analysis.sequences.is_empty(),
+        "loop pathologies should form a sequence"
+    );
+    let s = &r.analysis.sequences[0];
+    assert!(s.entries.len() >= 8, "entries: {}", s.entries.len());
+    assert!(s.benefit_ns > 0);
+    assert!(s.sync_issues() > 0);
+    assert!(s.transfer_issues() > 0);
+}
+
+#[test]
+fn overhead_grows_across_stages_and_is_bounded() {
+    let r = report();
+    assert!(r.stage3.exec_time_ns > r.stage1.exec_time_ns, "stage 3 is the heavy one");
+    let factor = r.collection_overhead_factor();
+    assert!(factor > 3.0, "4 runs must cost > 3x: {factor}");
+    assert!(factor < 100.0, "overhead should stay sane: {factor}");
+}
+
+#[test]
+fn json_export_is_complete() {
+    let r = report();
+    let j = report_to_json(&r).to_string_pretty();
+    assert!(j.contains("\"app\": \"pathological\""));
+    assert!(j.contains("unnecessary synchronization"));
+    assert!(j.contains("unnecessary transfer"));
+    assert!(j.contains("\"sequences\""));
+    assert!(j.contains("_nv014sync"));
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let a = report();
+    let b = report();
+    assert_eq!(a.analysis.total_benefit_ns(), b.analysis.total_benefit_ns());
+    assert_eq!(a.analysis.problems.len(), b.analysis.problems.len());
+    assert_eq!(a.stage2.calls.len(), b.stage2.calls.len());
+}

@@ -1,0 +1,205 @@
+//! Automatic correction (paper §6, future work — implemented here).
+//!
+//! Diogenes' conclusion observes that the problems it finds "typically
+//! had a similar underlying cause with a common remedy", and that an
+//! automated method could correct issues "that occur in closed source
+//! binaries or those that offer low benefit". This module closes that
+//! loop: [`derive_policy`] maps the stage 5 analysis to a
+//! [`FixPolicy`] — the interposition shim the driver applies at patched
+//! call sites — and [`evaluate_autofix`] measures what the patched
+//! application actually gains, so the estimate/realized comparison of
+//! Table 1 can be produced with no human in the loop.
+
+use cuda_driver::{ApiFn, Cuda, CudaResult, FixPolicy, FixStats, GpuApp};
+use ffm_core::{Analysis, Problem};
+use gpu_sim::{CostModel, Ns};
+
+/// Thresholds for what the automatic corrector is willing to patch.
+#[derive(Debug, Clone)]
+pub struct AutofixConfig {
+    /// Minimum expected benefit for a *site* (benefits of all its dynamic
+    /// occurrences summed) before it is patched. Guards against patching
+    /// noise-level findings.
+    pub min_site_benefit_ns: Ns,
+}
+
+impl Default for AutofixConfig {
+    fn default() -> Self {
+        Self { min_site_benefit_ns: 1_000 }
+    }
+}
+
+/// Derive the remedy for each problem class found by the analysis:
+///
+/// | finding | remedy |
+/// |---|---|
+/// | unnecessary sync at an explicit-sync API | drop the call |
+/// | unnecessary sync at `cudaFree` | pool the buffer (also pools the paired `cudaMalloc`) |
+/// | duplicate synchronous upload | content-checked skip |
+/// | unnecessary sync at `cudaMemset` | host `memset` |
+///
+/// Conditional synchronizations hidden in `cudaMemcpyAsync` are patched
+/// by page-locking the destination **in place** (`cudaHostRegister`) on
+/// first use — no allocation lifetime changes needed.
+pub fn derive_policy(analysis: &Analysis, cfg: &AutofixConfig) -> FixPolicy {
+    let mut policy = FixPolicy::default();
+    // Aggregate benefit per (api, site, problem class): one call site can
+    // carry both a sync problem (its wait) and a transfer problem (its
+    // payload), each with its own remedy.
+    use std::collections::HashMap;
+    let mut per_site: HashMap<(ApiFn, u64, Problem), Ns> = HashMap::new();
+    for p in &analysis.problems {
+        let (Some(api), Some(site)) = (p.api, p.site) else { continue };
+        *per_site.entry((api, site.addr(), p.problem)).or_insert(0) += p.benefit_ns;
+    }
+    for ((api, site_addr, problem), benefit) in per_site {
+        if benefit < cfg.min_site_benefit_ns {
+            continue;
+        }
+        match (api, problem) {
+            (
+                ApiFn::CudaDeviceSynchronize
+                | ApiFn::CudaThreadSynchronize
+                | ApiFn::CudaStreamSynchronize,
+                Problem::UnnecessarySync,
+            ) => {
+                policy.skip_sync_sites.insert(site_addr);
+            }
+            (ApiFn::CudaFree, Problem::UnnecessarySync) => {
+                policy.pool_free_sites.insert(site_addr);
+            }
+            (ApiFn::CudaMemcpy, Problem::UnnecessaryTransfer) => {
+                policy.dedup_transfer_sites.insert(site_addr);
+            }
+            (ApiFn::CudaMemset, Problem::UnnecessarySync) => {
+                policy.host_memset_sites.insert(site_addr);
+            }
+            (
+                ApiFn::CudaMemcpyAsync,
+                Problem::UnnecessarySync | Problem::MisplacedSync,
+            ) => {
+                policy.pin_on_first_use_sites.insert(site_addr);
+            }
+            _ => {}
+        }
+    }
+    policy
+}
+
+/// Outcome of an automatic-correction evaluation.
+#[derive(Debug, Clone)]
+pub struct AutofixOutcome {
+    /// Uninstrumented execution time of the unpatched application.
+    pub before_ns: Ns,
+    /// Uninstrumented execution time with the policy installed.
+    pub after_ns: Ns,
+    /// What the shim intercepted.
+    pub stats: FixStats,
+    /// Sites patched.
+    pub patched_sites: usize,
+}
+
+impl AutofixOutcome {
+    pub fn saved_ns(&self) -> Ns {
+        self.before_ns.saturating_sub(self.after_ns)
+    }
+
+    pub fn saved_pct(&self) -> f64 {
+        self.saved_ns() as f64 * 100.0 / self.before_ns.max(1) as f64
+    }
+}
+
+/// Measure an application before and after automatic correction
+/// (both runs uninstrumented — this is the ground-truth benefit).
+pub fn evaluate_autofix(
+    app: &dyn GpuApp,
+    policy: &FixPolicy,
+    cost: &CostModel,
+) -> CudaResult<AutofixOutcome> {
+    let mut before = Cuda::new(cost.clone());
+    app.run(&mut before)?;
+    let before_ns = before.exec_time_ns();
+
+    let mut after = Cuda::new(cost.clone());
+    after.set_fix_policy(policy.clone());
+    app.run(&mut after)?;
+    let after_ns = after.exec_time_ns();
+    Ok(AutofixOutcome {
+        before_ns,
+        after_ns,
+        stats: after.fix_stats(),
+        patched_sites: policy.site_count(),
+    })
+}
+
+/// Convenience: run Diogenes, derive the policy, evaluate it.
+pub fn autocorrect(
+    app: &dyn GpuApp,
+    cfg: &AutofixConfig,
+) -> CudaResult<(crate::tool::DiogenesResult, FixPolicy, AutofixOutcome)> {
+    let result = crate::tool::run_diogenes(app, crate::tool::DiogenesConfig::new())?;
+    let policy = derive_policy(&result.report.analysis, cfg);
+    let outcome = evaluate_autofix(app, &policy, &CostModel::pascal_like())?;
+    Ok((result, policy, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diogenes_apps::{Amg, AmgConfig, AlsConfig, CumfAls, Gaussian, GaussianConfig};
+
+    #[test]
+    fn autofix_recovers_time_on_als() {
+        let mut cfg = AlsConfig::test_scale();
+        cfg.iters = 6;
+        let app = CumfAls::new(cfg);
+        let (result, policy, outcome) =
+            autocorrect(&app, &AutofixConfig::default()).unwrap();
+        assert!(!policy.is_empty());
+        assert!(!policy.pool_free_sites.is_empty(), "frees get pooled");
+        assert!(!policy.dedup_transfer_sites.is_empty(), "uploads get deduped");
+        assert!(outcome.after_ns < outcome.before_ns, "{outcome:?}");
+        assert!(outcome.stats.frees_pooled > 0);
+        assert!(outcome.stats.transfers_deduped > 0);
+        // The realized saving is in the neighbourhood of the estimate.
+        let est = result.report.analysis.total_benefit_ns() as f64;
+        let real = outcome.saved_ns() as f64;
+        assert!(real > 0.3 * est, "real {real} vs est {est}");
+    }
+
+    #[test]
+    fn autofix_replaces_amg_memsets() {
+        let app = Amg::new(AmgConfig::test_scale());
+        let (_r, policy, outcome) = autocorrect(&app, &AutofixConfig::default()).unwrap();
+        assert!(!policy.host_memset_sites.is_empty());
+        assert!(outcome.stats.memsets_replaced > 0);
+        assert!(outcome.after_ns < outcome.before_ns);
+    }
+
+    #[test]
+    fn autofix_drops_gaussian_thread_syncs() {
+        let mut cfg = GaussianConfig::test_scale();
+        cfg.n = 24;
+        let app = Gaussian::new(cfg);
+        let (_r, policy, outcome) = autocorrect(&app, &AutofixConfig::default()).unwrap();
+        assert!(!policy.skip_sync_sites.is_empty());
+        assert_eq!(outcome.stats.syncs_skipped, 23, "one per eliminated row");
+        assert!(outcome.after_ns < outcome.before_ns);
+    }
+
+    #[test]
+    fn threshold_filters_noise_findings() {
+        let mut cfg = AlsConfig::test_scale();
+        cfg.iters = 4;
+        let app = CumfAls::new(cfg);
+        let result =
+            crate::tool::run_diogenes(&app, crate::tool::DiogenesConfig::new()).unwrap();
+        let loose = derive_policy(&result.report.analysis, &AutofixConfig::default());
+        let strict = derive_policy(
+            &result.report.analysis,
+            &AutofixConfig { min_site_benefit_ns: u64::MAX },
+        );
+        assert!(strict.is_empty());
+        assert!(loose.site_count() > 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! `diogenes` — command-line entry point.
+//!
+//! Usage:
+//! ```text
+//! diogenes <als|cuibm|amg|gaussian|pipelined> [--scale test|paper]
+//!          [--view overview|sequence|fold]
+//!          [--fold <apiName>] [--seq N] [--sub FROM TO] [--autoseq]
+//!          [--autofix] [--json <path>]
+//! ```
+//!
+//! `--autoseq` runs the automated subsequence selection (benefit weighed
+//! against fixing complexity); `--autofix` derives a fix policy from the
+//! analysis, re-runs the application under the interposition shim, and
+//! reports the realized saving.
+//!
+//! Runs the full five-stage feed-forward pipeline against the chosen
+//! application (no interaction needed between stages) and renders the
+//! requested terminal view, optionally exporting the JSON document.
+
+use cuda_driver::{ApiFn, GpuApp};
+use diogenes::{
+    best_subsequence, derive_policy, evaluate_autofix, render_fold_expansion, render_overview,
+    render_sequence, render_subsequence, run_diogenes, AutofixConfig, DiogenesConfig,
+};
+use gpu_sim::CostModel;
+use diogenes_apps::*;
+use ffm_core::report_to_json;
+
+fn make_app(name: &str, paper: bool) -> Option<Box<dyn GpuApp>> {
+    Some(match (name, paper) {
+        ("als", false) => Box::new(CumfAls::new(AlsConfig::test_scale())),
+        ("als", true) => Box::new(CumfAls::new(AlsConfig::paper_scale())),
+        ("cuibm", false) => Box::new(CuIbm::new(CuibmConfig::test_scale())),
+        ("cuibm", true) => Box::new(CuIbm::new(CuibmConfig::paper_scale())),
+        ("amg", false) => Box::new(Amg::new(AmgConfig::test_scale())),
+        ("amg", true) => Box::new(Amg::new(AmgConfig::paper_scale())),
+        ("gaussian", false) => Box::new(Gaussian::new(GaussianConfig::test_scale())),
+        ("gaussian", true) => Box::new(Gaussian::new(GaussianConfig::paper_scale())),
+        ("pipelined", false) => Box::new(Pipelined::new(PipelinedConfig::test_scale())),
+        ("pipelined", true) => Box::new(Pipelined::new(PipelinedConfig::paper_scale())),
+        _ => return None,
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: diogenes <als|cuibm|amg|gaussian|pipelined> [--scale test|paper] \
+         [--view overview|sequence|fold|compare] [--fold <apiName>] [--seq N] \
+         [--sub FROM TO] [--autoseq] [--autofix] [--json <path>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let app_name = args[0].clone();
+    let mut scale_paper = false;
+    let mut view = "overview".to_string();
+    let mut fold_api = "cudaFree".to_string();
+    let mut seq_idx = 0usize;
+    let mut sub: Option<(usize, usize)> = None;
+    let mut json_path: Option<String> = None;
+    let mut autoseq = false;
+    let mut autofix = false;
+
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale_paper = args.get(i).map(|s| s == "paper").unwrap_or_else(|| usage());
+            }
+            "--view" => {
+                i += 1;
+                view = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--fold" => {
+                i += 1;
+                fold_api = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--seq" => {
+                i += 1;
+                seq_idx = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--sub" => {
+                let from = args.get(i + 1).and_then(|s| s.parse().ok());
+                let to = args.get(i + 2).and_then(|s| s.parse().ok());
+                match (from, to) {
+                    (Some(f), Some(t)) => sub = Some((f, t)),
+                    _ => usage(),
+                }
+                i += 2;
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--autoseq" => autoseq = true,
+            "--autofix" => autofix = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let Some(app) = make_app(&app_name, scale_paper) else { usage() };
+    if view == "compare" {
+        // The Table 2 view: profile with all three tools and compare
+        // resource consumption against expected benefit.
+        eprintln!("diogenes: profiling {} with nvprof/hpctoolkit/diogenes models...", app.name());
+        let t = diogenes::experiments::table2_for(app.as_ref(), &CostModel::pascal_like())
+            .expect("tools run");
+        println!("{:<26} {:>26} {:>26} {:>26}", "Operation", "NVProf", "HPCToolkit", "Diogenes savings");
+        let cell = |v: Option<(u64, f64, usize)>| match v {
+            Some((ns, pct, pos)) => format!("{:.3}ms ({:.1}%, {})", ns as f64 / 1e6, pct, pos),
+            None => "-".to_string(),
+        };
+        for (i, r) in diogenes::experiments::significant_rows(&t, 0.3).iter().enumerate() {
+            let nv = if t.nvprof_crashed {
+                if i == 0 { "Profiler Crashed".to_string() } else { String::new() }
+            } else {
+                cell(r.nvprof)
+            };
+            println!("{:<26} {:>26} {:>26} {:>26}", r.operation, nv, cell(r.hpctoolkit), cell(r.diogenes));
+        }
+        return;
+    }
+    eprintln!(
+        "diogenes: running 5-stage feed-forward pipeline on {} ({})...",
+        app.name(),
+        app.workload()
+    );
+    let result = match run_diogenes(app.as_ref(), DiogenesConfig::new()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("diogenes: application failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "diogenes: collection took {:.1}x the baseline run ({} problems found)\n",
+        result.report.collection_overhead_factor(),
+        result.report.analysis.problems.len()
+    );
+
+    match view.as_str() {
+        "overview" => print!("{}", render_overview(&result)),
+        "sequence" => {
+            print!("{}", render_sequence(&result, seq_idx));
+            if let Some((f, t)) = sub {
+                println!();
+                print!("{}", render_subsequence(&result, seq_idx, f, t));
+            }
+        }
+        "fold" => match ApiFn::from_name(&fold_api) {
+            Some(api) => print!("{}", render_fold_expansion(&result, api)),
+            None => {
+                eprintln!("unknown API function {fold_api}");
+                std::process::exit(2);
+            }
+        },
+        _ => usage(),
+    }
+
+    if autoseq {
+        if let Some(family) = result.families.get(seq_idx) {
+            // Complexity weight: an eighth of the family's benefit per
+            // distinct site to edit.
+            let cost = family.total_benefit_ns / 8;
+            if let Some(c) = best_subsequence(&result.report.analysis, family, cost) {
+                println!(
+                    "
+auto-selected subsequence: entries {}..{} ({} sites to edit, \
+                     {:.2}% of execution recoverable)",
+                    c.from,
+                    c.to,
+                    c.sites_to_edit,
+                    result.percent(c.benefit_ns)
+                );
+                print!("{}", render_subsequence(&result, seq_idx, c.from, c.to));
+            }
+        }
+    }
+
+    if autofix {
+        let policy = derive_policy(&result.report.analysis, &AutofixConfig::default());
+        println!("
+autofix: patching {} call sites...", policy.site_count());
+        match evaluate_autofix(app.as_ref(), &policy, &CostModel::pascal_like()) {
+            Ok(outcome) => {
+                println!(
+                    "autofix: {:.3} ms -> {:.3} ms ({:.1}% saved; {} shim interceptions)",
+                    outcome.before_ns as f64 / 1e6,
+                    outcome.after_ns as f64 / 1e6,
+                    outcome.saved_pct(),
+                    outcome.stats.total()
+                );
+            }
+            Err(e) => eprintln!("autofix failed: {e}"),
+        }
+    }
+
+    if let Some(path) = json_path {
+        let doc = report_to_json(&result.report).to_string_pretty();
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("diogenes: failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("\ndiogenes: JSON exported to {path}");
+    }
+}

@@ -1,0 +1,267 @@
+//! The driver's public and private API surface.
+//!
+//! Function identities are what the measurement layers key on: CUPTI-sim
+//! filters them by visibility, the FFM stages build per-function traces,
+//! and the comparison tables report per-function time. Names follow the
+//! runtime-API spelling used in the paper's tables (`cudaFree`,
+//! `cudaMemcpyAsync`, ...); the private entries model the proprietary,
+//! non-public driver interface used by vendor libraries.
+
+/// Every driver entry point a simulated application can call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ApiFn {
+    CudaMalloc,
+    CudaFree,
+    CudaMallocHost,
+    CudaFreeHost,
+    CudaMallocManaged,
+    CudaMemcpy,
+    CudaMemcpyAsync,
+    CudaMemset,
+    CudaDeviceSynchronize,
+    /// Deprecated alias of `cudaDeviceSynchronize`, still used by older
+    /// codes such as Rodinia's Gaussian benchmark.
+    CudaThreadSynchronize,
+    CudaStreamSynchronize,
+    CudaStreamCreate,
+    CudaLaunchKernel,
+    CudaFuncGetAttributes,
+    CudaEventCreate,
+    CudaEventRecord,
+    CudaEventSynchronize,
+    CudaStreamWaitEvent,
+    CudaHostRegister,
+    CudaHostUnregister,
+    /// Private (non-public) kernel launch used by vendor libraries.
+    PrivateLaunch,
+    /// Private memory copy used by vendor libraries.
+    PrivateMemcpy,
+    /// Private synchronization used by vendor libraries.
+    PrivateSync,
+}
+
+impl ApiFn {
+    /// The function's name as it appears in profiles.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ApiFn::CudaMalloc => "cudaMalloc",
+            ApiFn::CudaFree => "cudaFree",
+            ApiFn::CudaMallocHost => "cudaMallocHost",
+            ApiFn::CudaFreeHost => "cudaFreeHost",
+            ApiFn::CudaMallocManaged => "cudaMallocManaged",
+            ApiFn::CudaMemcpy => "cudaMemcpy",
+            ApiFn::CudaMemcpyAsync => "cudaMemcpyAsync",
+            ApiFn::CudaMemset => "cudaMemset",
+            ApiFn::CudaDeviceSynchronize => "cudaDeviceSynchronize",
+            ApiFn::CudaThreadSynchronize => "cudaThreadSynchronize",
+            ApiFn::CudaStreamSynchronize => "cudaStreamSynchronize",
+            ApiFn::CudaStreamCreate => "cudaStreamCreate",
+            ApiFn::CudaLaunchKernel => "cudaLaunchKernel",
+            ApiFn::CudaFuncGetAttributes => "cudaFuncGetAttributes",
+            ApiFn::CudaEventCreate => "cudaEventCreate",
+            ApiFn::CudaEventRecord => "cudaEventRecord",
+            ApiFn::CudaEventSynchronize => "cudaEventSynchronize",
+            ApiFn::CudaStreamWaitEvent => "cudaStreamWaitEvent",
+            ApiFn::CudaHostRegister => "cudaHostRegister",
+            ApiFn::CudaHostUnregister => "cudaHostUnregister",
+            ApiFn::PrivateLaunch => "nv::private::launch",
+            ApiFn::PrivateMemcpy => "nv::private::memcpy",
+            ApiFn::PrivateSync => "nv::private::sync",
+        }
+    }
+
+    /// Whether this is part of the documented public API. Private entry
+    /// points are never reported by the vendor collection framework.
+    pub fn is_public(&self) -> bool {
+        !matches!(
+            self,
+            ApiFn::PrivateLaunch | ApiFn::PrivateMemcpy | ApiFn::PrivateSync
+        )
+    }
+
+    /// Whether the vendor documentation describes this call as performing
+    /// a memory transfer. Stage 2 traces these in addition to the
+    /// synchronizing functions discovered in stage 1.
+    pub fn documented_transfer(&self) -> bool {
+        matches!(self, ApiFn::CudaMemcpy | ApiFn::CudaMemcpyAsync)
+    }
+
+    /// Whether the vendor documentation describes this call as an
+    /// *explicit* synchronization. Only these receive CUPTI
+    /// synchronization activity records.
+    pub fn documented_sync(&self) -> bool {
+        matches!(
+            self,
+            ApiFn::CudaDeviceSynchronize
+                | ApiFn::CudaThreadSynchronize
+                | ApiFn::CudaStreamSynchronize
+                | ApiFn::CudaEventSynchronize
+        )
+    }
+
+    /// Reverse lookup from a profile name. Measurement code sees function
+    /// *names* (from stack frames); this recovers the identity.
+    pub fn from_name(name: &str) -> Option<ApiFn> {
+        const ALL: &[ApiFn] = &[
+            ApiFn::CudaMalloc,
+            ApiFn::CudaFree,
+            ApiFn::CudaMallocHost,
+            ApiFn::CudaFreeHost,
+            ApiFn::CudaMallocManaged,
+            ApiFn::CudaMemcpy,
+            ApiFn::CudaMemcpyAsync,
+            ApiFn::CudaMemset,
+            ApiFn::CudaDeviceSynchronize,
+            ApiFn::CudaThreadSynchronize,
+            ApiFn::CudaStreamSynchronize,
+            ApiFn::CudaStreamCreate,
+            ApiFn::CudaLaunchKernel,
+            ApiFn::CudaFuncGetAttributes,
+            ApiFn::CudaEventCreate,
+            ApiFn::CudaEventRecord,
+            ApiFn::CudaEventSynchronize,
+            ApiFn::CudaStreamWaitEvent,
+            ApiFn::CudaHostRegister,
+            ApiFn::CudaHostUnregister,
+            ApiFn::PrivateLaunch,
+            ApiFn::PrivateMemcpy,
+            ApiFn::PrivateSync,
+        ];
+        ALL.iter().copied().find(|f| f.name() == name)
+    }
+
+    /// All public API functions, for exhaustive iteration in tests and
+    /// discovery.
+    pub fn all_public() -> &'static [ApiFn] {
+        &[
+            ApiFn::CudaMalloc,
+            ApiFn::CudaFree,
+            ApiFn::CudaMallocHost,
+            ApiFn::CudaFreeHost,
+            ApiFn::CudaMallocManaged,
+            ApiFn::CudaMemcpy,
+            ApiFn::CudaMemcpyAsync,
+            ApiFn::CudaMemset,
+            ApiFn::CudaDeviceSynchronize,
+            ApiFn::CudaThreadSynchronize,
+            ApiFn::CudaStreamSynchronize,
+            ApiFn::CudaStreamCreate,
+            ApiFn::CudaLaunchKernel,
+            ApiFn::CudaFuncGetAttributes,
+            ApiFn::CudaEventCreate,
+            ApiFn::CudaEventRecord,
+            ApiFn::CudaEventSynchronize,
+            ApiFn::CudaStreamWaitEvent,
+            ApiFn::CudaHostRegister,
+            ApiFn::CudaHostUnregister,
+        ]
+    }
+}
+
+impl std::fmt::Display for ApiFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Internal (non-exported) functions of the simulated driver library.
+///
+/// These are the instrumentation targets the paper's Figure 3 describes:
+/// every operation that must wait on the device — explicit, implicit,
+/// conditional, or private — funnels through [`InternalFn::SyncWait`].
+/// The other internal functions exist so that sync-function *discovery*
+/// has a haystack to search: a tool that wraps all internal functions and
+/// observes which one blocks under a never-completing kernel will find
+/// `SyncWait` and none of the others.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InternalFn {
+    /// The single function that waits for compute-stream completion.
+    SyncWait,
+    /// Pushes work descriptors to the device.
+    Enqueue,
+    /// Device-memory allocator.
+    AllocDevice,
+    /// Device-memory deallocator (calls `SyncWait` first).
+    FreeDevice,
+    /// Pageable-transfer staging bookkeeping.
+    StageTransfer,
+    /// Command-buffer flush (never blocks in this driver).
+    FlushCommands,
+}
+
+impl InternalFn {
+    /// Symbol-like internal name (deliberately opaque, as in a stripped
+    /// vendor binary).
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            InternalFn::SyncWait => "libcuda::_nv014sync",
+            InternalFn::Enqueue => "libcuda::_nv002push",
+            InternalFn::AllocDevice => "libcuda::_nv031vmalloc",
+            InternalFn::FreeDevice => "libcuda::_nv032vmfree",
+            InternalFn::StageTransfer => "libcuda::_nv044stage",
+            InternalFn::FlushCommands => "libcuda::_nv007flush",
+        }
+    }
+
+    /// All internal functions (the discovery search space).
+    pub fn all() -> &'static [InternalFn] {
+        &[
+            InternalFn::SyncWait,
+            InternalFn::Enqueue,
+            InternalFn::AllocDevice,
+            InternalFn::FreeDevice,
+            InternalFn::StageTransfer,
+            InternalFn::FlushCommands,
+        ]
+    }
+}
+
+impl std::fmt::Display for InternalFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_fns_are_not_public() {
+        assert!(!ApiFn::PrivateSync.is_public());
+        assert!(!ApiFn::PrivateMemcpy.is_public());
+        assert!(!ApiFn::PrivateLaunch.is_public());
+        assert!(ApiFn::CudaFree.is_public());
+    }
+
+    #[test]
+    fn documented_sets_match_the_paper() {
+        // The vendor documents only the explicit synchronization calls.
+        assert!(ApiFn::CudaDeviceSynchronize.documented_sync());
+        assert!(ApiFn::CudaStreamSynchronize.documented_sync());
+        assert!(ApiFn::CudaThreadSynchronize.documented_sync());
+        // cudaMemcpy synchronizes in practice but is NOT documented as a
+        // synchronization — this is the gap Diogenes exploits.
+        assert!(!ApiFn::CudaMemcpy.documented_sync());
+        assert!(!ApiFn::CudaFree.documented_sync());
+        assert!(ApiFn::CudaMemcpy.documented_transfer());
+        assert!(ApiFn::CudaMemcpyAsync.documented_transfer());
+        assert!(!ApiFn::CudaMemset.documented_transfer());
+    }
+
+    #[test]
+    fn all_public_excludes_private() {
+        for f in ApiFn::all_public() {
+            assert!(f.is_public(), "{f} listed as public");
+        }
+        assert_eq!(ApiFn::all_public().len(), 20);
+    }
+
+    #[test]
+    fn internal_fn_symbols_are_unique() {
+        let mut names: Vec<_> = InternalFn::all().iter().map(|f| f.symbol()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), InternalFn::all().len());
+    }
+}

@@ -1,0 +1,68 @@
+//! The application abstraction that tools run (and re-run).
+//!
+//! The feed-forward model's defining property is that each measurement
+//! stage is a **separate complete run** of the application. A [`GpuApp`]
+//! is therefore a pure recipe: given a fresh driver context, reproduce the
+//! program's behaviour. Tools construct a new [`crate::Cuda`] per stage,
+//! attach that stage's instrumentation, and invoke [`GpuApp::run`].
+
+use crate::cuda::Cuda;
+use crate::error::CudaResult;
+
+/// A simulated GPU application.
+///
+/// Implementations must be deterministic with respect to the driver calls
+/// they issue (the paper notes FFM "performs best when the execution
+/// pattern of the application does not change dramatically between runs").
+pub trait GpuApp {
+    /// Short name for reports ("cumf_als").
+    fn name(&self) -> &'static str;
+
+    /// Execute the application against a fresh context.
+    fn run(&self, cuda: &mut Cuda) -> CudaResult<()>;
+
+    /// Free-form description of the configured workload, for reports.
+    fn workload(&self) -> String {
+        String::new()
+    }
+}
+
+/// Run an application uninstrumented and return its execution time.
+///
+/// This is the ground-truth measurement used for "actual benefit" numbers:
+/// no hooks, no probes, virtual time only.
+pub fn uninstrumented_exec_time(
+    app: &dyn GpuApp,
+    cost: gpu_sim::CostModel,
+) -> CudaResult<gpu_sim::Ns> {
+    let mut cuda = Cuda::new(cost);
+    app.run(&mut cuda)?;
+    Ok(cuda.exec_time_ns())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{CostModel, SourceLoc};
+
+    struct Tiny;
+    impl GpuApp for Tiny {
+        fn name(&self) -> &'static str {
+            "tiny"
+        }
+        fn run(&self, cuda: &mut Cuda) -> CudaResult<()> {
+            cuda.machine.cpu_work(100, "spin");
+            let d = cuda.malloc(64, SourceLoc::new("tiny.cpp", 3))?;
+            cuda.free(d, SourceLoc::new("tiny.cpp", 4))?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn uninstrumented_time_is_reproducible() {
+        let a = uninstrumented_exec_time(&Tiny, CostModel::unit()).unwrap();
+        let b = uninstrumented_exec_time(&Tiny, CostModel::unit()).unwrap();
+        assert_eq!(a, b);
+        assert!(a >= 100);
+    }
+}

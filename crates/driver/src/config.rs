@@ -1,0 +1,85 @@
+//! Driver behaviour switches.
+//!
+//! The undocumented synchronization behaviours that Diogenes uncovers are
+//! modeled as explicit, individually switchable driver behaviours. The
+//! defaults match what the paper reports for CUDA 9.x; the ablation
+//! benches flip them to show how the analysis degrades when the substrate
+//! behaves differently (e.g. a driver whose `cudaFree` does not
+//! synchronize).
+
+/// Configurable driver semantics.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// `cudaFree` performs a full-context synchronization before
+    /// releasing memory (the dominant pathology in cuIBM and cumf_als).
+    pub free_implicit_sync: bool,
+    /// Synchronous `cudaMemcpy` waits for the transfer (and everything
+    /// before it on the stream) to complete.
+    pub memcpy_implicit_sync: bool,
+    /// `cudaMemcpyAsync` device-to-host into *pageable* (non-pinned)
+    /// memory secretly synchronizes (the paper's conditional example).
+    pub async_dtoh_pageable_sync: bool,
+    /// `cudaMemset` on a unified-memory address synchronizes (the AMG
+    /// pathology).
+    pub memset_unified_sync: bool,
+    /// Device-side memset on unified memory is slower than on plain
+    /// device memory (page residency checks / migration): multiplier on
+    /// the memset duration.
+    pub unified_memset_penalty: u64,
+    /// Total device global memory, bytes.
+    pub device_memory_bytes: u64,
+    /// Extra CPU cost multiplier applied to private-API calls (vendor
+    /// libraries take a faster path into the driver).
+    pub private_api_discount: bool,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        Self {
+            free_implicit_sync: true,
+            memcpy_implicit_sync: true,
+            async_dtoh_pageable_sync: true,
+            memset_unified_sync: true,
+            unified_memset_penalty: 30,
+            device_memory_bytes: 16 << 30,
+            private_api_discount: true,
+        }
+    }
+}
+
+impl DriverConfig {
+    /// A hypothetical "fully asynchronous" driver with none of the hidden
+    /// synchronizations, for ablation studies.
+    pub fn fully_async() -> Self {
+        Self {
+            free_implicit_sync: false,
+            memcpy_implicit_sync: false,
+            async_dtoh_pageable_sync: false,
+            memset_unified_sync: false,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_model_cuda9_behaviour() {
+        let c = DriverConfig::default();
+        assert!(c.free_implicit_sync);
+        assert!(c.memcpy_implicit_sync);
+        assert!(c.async_dtoh_pageable_sync);
+        assert!(c.memset_unified_sync);
+    }
+
+    #[test]
+    fn fully_async_disables_hidden_syncs() {
+        let c = DriverConfig::fully_async();
+        assert!(!c.free_implicit_sync);
+        assert!(!c.memcpy_implicit_sync);
+        assert!(!c.async_dtoh_pageable_sync);
+        assert!(!c.memset_unified_sync);
+    }
+}

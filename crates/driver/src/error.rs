@@ -1,0 +1,72 @@
+//! Driver error codes, mirroring the shape of `CUresult`.
+
+use gpu_sim::MemError;
+
+/// Errors returned by the simulated driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CudaError {
+    /// An argument was out of range or otherwise malformed.
+    InvalidValue { what: &'static str },
+    /// A pointer did not refer to live device memory.
+    InvalidDevicePointer { addr: u64 },
+    /// A pointer did not refer to live host memory.
+    InvalidHostPointer { addr: u64 },
+    /// The device ran out of global memory.
+    OutOfMemory { requested: u64, available: u64 },
+    /// An underlying address-space fault (bad free, overrun).
+    MemFault(MemError),
+    /// Operation referenced a stream that was never created.
+    InvalidStream { stream: u32 },
+}
+
+impl std::fmt::Display for CudaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CudaError::InvalidValue { what } => write!(f, "CUDA_ERROR_INVALID_VALUE: {what}"),
+            CudaError::InvalidDevicePointer { addr } => {
+                write!(f, "CUDA_ERROR_INVALID_DEVICE_POINTER: {addr:#x}")
+            }
+            CudaError::InvalidHostPointer { addr } => {
+                write!(f, "CUDA_ERROR_INVALID_HOST_POINTER: {addr:#x}")
+            }
+            CudaError::OutOfMemory { requested, available } => write!(
+                f,
+                "CUDA_ERROR_OUT_OF_MEMORY: requested {requested} bytes, {available} available"
+            ),
+            CudaError::MemFault(e) => write!(f, "CUDA_ERROR_MEM_FAULT: {e}"),
+            CudaError::InvalidStream { stream } => {
+                write!(f, "CUDA_ERROR_INVALID_HANDLE: stream {stream}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CudaError {}
+
+impl From<MemError> for CudaError {
+    fn from(e: MemError) -> Self {
+        CudaError::MemFault(e)
+    }
+}
+
+/// Result alias for driver calls.
+pub type CudaResult<T> = Result<T, CudaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CudaError::OutOfMemory { requested: 100, available: 10 };
+        let s = e.to_string();
+        assert!(s.contains("OUT_OF_MEMORY"));
+        assert!(s.contains("100"));
+    }
+
+    #[test]
+    fn mem_error_converts() {
+        let e: CudaError = MemError::Unmapped { addr: 0x10 }.into();
+        assert!(matches!(e, CudaError::MemFault(_)));
+    }
+}

@@ -1,0 +1,131 @@
+//! Runtime auto-correction (the paper's §6 future work).
+//!
+//! "The problems identified by Diogenes ... typically had a similar
+//! underlying cause with a common remedy ... they may be automatically
+//! correctable if the cause and remedy can be automatically identified.
+//! An automated method would be able to correct issues that a typical
+//! user may not be able or may not want to correct, such as issues that
+//! occur in closed source binaries."
+//!
+//! A [`FixPolicy`] is that automated remedy, expressed as an
+//! interposition shim over the driver entry points (what a binary patch
+//! of a closed-source application would do):
+//!
+//! * **skip sites** — explicit synchronizations proven unnecessary are
+//!   intercepted and never reach the driver;
+//! * **pool sites** — `cudaFree` calls whose implicit synchronization is
+//!   unnecessary return the buffer to a size-keyed pool instead, and
+//!   `cudaMalloc` draws from the pool (the cuIBM/cumf_als remedy);
+//! * **dedup sites** — synchronous uploads are content-hashed against
+//!   what is already resident at the destination and skipped when equal
+//!   (the cumf_als remedy, with the hash standing in for the paper's
+//!   `const` + `mprotect` correctness guard);
+//! * **host-memset sites** — unified-memory `cudaMemset` calls are
+//!   replaced with a plain CPU `memset` (the AMG remedy).
+
+use std::collections::HashSet;
+
+/// Sites are identified by [`gpu_sim::SourceLoc::addr`] — the synthetic
+/// instruction address of the application call site, which is what a
+/// binary patcher would key on.
+#[derive(Debug, Clone, Default)]
+pub struct FixPolicy {
+    /// Explicit synchronization calls to drop.
+    pub skip_sync_sites: HashSet<u64>,
+    /// `cudaFree` calls to divert into the allocation pool.
+    pub pool_free_sites: HashSet<u64>,
+    /// Synchronous H2D transfers to content-deduplicate.
+    pub dedup_transfer_sites: HashSet<u64>,
+    /// Unified-memory `cudaMemset` calls to replace with host `memset`.
+    pub host_memset_sites: HashSet<u64>,
+    /// Async D2H transfer sites whose pageable destination should be
+    /// page-locked in place (`cudaHostRegister`) on first use, removing
+    /// the hidden conditional synchronization.
+    pub pin_on_first_use_sites: HashSet<u64>,
+}
+
+impl FixPolicy {
+    /// Whether the policy does anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.skip_sync_sites.is_empty()
+            && self.pool_free_sites.is_empty()
+            && self.dedup_transfer_sites.is_empty()
+            && self.host_memset_sites.is_empty()
+            && self.pin_on_first_use_sites.is_empty()
+    }
+
+    /// Total number of patched sites.
+    pub fn site_count(&self) -> usize {
+        self.skip_sync_sites.len()
+            + self.pool_free_sites.len()
+            + self.dedup_transfer_sites.len()
+            + self.host_memset_sites.len()
+            + self.pin_on_first_use_sites.len()
+    }
+}
+
+/// Counters for what the shim actually intercepted during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FixStats {
+    /// Explicit synchronizations dropped.
+    pub syncs_skipped: u64,
+    /// Frees diverted to the pool.
+    pub frees_pooled: u64,
+    /// Mallocs satisfied from the pool.
+    pub mallocs_reused: u64,
+    /// Uploads skipped because identical bytes were already resident.
+    pub transfers_deduped: u64,
+    /// Device memsets replaced with host memsets.
+    pub memsets_replaced: u64,
+    /// Pageable buffers page-locked in place at patched transfer sites.
+    pub buffers_pinned: u64,
+}
+
+impl FixStats {
+    /// Total interceptions.
+    pub fn total(&self) -> u64 {
+        self.syncs_skipped
+            + self.frees_pooled
+            + self.mallocs_reused
+            + self.transfers_deduped
+            + self.memsets_replaced
+            + self.buffers_pinned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_policy_is_empty() {
+        let p = FixPolicy::default();
+        assert!(p.is_empty());
+        assert_eq!(p.site_count(), 0);
+    }
+
+    #[test]
+    fn site_count_sums_all_kinds() {
+        let mut p = FixPolicy::default();
+        p.skip_sync_sites.insert(1);
+        p.pool_free_sites.insert(2);
+        p.pool_free_sites.insert(3);
+        p.dedup_transfer_sites.insert(4);
+        p.host_memset_sites.insert(5);
+        assert!(!p.is_empty());
+        assert_eq!(p.site_count(), 5);
+    }
+
+    #[test]
+    fn stats_total() {
+        let s = FixStats {
+            syncs_skipped: 1,
+            frees_pooled: 2,
+            mallocs_reused: 3,
+            transfers_deduped: 4,
+            memsets_replaced: 5,
+            buffers_pinned: 6,
+        };
+        assert_eq!(s.total(), 21);
+    }
+}

@@ -1,0 +1,117 @@
+//! Kernel descriptors.
+//!
+//! Simulated kernels carry a name, a device-time duration, and the device
+//! buffers they read and write. Written buffers receive deterministic,
+//! launch-unique contents so that device-to-host transfers after a kernel
+//! carry "freshly computed" data — and duplicate-transfer detection can
+//! distinguish recomputed results from retransmitted constants.
+
+use gpu_sim::{fnv1a_64, DevPtr, Ns};
+
+/// A region of device (or unified) memory a kernel touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelBuffer {
+    pub ptr: DevPtr,
+    pub bytes: u64,
+}
+
+/// Description of a kernel launch.
+#[derive(Debug, Clone)]
+pub struct KernelDesc {
+    /// Kernel name as it would appear in a profile.
+    pub name: &'static str,
+    /// Device execution time.
+    pub duration_ns: Ns,
+    /// Buffers the kernel writes (their contents are regenerated on each
+    /// launch).
+    pub writes: Vec<KernelBuffer>,
+    /// Buffers the kernel reads (recorded for data-flow realism; not used
+    /// by the reproduced analyses).
+    pub reads: Vec<KernelBuffer>,
+    /// When true, written buffers get launch-unique contents; when false
+    /// the kernel is treated as producing identical output every launch
+    /// (useful to model idempotent kernels whose results the app then
+    /// redundantly retransfers).
+    pub unique_output: bool,
+}
+
+impl KernelDesc {
+    /// A compute-only kernel with no memory effects.
+    pub fn compute(name: &'static str, duration_ns: Ns) -> Self {
+        Self { name, duration_ns, writes: vec![], reads: vec![], unique_output: true }
+    }
+
+    /// Add an output buffer.
+    pub fn writing(mut self, ptr: DevPtr, bytes: u64) -> Self {
+        self.writes.push(KernelBuffer { ptr, bytes });
+        self
+    }
+
+    /// Add an input buffer.
+    pub fn reading(mut self, ptr: DevPtr, bytes: u64) -> Self {
+        self.reads.push(KernelBuffer { ptr, bytes });
+        self
+    }
+
+    /// Mark the kernel as producing identical output on every launch.
+    pub fn idempotent(mut self) -> Self {
+        self.unique_output = false;
+        self
+    }
+
+    /// The deterministic fill pattern for this kernel's outputs on its
+    /// `launch_index`-th launch.
+    pub fn output_pattern(&self, launch_index: u64) -> u64 {
+        let base = fnv1a_64(self.name.as_bytes());
+        if self.unique_output {
+            base ^ launch_index.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        } else {
+            base
+        }
+    }
+
+    /// Materialize `bytes` of output data for this launch.
+    pub fn output_bytes(&self, launch_index: u64, bytes: u64) -> Vec<u8> {
+        let pat = self.output_pattern(launch_index).to_le_bytes();
+        let mut v = vec![0u8; bytes as usize];
+        for (i, b) in v.iter_mut().enumerate() {
+            *b = pat[i % 8];
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_buffers() {
+        let k = KernelDesc::compute("gemm", 1_000)
+            .writing(DevPtr(0x100), 64)
+            .reading(DevPtr(0x200), 32)
+            .reading(DevPtr(0x300), 32);
+        assert_eq!(k.writes.len(), 1);
+        assert_eq!(k.reads.len(), 2);
+        assert_eq!(k.duration_ns, 1_000);
+    }
+
+    #[test]
+    fn unique_output_varies_per_launch() {
+        let k = KernelDesc::compute("solve", 10).writing(DevPtr(1), 16);
+        assert_ne!(k.output_bytes(0, 16), k.output_bytes(1, 16));
+    }
+
+    #[test]
+    fn idempotent_output_is_stable() {
+        let k = KernelDesc::compute("solve", 10).writing(DevPtr(1), 16).idempotent();
+        assert_eq!(k.output_bytes(0, 16), k.output_bytes(5, 16));
+    }
+
+    #[test]
+    fn different_kernels_produce_different_data() {
+        let a = KernelDesc::compute("a", 1);
+        let b = KernelDesc::compute("b", 1);
+        assert_ne!(a.output_bytes(0, 8), b.output_bytes(0, 8));
+    }
+}

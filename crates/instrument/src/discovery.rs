@@ -1,0 +1,99 @@
+//! Synchronization-function discovery.
+//!
+//! Diogenes does not hard-code which internal driver function implements
+//! the wait: it *finds* it, by launching a never-completing GPU kernel and
+//! calling known-synchronous APIs while every internal driver function is
+//! wrapped — the function where the CPU blocks is the sync funnel (paper
+//! §3.1). This module reproduces that test against the simulated driver.
+//! In virtual time the "never-completing" kernel simply parks the wait at
+//! an astronomically late completion time, so the probe run terminates
+//! and the blocked function is identifiable by its absurd wait duration.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use cuda_driver::{Cuda, CudaResult, HookEvent, InternalFn, KernelDesc};
+use gpu_sim::{CostModel, Ns, SourceLoc, StreamId, NEVER};
+
+use crate::probe::{FunctionProbe, ProbeSpec};
+
+/// Result of the discovery run.
+#[derive(Debug, Clone)]
+pub struct Discovery {
+    /// The internal function identified as the synchronization funnel.
+    pub sync_fn: InternalFn,
+    /// Observed wait per internal function during the probe program, for
+    /// diagnostics.
+    pub waits: HashMap<InternalFn, Ns>,
+}
+
+/// Run the discovery probe program and identify the internal
+/// synchronization function.
+///
+/// The probe program: launch a kernel that never completes, then call a
+/// known synchronous API (`cudaDeviceSynchronize`). Whichever wrapped
+/// internal function reports a wait on the order of [`NEVER`] is the
+/// funnel. The throwaway context is discarded afterwards.
+pub fn identify_sync_function(cost: CostModel) -> CudaResult<Discovery> {
+    let mut cuda = Cuda::new(cost);
+    let waits: Rc<RefCell<HashMap<InternalFn, Ns>>> = Rc::new(RefCell::new(HashMap::new()));
+    let w2 = waits.clone();
+    FunctionProbe::install(
+        &mut cuda,
+        ProbeSpec::all_internals(),
+        Box::new(move |hit, _m| {
+            if let HookEvent::InternalExit { func, waited_ns, .. } = hit.event {
+                let mut w = w2.borrow_mut();
+                let e = w.entry(*func).or_insert(0);
+                *e = (*e).max(*waited_ns);
+            }
+        }),
+    );
+
+    let site = SourceLoc::new("diogenes_discovery.rs", 1);
+    // A kernel that never completes.
+    let never = KernelDesc::compute("__diogenes_never_kernel", NEVER);
+    cuda.launch_kernel(&never, StreamId::DEFAULT, site)?;
+    // A known synchronous function: where does the CPU wait?
+    cuda.device_synchronize(site)?;
+
+    let waits = Rc::try_unwrap(waits)
+        .map(RefCell::into_inner)
+        .unwrap_or_else(|rc| rc.borrow().clone());
+    let sync_fn = waits
+        .iter()
+        .max_by_key(|(_, &w)| w)
+        .map(|(&f, _)| f)
+        .expect("probe program produced no internal-function hits");
+    debug_assert!(waits[&sync_fn] >= NEVER / 2, "no function blocked 'forever'");
+    Ok(Discovery { sync_fn, waits })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovery_finds_the_sync_funnel() {
+        let d = identify_sync_function(CostModel::unit()).unwrap();
+        assert_eq!(d.sync_fn, InternalFn::SyncWait);
+    }
+
+    #[test]
+    fn non_sync_internals_never_block() {
+        let d = identify_sync_function(CostModel::unit()).unwrap();
+        for (f, w) in &d.waits {
+            if *f != InternalFn::SyncWait {
+                assert_eq!(*w, 0, "{f} should not wait");
+            }
+        }
+        assert!(d.waits[&InternalFn::SyncWait] >= NEVER / 2);
+    }
+
+    #[test]
+    fn discovery_works_with_realistic_costs() {
+        let d = identify_sync_function(CostModel::pascal_like()).unwrap();
+        assert_eq!(d.sync_fn, InternalFn::SyncWait);
+    }
+}

@@ -1,0 +1,7 @@
+//! Content digests for transfer-payload deduplication.
+//!
+//! The digest implementation lives in [`gpu_sim::digest`] (the driver's
+//! auto-correction shim also hashes payloads); this module re-exports it
+//! under the instrumentation crate's historical path.
+
+pub use gpu_sim::Digest;

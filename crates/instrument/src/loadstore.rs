@@ -1,0 +1,219 @@
+//! Load/store instrumentation of application memory accesses.
+//!
+//! Diogenes uses Dyninst to instrument the *instructions* that touch
+//! GPU-writable memory. Here, applications issue their accesses through
+//! the machine's instrumented accessors and the [`LoadStoreWatcher`]
+//! (installed as the machine's access sink) filters them by watched
+//! address range and, optionally, by instruction site — the stage 4
+//! configuration, where only the first-use instructions found in stage 3
+//! remain instrumented.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use cuda_driver::Cuda;
+use gpu_sim::{Access, AccessSink, Machine, Range, SourceLoc};
+
+/// Callback invoked for each *watched* access.
+pub type AccessCallback = Box<dyn FnMut(&Access, &mut Machine)>;
+
+/// Watches ranges of host memory for application loads/stores.
+pub struct LoadStoreWatcher {
+    ranges: Vec<Range>,
+    /// When set, only accesses from these instruction sites are reported
+    /// (and only they incur instrumentation overhead) — stage 4 mode.
+    site_filter: Option<HashSet<SourceLoc>>,
+    /// Master switch; accesses are invisible (and free) while disarmed.
+    armed: bool,
+    callback: AccessCallback,
+    /// Watched accesses delivered.
+    pub hits: u64,
+    /// Total accesses inspected while armed (watched or not).
+    pub inspected: u64,
+}
+
+impl LoadStoreWatcher {
+    pub fn new(callback: AccessCallback) -> Self {
+        Self {
+            ranges: Vec::new(),
+            site_filter: None,
+            armed: true,
+            callback,
+            hits: 0,
+            inspected: 0,
+        }
+    }
+
+    /// Create, wrap and install as the machine's access sink.
+    ///
+    /// `full_program` selects whether every application load/store is
+    /// instrumented (stage 3 — the tool does not yet know which
+    /// instructions matter, so everything pays; CPU work dilates heavily)
+    /// or only a selected instruction set (stage 4 — cheap).
+    pub fn install(
+        cuda: &mut Cuda,
+        full_program: bool,
+        callback: AccessCallback,
+    ) -> Rc<RefCell<LoadStoreWatcher>> {
+        let w = Rc::new(RefCell::new(LoadStoreWatcher::new(callback)));
+        cuda.machine.set_access_sink(Some(w.clone()));
+        cuda.machine
+            .set_cpu_work_dilation_pct(if full_program { 900 } else { 130 });
+        w
+    }
+
+    /// Watch `[start, start+len)`.
+    pub fn watch_range(&mut self, start: u64, len: u64) {
+        if len > 0 {
+            self.ranges.push(Range::new(start, len));
+        }
+    }
+
+    /// Stop watching any range that begins at `start` (memory was freed
+    /// or overwritten by the CPU).
+    pub fn unwatch_start(&mut self, start: u64) {
+        self.ranges.retain(|r| r.start != start);
+    }
+
+    /// Restrict reporting to specific instruction sites (stage 4).
+    pub fn set_site_filter(&mut self, sites: HashSet<SourceLoc>) {
+        self.site_filter = Some(sites);
+    }
+
+    /// Enable/disable watching.
+    pub fn set_armed(&mut self, armed: bool) {
+        self.armed = armed;
+    }
+
+    /// Number of watched ranges.
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    fn watched(&self, access: &Access) -> bool {
+        if let Some(f) = &self.site_filter {
+            if !f.contains(&access.site) {
+                return false;
+            }
+        }
+        self.ranges.iter().any(|r| r.overlaps(access.addr, access.len))
+    }
+}
+
+impl AccessSink for LoadStoreWatcher {
+    fn on_access(&mut self, access: &Access, machine: &mut Machine) {
+        if !self.armed {
+            return;
+        }
+        self.inspected += 1;
+        if !self.watched(access) {
+            return;
+        }
+        // Only watched accesses execute the instrumentation snippet.
+        let cost = machine.cost.loadstore_overhead_ns;
+        machine.charge_overhead(cost, "loadstore");
+        self.hits += 1;
+        (self.callback)(access, machine);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{AccessKind, CostModel, HostAllocKind};
+
+    fn setup() -> (Cuda, Rc<RefCell<LoadStoreWatcher>>, Rc<RefCell<Vec<Access>>>) {
+        let mut cuda = Cuda::new(CostModel::unit());
+        let log: Rc<RefCell<Vec<Access>>> = Rc::new(RefCell::new(vec![]));
+        let l2 = log.clone();
+        let w = LoadStoreWatcher::install(
+            &mut cuda,
+            false,
+            Box::new(move |a, _m| l2.borrow_mut().push(*a)),
+        );
+        (cuda, w, log)
+    }
+
+    #[test]
+    fn only_watched_ranges_report() {
+        let (mut cuda, w, log) = setup();
+        let a = cuda.machine.host_alloc(64, HostAllocKind::Pageable);
+        let b = cuda.machine.host_alloc(64, HostAllocKind::Pageable);
+        w.borrow_mut().watch_range(a.0, 64);
+        let s = SourceLoc::new("app.cpp", 5);
+        cuda.machine.host_read_app(a, 8, s).unwrap();
+        cuda.machine.host_read_app(b, 8, s).unwrap();
+        assert_eq!(log.borrow().len(), 1);
+        assert_eq!(log.borrow()[0].addr, a.0);
+        assert_eq!(w.borrow().inspected, 2);
+        assert_eq!(w.borrow().hits, 1);
+    }
+
+    #[test]
+    fn site_filter_restricts_reporting() {
+        let (mut cuda, w, log) = setup();
+        let a = cuda.machine.host_alloc(64, HostAllocKind::Pageable);
+        w.borrow_mut().watch_range(a.0, 64);
+        let hot = SourceLoc::new("app.cpp", 100);
+        let cold = SourceLoc::new("app.cpp", 200);
+        w.borrow_mut().set_site_filter([hot].into_iter().collect());
+        cuda.machine.host_read_app(a, 4, cold).unwrap();
+        cuda.machine.host_read_app(a, 4, hot).unwrap();
+        let log = log.borrow();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].site, hot);
+    }
+
+    #[test]
+    fn disarmed_watcher_is_free() {
+        let (mut cuda, w, log) = setup();
+        let a = cuda.machine.host_alloc(64, HostAllocKind::Pageable);
+        w.borrow_mut().watch_range(a.0, 64);
+        w.borrow_mut().set_armed(false);
+        let before = cuda.machine.now();
+        cuda.machine
+            .host_read_app(a, 8, SourceLoc::new("x", 1))
+            .unwrap();
+        assert_eq!(log.borrow().len(), 0);
+        assert_eq!(cuda.machine.now(), before, "no overhead while disarmed");
+    }
+
+    #[test]
+    fn watched_accesses_cost_time() {
+        let (mut cuda, w, _log) = setup();
+        let a = cuda.machine.host_alloc(64, HostAllocKind::Pageable);
+        w.borrow_mut().watch_range(a.0, 64);
+        let before = cuda.machine.now();
+        cuda.machine
+            .host_write_app(a, &[1, 2, 3], SourceLoc::new("x", 1))
+            .unwrap();
+        assert!(cuda.machine.now() > before);
+    }
+
+    #[test]
+    fn unwatch_removes_range() {
+        let (mut cuda, w, log) = setup();
+        let a = cuda.machine.host_alloc(64, HostAllocKind::Pageable);
+        w.borrow_mut().watch_range(a.0, 64);
+        w.borrow_mut().unwatch_start(a.0);
+        cuda.machine
+            .host_read_app(a, 8, SourceLoc::new("x", 1))
+            .unwrap();
+        assert!(log.borrow().is_empty());
+        assert_eq!(w.borrow().range_count(), 0);
+    }
+
+    #[test]
+    fn writes_and_reads_both_report_kind() {
+        let (mut cuda, w, log) = setup();
+        let a = cuda.machine.host_alloc(8, HostAllocKind::Pageable);
+        w.borrow_mut().watch_range(a.0, 8);
+        let s = SourceLoc::new("x", 1);
+        cuda.machine.host_write_app(a, &[1], s).unwrap();
+        cuda.machine.host_read_app(a, 1, s).unwrap();
+        let log = log.borrow();
+        assert_eq!(log[0].kind, AccessKind::Write);
+        assert_eq!(log[1].kind, AccessKind::Read);
+    }
+}

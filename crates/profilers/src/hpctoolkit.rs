@@ -1,0 +1,223 @@
+//! The HPCToolkit baseline model.
+//!
+//! HPCToolkit is a *sampling* profiler: it interrupts the process at a
+//! fixed period and attributes the sample to the function on top of the
+//! unwound call stack. The model reproduces the properties the paper's
+//! Table 2 exhibits:
+//!
+//! * orderings similar to NVProf (both attribute wall time to API call
+//!   frames), with values perturbed by sampling quantization;
+//! * systematically *lower* percentages than NVProf — samples landing in
+//!   vendor-library context cannot be unwound through the stripped
+//!   library and are attributed to an `<unwind failure>` bucket, and the
+//!   tool's own measurement overhead dilutes every percentage (the paper
+//!   observed this deflation on cumf_als and cuIBM and was "still
+//!   investigating");
+//! * no crash on call-heavy applications (no bounded record buffer).
+
+use cuda_driver::{ApiFn, Cuda, CudaResult, DriverHook, GpuApp, HookEvent};
+use gpu_sim::{CostModel, Machine, Ns, Span};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::profile::{Profile, ProfileOutcome};
+
+/// HPCToolkit model configuration.
+#[derive(Debug, Clone)]
+pub struct HpctoolkitConfig {
+    /// Sampling period (virtual time). The real tool defaults to a few
+    /// hundred microseconds; the model's virtual runs are shorter, so the
+    /// default here is finer.
+    pub sample_period_ns: Ns,
+    /// Per-API-call overhead of the tool's wrappers and unwind cache.
+    pub per_call_overhead_ns: Ns,
+}
+
+impl Default for HpctoolkitConfig {
+    fn default() -> Self {
+        Self { sample_period_ns: 20_000, per_call_overhead_ns: 350 }
+    }
+}
+
+/// Records (api, span, vendor_ctx) intervals for post-hoc sampling.
+struct IntervalRecorder {
+    pending: HashMap<u64, (ApiFn, Ns, bool)>,
+    intervals: Vec<(ApiFn, Span, bool)>,
+    overhead_ns: Ns,
+}
+
+impl DriverHook for IntervalRecorder {
+    fn on_event(&mut self, event: &HookEvent, machine: &mut Machine) {
+        match event {
+            HookEvent::ApiEnter { call_id, api, vendor_ctx, .. } => {
+                machine.charge_overhead(self.overhead_ns, "hpctoolkit");
+                self.pending.insert(*call_id, (*api, machine.now(), *vendor_ctx));
+            }
+            HookEvent::ApiExit { call_id, .. } => {
+                if let Some((api, start, vendor)) = self.pending.remove(call_id) {
+                    machine.charge_overhead(self.overhead_ns, "hpctoolkit");
+                    self.intervals.push((api, Span::new(start, machine.now()), vendor));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Profile an application with the HPCToolkit model.
+pub fn run_hpctoolkit(
+    app: &dyn GpuApp,
+    cost: &CostModel,
+    config: &HpctoolkitConfig,
+) -> CudaResult<ProfileOutcome> {
+    let mut cuda = Cuda::new(cost.clone());
+    let recorder = Rc::new(RefCell::new(IntervalRecorder {
+        pending: HashMap::new(),
+        intervals: Vec::new(),
+        overhead_ns: config.per_call_overhead_ns,
+    }));
+    cuda.install_hook(recorder.clone());
+    app.run(&mut cuda)?;
+    let exec_ns = cuda.exec_time_ns();
+
+    // Post-hoc sampling over the recorded intervals (equivalent to
+    // interrupt-driven attribution against the API frames, without
+    // having to interrupt the simulation).
+    let rec = recorder.borrow();
+    let mut intervals = rec.intervals.clone();
+    intervals.sort_by_key(|(_, s, _)| s.start);
+    let period = config.sample_period_ns.max(1);
+    let mut totals: HashMap<String, Ns> = HashMap::new();
+    let mut cursor = 0usize;
+    let mut t = period / 2; // first sample mid-period, as samplers do
+    while t < exec_ns {
+        while cursor < intervals.len() && intervals[cursor].1.end <= t {
+            cursor += 1;
+        }
+        // find the covering interval starting from cursor (intervals do
+        // not nest in this driver).
+        if let Some((api, _, vendor)) = intervals[cursor..]
+            .iter()
+            .take_while(|(_, s, _)| s.start <= t)
+            .find(|(_, s, _)| s.contains(t))
+        {
+            let name = if *vendor || !api.is_public() {
+                // Unwinding through the stripped vendor library fails.
+                "<unwind failure>".to_string()
+            } else {
+                api.name().to_string()
+            };
+            *totals.entry(name).or_insert(0) += period;
+        }
+        t += period;
+    }
+    Ok(ProfileOutcome::Completed(Profile::from_totals(
+        "hpctoolkit",
+        app.name().to_string(),
+        exec_ns,
+        totals,
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nvprof::{run_nvprof, NvprofConfig};
+    use cuda_driver::KernelDesc;
+    use gpu_sim::{SourceLoc, StreamId};
+
+    struct SyncHeavy;
+    impl GpuApp for SyncHeavy {
+        fn name(&self) -> &'static str {
+            "sync_heavy"
+        }
+        fn run(&self, cuda: &mut Cuda) -> CudaResult<()> {
+            let s = SourceLoc::new("a.cu", 1);
+            for _ in 0..10 {
+                let k = KernelDesc::compute("k", 200_000);
+                cuda.launch_kernel(&k, StreamId::DEFAULT, s)?;
+                cuda.device_synchronize(s)?;
+                cuda.machine.cpu_work(50_000, "host");
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sampling_attributes_the_dominant_sync() {
+        let out =
+            run_hpctoolkit(&SyncHeavy, &CostModel::pascal_like(), &HpctoolkitConfig::default())
+                .unwrap();
+        let p = out.profile().unwrap();
+        assert_eq!(p.entries[0].name, "cudaDeviceSynchronize");
+        assert!(p.entries[0].percent > 40.0);
+    }
+
+    #[test]
+    fn agrees_with_nvprof_on_ordering_but_reports_less() {
+        let hp = run_hpctoolkit(&SyncHeavy, &CostModel::pascal_like(), &HpctoolkitConfig::default())
+            .unwrap();
+        let nv =
+            run_nvprof(&SyncHeavy, &CostModel::pascal_like(), &NvprofConfig::default()).unwrap();
+        let hp = hp.profile().unwrap();
+        let nv = nv.profile().unwrap();
+        assert_eq!(hp.entries[0].name, nv.entries[0].name);
+        // Sampling quantization + overhead dilution: close but not equal.
+        let h = hp.entry("cudaDeviceSynchronize").unwrap().percent;
+        let n = nv.entry("cudaDeviceSynchronize").unwrap().percent;
+        assert!((h - n).abs() > 0.001, "models should not be identical");
+        assert!((h - n).abs() < 25.0, "but they broadly agree: {h} vs {n}");
+    }
+
+    struct VendorHeavy;
+    impl GpuApp for VendorHeavy {
+        fn name(&self) -> &'static str {
+            "vendor_heavy"
+        }
+        fn run(&self, cuda: &mut Cuda) -> CudaResult<()> {
+            let s = SourceLoc::new("a.cu", 1);
+            let d = cuda.malloc(1024, s)?;
+            let blas = cuda_driver::CublasLite::new();
+            for _ in 0..20 {
+                blas.gemm(cuda, 256, 256, 256, d, 1024, s)?;
+            }
+            cuda.free(d, s)?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vendor_library_time_lands_in_unwind_failure_bucket() {
+        let out = run_hpctoolkit(
+            &VendorHeavy,
+            &CostModel::pascal_like(),
+            &HpctoolkitConfig::default(),
+        )
+        .unwrap();
+        let p = out.profile().unwrap();
+        let u = p.entry("<unwind failure>").expect("bucket exists");
+        assert!(u.percent > 50.0, "gemm syncs dominate: {}", u.percent);
+    }
+
+    #[test]
+    fn never_crashes_on_call_volume() {
+        struct CallStorm;
+        impl GpuApp for CallStorm {
+            fn name(&self) -> &'static str {
+                "storm"
+            }
+            fn run(&self, cuda: &mut Cuda) -> CudaResult<()> {
+                let s = SourceLoc::new("a.cu", 1);
+                for _ in 0..50_000 {
+                    cuda.func_get_attributes(s)?;
+                }
+                Ok(())
+            }
+        }
+        let out =
+            run_hpctoolkit(&CallStorm, &CostModel::pascal_like(), &HpctoolkitConfig::default())
+                .unwrap();
+        assert!(!out.crashed());
+    }
+}

@@ -1,0 +1,133 @@
+//! Common profile report shape shared by the baseline tool models.
+
+use gpu_sim::Ns;
+
+/// One row of a per-function profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileEntry {
+    /// Function (or category) name.
+    pub name: String,
+    /// Total attributed time.
+    pub total_ns: Ns,
+    /// Percent of the tool's observed execution time.
+    pub percent: f64,
+    /// 1-based position in the tool's own ordering.
+    pub position: usize,
+}
+
+/// A completed profile.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    pub tool: &'static str,
+    pub app: String,
+    /// Execution time of the profiled (instrumented) run.
+    pub exec_ns: Ns,
+    /// Rows sorted by the tool's ordering (descending time).
+    pub entries: Vec<ProfileEntry>,
+}
+
+impl Profile {
+    /// Find a row by name.
+    pub fn entry(&self, name: &str) -> Option<&ProfileEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Build sorted entries from raw (name, total) pairs.
+    pub fn from_totals(
+        tool: &'static str,
+        app: String,
+        exec_ns: Ns,
+        totals: impl IntoIterator<Item = (String, Ns)>,
+    ) -> Profile {
+        let mut rows: Vec<(String, Ns)> =
+            totals.into_iter().filter(|(_, t)| *t > 0).collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let entries = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, total_ns))| ProfileEntry {
+                name,
+                total_ns,
+                percent: if exec_ns == 0 {
+                    0.0
+                } else {
+                    total_ns as f64 * 100.0 / exec_ns as f64
+                },
+                position: i + 1,
+            })
+            .collect();
+        Profile { tool, app, exec_ns, entries }
+    }
+}
+
+/// A profiling attempt: tools can fail (the paper's NVProf "Profiler
+/// Crashed" cell on cuIBM).
+#[derive(Debug, Clone)]
+pub enum ProfileOutcome {
+    Completed(Profile),
+    Crashed { tool: &'static str, app: String, reason: String },
+}
+
+impl ProfileOutcome {
+    pub fn profile(&self) -> Option<&Profile> {
+        match self {
+            ProfileOutcome::Completed(p) => Some(p),
+            ProfileOutcome::Crashed { .. } => None,
+        }
+    }
+
+    pub fn crashed(&self) -> bool {
+        matches!(self, ProfileOutcome::Crashed { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_totals_sorts_and_positions() {
+        let p = Profile::from_totals(
+            "test",
+            "app".into(),
+            1000,
+            vec![
+                ("b".to_string(), 100),
+                ("a".to_string(), 500),
+                ("c".to_string(), 0),
+            ],
+        );
+        assert_eq!(p.entries.len(), 2, "zero rows dropped");
+        assert_eq!(p.entries[0].name, "a");
+        assert_eq!(p.entries[0].position, 1);
+        assert_eq!(p.entries[0].percent, 50.0);
+        assert_eq!(p.entry("b").unwrap().position, 2);
+        assert!(p.entry("c").is_none());
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_name() {
+        let p = Profile::from_totals(
+            "test",
+            "app".into(),
+            100,
+            vec![("z".to_string(), 10), ("a".to_string(), 10)],
+        );
+        assert_eq!(p.entries[0].name, "a");
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let p = Profile::from_totals("t", "a".into(), 1, vec![]);
+        let ok = ProfileOutcome::Completed(p);
+        assert!(!ok.crashed());
+        assert!(ok.profile().is_some());
+        let bad = ProfileOutcome::Crashed {
+            tool: "t",
+            app: "a".into(),
+            reason: "buffer overflow".into(),
+        };
+        assert!(bad.crashed());
+        assert!(bad.profile().is_none());
+    }
+}

@@ -1,0 +1,183 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! All simulated activity is measured in virtual nanoseconds ([`Ns`]).
+//! The clock only moves forward; every CPU-side action (work, driver call,
+//! wait) advances it explicitly, and GPU-side activity is scheduled against
+//! it by the device model.
+
+/// Virtual nanoseconds. The simulation never interprets these as wall time.
+pub type Ns = u64;
+
+/// Sentinel duration used for operations that never complete (e.g. the
+/// never-ending kernel used by sync-function discovery).
+pub const NEVER: Ns = Ns::MAX / 4;
+
+/// A monotonically increasing virtual clock.
+///
+/// The clock represents the host CPU's current position in virtual time.
+/// GPU operations are scheduled relative to it but do not advance it; only
+/// explicit host-side progress does.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: Ns,
+}
+
+impl VirtualClock {
+    /// A clock starting at time zero.
+    pub fn new() -> Self {
+        Self { now: 0 }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Ns {
+        self.now
+    }
+
+    /// Advance by `delta` nanoseconds, returning the new time.
+    #[inline]
+    pub fn advance(&mut self, delta: Ns) -> Ns {
+        self.now = self.now.saturating_add(delta);
+        self.now
+    }
+
+    /// Advance to an absolute time, if it is in the future. Returns how far
+    /// the clock actually moved (zero when `t` is in the past).
+    #[inline]
+    pub fn advance_to(&mut self, t: Ns) -> Ns {
+        if t > self.now {
+            let moved = t - self.now;
+            self.now = t;
+            moved
+        } else {
+            0
+        }
+    }
+}
+
+/// An inclusive-start, exclusive-end span of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    pub start: Ns,
+    pub end: Ns,
+}
+
+impl Span {
+    /// A span from `start` to `end`. Panics in debug builds when reversed.
+    #[inline]
+    pub fn new(start: Ns, end: Ns) -> Self {
+        debug_assert!(end >= start, "reversed span {start}..{end}");
+        Self { start, end }
+    }
+
+    /// Length of the span.
+    #[inline]
+    pub fn duration(&self) -> Ns {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether `t` falls inside the span.
+    #[inline]
+    pub fn contains(&self, t: Ns) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Intersection of two spans, if non-empty.
+    pub fn intersect(&self, other: &Span) -> Option<Span> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if end > start {
+            Some(Span::new(start, end))
+        } else {
+            None
+        }
+    }
+}
+
+/// Merge possibly-overlapping spans and return the total covered duration.
+///
+/// Used to turn a set of busy intervals (e.g. GPU engine activity) into a
+/// busy total, from which idle time is derived.
+pub fn merged_duration(mut spans: Vec<Span>) -> Ns {
+    if spans.is_empty() {
+        return 0;
+    }
+    spans.sort_by_key(|s| (s.start, s.end));
+    let mut total: Ns = 0;
+    let mut cur = spans[0];
+    for s in spans.into_iter().skip(1) {
+        if s.start <= cur.end {
+            cur.end = cur.end.max(s.end);
+        } else {
+            total += cur.duration();
+            cur = s;
+        }
+    }
+    total + cur.duration()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(10), 10);
+        assert_eq!(c.advance(5), 15);
+        assert_eq!(c.now(), 15);
+    }
+
+    #[test]
+    fn advance_to_only_moves_forward() {
+        let mut c = VirtualClock::new();
+        c.advance(100);
+        assert_eq!(c.advance_to(50), 0);
+        assert_eq!(c.now(), 100);
+        assert_eq!(c.advance_to(160), 60);
+        assert_eq!(c.now(), 160);
+    }
+
+    #[test]
+    fn advance_saturates_instead_of_overflowing() {
+        let mut c = VirtualClock::new();
+        c.advance(Ns::MAX - 1);
+        c.advance(10);
+        assert_eq!(c.now(), Ns::MAX);
+    }
+
+    #[test]
+    fn span_duration_and_contains() {
+        let s = Span::new(10, 20);
+        assert_eq!(s.duration(), 10);
+        assert!(s.contains(10));
+        assert!(s.contains(19));
+        assert!(!s.contains(20));
+        assert!(!s.contains(9));
+    }
+
+    #[test]
+    fn span_intersection() {
+        let a = Span::new(0, 10);
+        let b = Span::new(5, 15);
+        assert_eq!(a.intersect(&b), Some(Span::new(5, 10)));
+        let c = Span::new(10, 20);
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn merged_duration_handles_overlap_and_gaps() {
+        let spans = vec![Span::new(0, 10), Span::new(5, 12), Span::new(20, 25)];
+        assert_eq!(merged_duration(spans), 12 + 5);
+        assert_eq!(merged_duration(vec![]), 0);
+        // identical spans count once
+        assert_eq!(merged_duration(vec![Span::new(3, 7), Span::new(3, 7)]), 4);
+    }
+
+    #[test]
+    fn merged_duration_adjacent_spans_coalesce() {
+        // Touching spans ([0,5) and [5,9)) merge with no double counting.
+        assert_eq!(merged_duration(vec![Span::new(0, 5), Span::new(5, 9)]), 9);
+    }
+}

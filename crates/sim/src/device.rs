@@ -1,0 +1,312 @@
+//! The simulated GPU device: streams, engines, and operation scheduling.
+//!
+//! The device executes operations in stream order. Two engine classes
+//! exist — one compute engine and one copy engine — and each engine runs
+//! operations serially, so an operation's start time is the latest of:
+//! the host-side enqueue time, the completion of the previous operation on
+//! its stream, and the completion of the previous operation on its engine.
+//! This is the level of fidelity the feed-forward model's analysis needs:
+//! it reasons about when the GPU is busy vs. idle and when a host wait
+//! actually has something to wait for, not about warp scheduling.
+
+use crate::clock::{merged_duration, Ns, Span};
+use crate::cost::Direction;
+
+/// Identifies a stream. Stream 0 is the default (legacy) stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u32);
+
+impl StreamId {
+    pub const DEFAULT: StreamId = StreamId(0);
+}
+
+/// Identifies an enqueued GPU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub u64);
+
+/// Which serial engine executes an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineClass {
+    Compute,
+    Copy,
+}
+
+/// What the GPU is doing during an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuOpKind {
+    /// A kernel execution.
+    Kernel { name: &'static str },
+    /// A DMA transfer.
+    Transfer { dir: Direction, bytes: u64 },
+    /// A device-side memset.
+    Memset { bytes: u64 },
+    /// A driver-internal housekeeping operation (e.g. the device-side part
+    /// of a free). Invisible to CUPTI-style collectors.
+    Housekeeping { what: &'static str },
+}
+
+impl GpuOpKind {
+    /// Engine this kind of operation runs on.
+    pub fn engine(&self) -> EngineClass {
+        match self {
+            GpuOpKind::Kernel { .. } | GpuOpKind::Memset { .. } => EngineClass::Compute,
+            GpuOpKind::Transfer { .. } => EngineClass::Copy,
+            GpuOpKind::Housekeeping { .. } => EngineClass::Compute,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> String {
+        match self {
+            GpuOpKind::Kernel { name } => format!("kernel:{name}"),
+            GpuOpKind::Transfer { dir, bytes } => format!("copy:{}:{}B", dir.label(), bytes),
+            GpuOpKind::Memset { bytes } => format!("memset:{bytes}B"),
+            GpuOpKind::Housekeeping { what } => format!("housekeeping:{what}"),
+        }
+    }
+}
+
+/// A scheduled GPU operation with resolved start/end times.
+#[derive(Debug, Clone)]
+pub struct GpuOp {
+    pub id: OpId,
+    pub stream: StreamId,
+    pub kind: GpuOpKind,
+    /// Host virtual time at which the operation was enqueued.
+    pub enqueue_ns: Ns,
+    /// When the engine began executing it.
+    pub start_ns: Ns,
+    /// When it completed.
+    pub end_ns: Ns,
+    /// Correlation token linking the op to the driver API call that
+    /// produced it (mirrors CUPTI's correlation ids).
+    pub correlation: u64,
+}
+
+impl GpuOp {
+    pub fn span(&self) -> Span {
+        Span::new(self.start_ns, self.end_ns)
+    }
+
+    pub fn duration(&self) -> Ns {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// The device model.
+#[derive(Debug, Default)]
+pub struct Device {
+    ops: Vec<GpuOp>,
+    /// Completion time of the last op enqueued per stream.
+    stream_tail: std::collections::HashMap<StreamId, Ns>,
+    /// Completion time of the last op per engine.
+    engine_tail: [Ns; 2],
+    next_correlation: u64,
+}
+
+fn engine_index(e: EngineClass) -> usize {
+    match e {
+        EngineClass::Compute => 0,
+        EngineClass::Copy => 1,
+    }
+}
+
+impl Device {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue an operation of `duration` on `stream` at host time `now`.
+    ///
+    /// Returns the operation id; its resolved timing can be queried via
+    /// [`Device::op`]. Also returns a fresh correlation id via the op.
+    pub fn enqueue(
+        &mut self,
+        now: Ns,
+        stream: StreamId,
+        kind: GpuOpKind,
+        duration: Ns,
+    ) -> OpId {
+        let engine = kind.engine();
+        let stream_ready = self.stream_tail.get(&stream).copied().unwrap_or(0);
+        let engine_ready = self.engine_tail[engine_index(engine)];
+        let start = now.max(stream_ready).max(engine_ready);
+        let end = start.saturating_add(duration);
+        let id = OpId(self.ops.len() as u64);
+        self.next_correlation += 1;
+        self.ops.push(GpuOp {
+            id,
+            stream,
+            kind,
+            enqueue_ns: now,
+            start_ns: start,
+            end_ns: end,
+            correlation: self.next_correlation,
+        });
+        self.stream_tail.insert(stream, end);
+        self.engine_tail[engine_index(engine)] = end;
+        id
+    }
+
+    /// Look up a scheduled operation.
+    pub fn op(&self, id: OpId) -> &GpuOp {
+        &self.ops[id.0 as usize]
+    }
+
+    /// All scheduled operations, in enqueue order.
+    pub fn ops(&self) -> &[GpuOp] {
+        &self.ops
+    }
+
+    /// Completion time of everything enqueued so far on `stream`.
+    pub fn stream_completion(&self, stream: StreamId) -> Ns {
+        self.stream_tail.get(&stream).copied().unwrap_or(0)
+    }
+
+    /// Completion time of everything enqueued so far on the device.
+    pub fn device_completion(&self) -> Ns {
+        self.engine_tail.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total time the device was busy (union of op spans).
+    pub fn busy_ns(&self) -> Ns {
+        merged_duration(self.ops.iter().map(GpuOp::span).collect())
+    }
+
+    /// Device busy time restricted to a window.
+    pub fn busy_in(&self, window: Span) -> Ns {
+        merged_duration(
+            self.ops
+                .iter()
+                .filter_map(|o| o.span().intersect(&window))
+                .collect(),
+        )
+    }
+
+    /// Device idle time inside `window` (window length minus busy time).
+    pub fn idle_in(&self, window: Span) -> Ns {
+        window.duration().saturating_sub(self.busy_in(window))
+    }
+
+    /// Number of operations enqueued.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Fence a stream: no operation enqueued on `stream` after this call
+    /// may start before time `t` (used for `cudaStreamWaitEvent`).
+    pub fn fence_stream(&mut self, stream: StreamId, t: Ns) {
+        let tail = self.stream_tail.entry(stream).or_insert(0);
+        *tail = (*tail).max(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(name: &'static str) -> GpuOpKind {
+        GpuOpKind::Kernel { name }
+    }
+
+    #[test]
+    fn same_stream_ops_serialize() {
+        let mut d = Device::new();
+        let a = d.enqueue(0, StreamId(1), kernel("a"), 100);
+        let b = d.enqueue(10, StreamId(1), kernel("b"), 50);
+        assert_eq!(d.op(a).span(), Span::new(0, 100));
+        // b enqueued at t=10 but must wait for a.
+        assert_eq!(d.op(b).span(), Span::new(100, 150));
+    }
+
+    #[test]
+    fn different_streams_same_engine_serialize_on_engine() {
+        let mut d = Device::new();
+        d.enqueue(0, StreamId(1), kernel("a"), 100);
+        let b = d.enqueue(0, StreamId(2), kernel("b"), 100);
+        // Single compute engine: b waits for a despite separate streams.
+        assert_eq!(d.op(b).start_ns, 100);
+    }
+
+    #[test]
+    fn copy_and_compute_overlap() {
+        let mut d = Device::new();
+        d.enqueue(0, StreamId(1), kernel("a"), 100);
+        let t = d.enqueue(
+            0,
+            StreamId(2),
+            GpuOpKind::Transfer { dir: Direction::HtoD, bytes: 10 },
+            80,
+        );
+        // Copy engine is free: transfer overlaps the kernel.
+        assert_eq!(d.op(t).span(), Span::new(0, 80));
+        assert_eq!(d.busy_ns(), 100);
+    }
+
+    #[test]
+    fn same_stream_copy_then_kernel_orders_across_engines() {
+        let mut d = Device::new();
+        let t = d.enqueue(
+            0,
+            StreamId(3),
+            GpuOpKind::Transfer { dir: Direction::HtoD, bytes: 10 },
+            40,
+        );
+        let k = d.enqueue(0, StreamId(3), kernel("k"), 60);
+        assert_eq!(d.op(t).end_ns, 40);
+        // Kernel on the same stream waits for the transfer even though the
+        // compute engine was idle.
+        assert_eq!(d.op(k).span(), Span::new(40, 100));
+    }
+
+    #[test]
+    fn gpu_falls_idle_when_host_is_late() {
+        let mut d = Device::new();
+        d.enqueue(0, StreamId(1), kernel("a"), 50);
+        d.enqueue(200, StreamId(1), kernel("b"), 50);
+        assert_eq!(d.busy_ns(), 100);
+        assert_eq!(d.idle_in(Span::new(0, 250)), 150);
+        assert_eq!(d.device_completion(), 250);
+    }
+
+    #[test]
+    fn stream_completion_is_per_stream() {
+        let mut d = Device::new();
+        d.enqueue(0, StreamId(1), kernel("a"), 100);
+        d.enqueue(
+            0,
+            StreamId(2),
+            GpuOpKind::Transfer { dir: Direction::DtoH, bytes: 1 },
+            10,
+        );
+        assert_eq!(d.stream_completion(StreamId(1)), 100);
+        assert_eq!(d.stream_completion(StreamId(2)), 10);
+        assert_eq!(d.stream_completion(StreamId(9)), 0);
+    }
+
+    #[test]
+    fn correlation_ids_are_unique_and_increasing() {
+        let mut d = Device::new();
+        let a = d.enqueue(0, StreamId(1), kernel("a"), 1);
+        let b = d.enqueue(0, StreamId(1), kernel("b"), 1);
+        assert!(d.op(b).correlation > d.op(a).correlation);
+    }
+
+    #[test]
+    fn busy_in_window_clips_spans() {
+        let mut d = Device::new();
+        d.enqueue(0, StreamId(1), kernel("a"), 100);
+        assert_eq!(d.busy_in(Span::new(50, 80)), 30);
+        assert_eq!(d.busy_in(Span::new(100, 200)), 0);
+    }
+
+    #[test]
+    fn engine_assignment_matches_kind() {
+        assert_eq!(kernel("x").engine(), EngineClass::Compute);
+        assert_eq!(
+            GpuOpKind::Transfer { dir: Direction::HtoD, bytes: 1 }.engine(),
+            EngineClass::Copy
+        );
+        assert_eq!(GpuOpKind::Memset { bytes: 1 }.engine(), EngineClass::Compute);
+    }
+}

@@ -1,0 +1,235 @@
+//! Ground-truth recording of host-side activity.
+//!
+//! The timeline is the simulator's omniscient record: every nanosecond of
+//! host time is attributable to work, driver-call overhead, waiting on the
+//! device, launching, or instrumentation overhead. Measurement tools in
+//! this repository (CUPTI-sim, the profiler models, the FFM stages) do
+//! *not* read the timeline — they observe the system through their own
+//! restricted interfaces — but tests and the experiment harness use it to
+//! establish actual execution times and actual benefit.
+
+use std::borrow::Cow;
+
+use crate::clock::{Ns, Span};
+use crate::device::OpId;
+
+/// Why the host blocked in the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaitReason {
+    /// An explicit synchronization API (`cuCtxSynchronize`, ...).
+    Explicit,
+    /// A side effect of another operation (`cuMemFree`, sync `cuMemcpy`).
+    Implicit,
+    /// A synchronization that occurs only under certain argument
+    /// conditions (`cuMemcpyAsync` D2H to pageable memory, `cuMemsetD8` on
+    /// unified memory).
+    Conditional,
+    /// A wait issued from the driver's private (non-public) API.
+    Private,
+}
+
+impl WaitReason {
+    pub fn label(&self) -> &'static str {
+        match self {
+            WaitReason::Explicit => "explicit",
+            WaitReason::Implicit => "implicit",
+            WaitReason::Conditional => "conditional",
+            WaitReason::Private => "private",
+        }
+    }
+}
+
+/// What the host was doing during an event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpuEventKind {
+    /// Application compute.
+    Work { label: Cow<'static, str> },
+    /// Time inside a driver API call, excluding any blocking wait.
+    DriverCall { api: &'static str },
+    /// Blocked waiting for device progress.
+    Wait { api: &'static str, reason: WaitReason, op: Option<OpId> },
+    /// CPU-side cost of launching asynchronous device work.
+    Launch { api: &'static str, op: Option<OpId> },
+    /// Virtual time injected by the measurement infrastructure itself.
+    Overhead { what: &'static str },
+}
+
+impl CpuEventKind {
+    /// The API name for driver-related events.
+    pub fn api(&self) -> Option<&'static str> {
+        match self {
+            CpuEventKind::DriverCall { api }
+            | CpuEventKind::Wait { api, .. }
+            | CpuEventKind::Launch { api, .. } => Some(api),
+            _ => None,
+        }
+    }
+
+    pub fn is_wait(&self) -> bool {
+        matches!(self, CpuEventKind::Wait { .. })
+    }
+
+    pub fn is_overhead(&self) -> bool {
+        matches!(self, CpuEventKind::Overhead { .. })
+    }
+}
+
+/// One contiguous interval of host activity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuEvent {
+    pub kind: CpuEventKind,
+    pub span: Span,
+}
+
+/// The full host-side record of a run.
+#[derive(Debug, Default)]
+pub struct Timeline {
+    events: Vec<CpuEvent>,
+}
+
+impl Timeline {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event. Events are expected in nondecreasing start order
+    /// (the machine generates them that way); this is asserted in debug
+    /// builds.
+    pub fn push(&mut self, kind: CpuEventKind, span: Span) {
+        debug_assert!(
+            self.events.last().map(|e| e.span.start <= span.start).unwrap_or(true),
+            "timeline events out of order"
+        );
+        self.events.push(CpuEvent { kind, span });
+    }
+
+    pub fn events(&self) -> &[CpuEvent] {
+        &self.events
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// End of the last recorded event.
+    pub fn end_ns(&self) -> Ns {
+        self.events.iter().map(|e| e.span.end).max().unwrap_or(0)
+    }
+
+    /// Total host time spent blocked on the device.
+    pub fn total_wait_ns(&self) -> Ns {
+        self.sum_where(|e| e.kind.is_wait())
+    }
+
+    /// Total instrumentation-injected time.
+    pub fn total_overhead_ns(&self) -> Ns {
+        self.sum_where(|e| e.kind.is_overhead())
+    }
+
+    /// Total time attributed to a given driver API (call + wait + launch).
+    pub fn api_total_ns(&self, api: &str) -> Ns {
+        self.sum_where(|e| e.kind.api() == Some(api))
+    }
+
+    /// Sum of event durations matching a predicate.
+    pub fn sum_where(&self, pred: impl Fn(&CpuEvent) -> bool) -> Ns {
+        self.events
+            .iter()
+            .filter(|e| pred(e))
+            .map(|e| e.span.duration())
+            .sum()
+    }
+
+    /// The event active at time `t`, if any (events never overlap).
+    pub fn event_at(&self, t: Ns) -> Option<&CpuEvent> {
+        // Events are sorted by start; binary search for the candidate.
+        let idx = self.events.partition_point(|e| e.span.start <= t);
+        idx.checked_sub(1)
+            .map(|i| &self.events[i])
+            .filter(|e| e.span.contains(t))
+    }
+
+    /// Iterate waits with their reasons, for tests and the harness.
+    pub fn waits(&self) -> impl Iterator<Item = (&'static str, WaitReason, Span)> + '_ {
+        self.events.iter().filter_map(|e| match e.kind {
+            CpuEventKind::Wait { api, reason, .. } => Some((api, reason, e.span)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(label: &'static str) -> CpuEventKind {
+        CpuEventKind::Work { label: Cow::Borrowed(label) }
+    }
+
+    #[test]
+    fn totals_by_category() {
+        let mut t = Timeline::new();
+        t.push(work("w"), Span::new(0, 100));
+        t.push(CpuEventKind::DriverCall { api: "cuMemcpy" }, Span::new(100, 120));
+        t.push(
+            CpuEventKind::Wait { api: "cuMemcpy", reason: WaitReason::Implicit, op: None },
+            Span::new(120, 220),
+        );
+        t.push(CpuEventKind::Overhead { what: "probe" }, Span::new(220, 230));
+        assert_eq!(t.total_wait_ns(), 100);
+        assert_eq!(t.total_overhead_ns(), 10);
+        assert_eq!(t.api_total_ns("cuMemcpy"), 120);
+        assert_eq!(t.end_ns(), 230);
+    }
+
+    #[test]
+    fn event_at_finds_the_active_event() {
+        let mut t = Timeline::new();
+        t.push(work("a"), Span::new(0, 10));
+        t.push(work("b"), Span::new(10, 30));
+        assert!(matches!(
+            t.event_at(5).unwrap().kind,
+            CpuEventKind::Work { ref label } if label == "a"
+        ));
+        assert!(matches!(
+            t.event_at(10).unwrap().kind,
+            CpuEventKind::Work { ref label } if label == "b"
+        ));
+        assert!(t.event_at(30).is_none());
+    }
+
+    #[test]
+    fn event_at_handles_gaps() {
+        let mut t = Timeline::new();
+        t.push(work("a"), Span::new(0, 10));
+        t.push(work("b"), Span::new(20, 30));
+        assert!(t.event_at(15).is_none());
+    }
+
+    #[test]
+    fn waits_iterator_reports_reasons() {
+        let mut t = Timeline::new();
+        t.push(
+            CpuEventKind::Wait { api: "cuCtxSynchronize", reason: WaitReason::Explicit, op: None },
+            Span::new(0, 5),
+        );
+        t.push(
+            CpuEventKind::Wait { api: "cuMemFree", reason: WaitReason::Implicit, op: None },
+            Span::new(5, 9),
+        );
+        let v: Vec<_> = t.waits().collect();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].1, WaitReason::Explicit);
+        assert_eq!(v[1].0, "cuMemFree");
+        assert_eq!(v[1].2.duration(), 4);
+    }
+
+    #[test]
+    fn empty_timeline_is_harmless() {
+        let t = Timeline::new();
+        assert_eq!(t.end_ns(), 0);
+        assert_eq!(t.total_wait_ns(), 0);
+        assert!(t.event_at(0).is_none());
+        assert!(t.is_empty());
+    }
+}

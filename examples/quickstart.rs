@@ -1,0 +1,113 @@
+//! Quickstart: the paper's Figure 2 walkthrough, end to end.
+//!
+//! Builds a 40-line application with one *unnecessary* synchronization
+//! (data retrieved from the GPU but never read before the next sync) and
+//! one *necessary* one, runs the full five-stage feed-forward pipeline on
+//! it, and prints what Diogenes concluded — including the JSON export.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cuda_driver::{Cuda, CudaResult, GpuApp, KernelDesc};
+use diogenes::{run_diogenes, DiogenesConfig};
+use ffm_core::report_to_json;
+use gpu_sim::{SourceLoc, StreamId};
+
+/// A small app: two kernel+readback rounds. Round one synchronizes but
+/// the CPU never touches the result before the next synchronization —
+/// removing that sync is free. Round two uses its data immediately.
+struct Quickstart;
+
+impl GpuApp for Quickstart {
+    fn name(&self) -> &'static str {
+        "quickstart"
+    }
+
+    fn run(&self, cuda: &mut Cuda) -> CudaResult<()> {
+        let l = |line| SourceLoc::new("quickstart.cu", line);
+        cuda.in_frame("main", l(1), |cuda| {
+            let d_data = cuda.malloc(64 * 1024, l(10))?;
+            let h_data = cuda.host_malloc(64 * 1024);
+
+            for _round in 0..32 {
+                // Round A: compute, copy back... and never look at it.
+                let k = KernelDesc::compute("simulate", 120_000).writing(d_data, 4096);
+                cuda.launch_kernel(&k, StreamId::DEFAULT, l(20))?;
+                // cuMemcpyDTHAsync(CPU_Mem, ...);  then
+                // cuCtxSynchronize(..);            — the Fig. 2 pattern.
+                cuda.memcpy_dtoh(h_data, d_data, 64 * 1024, l(22))?;
+                cuda.device_synchronize(l(23))?; // problematic: protects nothing
+                cuda.machine.cpu_work(180_000, "unrelated_host_work");
+
+                // Round B: compute, copy back, and use the data at once.
+                let k = KernelDesc::compute("reduce", 60_000).writing(d_data, 4096);
+                cuda.launch_kernel(&k, StreamId::DEFAULT, l(30))?;
+                cuda.memcpy_dtoh(h_data, d_data, 4096, l(31))?;
+                // ... = CPU_Mem[..];  — this access makes the sync above
+                // (the memcpy's implicit one) required for correctness.
+                let first = cuda.machine.host_read_app(h_data, 64, l(33)).unwrap();
+                let _ = first[0];
+                cuda.machine.cpu_work(40_000, "consume_result");
+            }
+            cuda.free(d_data, l(40))?;
+            Ok(())
+        })
+    }
+}
+
+fn main() {
+    println!("running the 5-stage feed-forward pipeline on the quickstart app...\n");
+    let result = run_diogenes(&Quickstart, DiogenesConfig::new()).expect("pipeline");
+    let a = &result.report.analysis;
+
+    println!(
+        "discovered internal sync function: {}",
+        result.report.discovery.sync_fn.symbol()
+    );
+    println!(
+        "baseline execution time: {:.3} ms",
+        a.baseline_exec_ns as f64 / 1e6
+    );
+    println!(
+        "data collection cost: {:.1}x the baseline run\n",
+        result.report.collection_overhead_factor()
+    );
+
+    println!("problems, sorted by expected benefit:");
+    for p in a.problems.iter().take(6) {
+        println!(
+            "  {:<24} at {:<22} {:<28} benefit {:>9.3} ms ({:.1}%)",
+            p.api.map(|x| x.name()).unwrap_or("?"),
+            p.site.map(|s| s.to_string()).unwrap_or_default(),
+            format!("[{}]", p.problem.label()),
+            p.benefit_ns as f64 / 1e6,
+            a.percent(p.benefit_ns)
+        );
+    }
+
+    println!(
+        "\ntotal expected benefit: {:.3} ms ({:.1}% of execution)",
+        a.total_benefit_ns() as f64 / 1e6,
+        a.percent(a.total_benefit_ns())
+    );
+
+    // The necessary sync (line 31's implicit one, consumed at line 33)
+    // must NOT be in the list.
+    let flagged_lines: Vec<u32> = a
+        .problems
+        .iter()
+        .filter(|p| p.benefit_ns > 0)
+        .filter_map(|p| p.site.map(|s| s.line))
+        .collect();
+    println!("\nflagged call sites (lines): {flagged_lines:?}");
+    assert!(
+        flagged_lines.contains(&23),
+        "the useless cudaDeviceSynchronize must be flagged"
+    );
+
+    println!("\nJSON export (truncated):");
+    let json = report_to_json(&result.report).to_string_pretty();
+    for line in json.lines().take(18) {
+        println!("  {line}");
+    }
+    println!("  ...");
+}

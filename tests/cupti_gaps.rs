@@ -1,0 +1,117 @@
+//! Integration test for the §2.2 claim: the vendor collection framework
+//! misses implicit, conditional, and private synchronizations — and the
+//! feed-forward pipeline, which intercepts the internal sync funnel
+//! directly, does not.
+
+use cuda_driver::{Cuda, CudaResult, CublasLite, GpuApp, KernelDesc};
+use cupti_sim::{ActivityKind, Cupti, CuptiConfig};
+use diogenes::{run_diogenes, DiogenesConfig};
+use gpu_sim::{CostModel, SourceLoc, StreamId, WaitReason};
+
+/// Issues exactly one synchronization of each class.
+struct OneOfEach;
+
+impl GpuApp for OneOfEach {
+    fn name(&self) -> &'static str {
+        "one_of_each"
+    }
+
+    fn run(&self, cuda: &mut Cuda) -> CudaResult<()> {
+        let l = |line| SourceLoc::new("each.cu", line);
+        cuda.in_frame("main", l(1), |cuda| {
+            let d = cuda.malloc(64 * 1024, l(10))?;
+            let h = cuda.host_malloc(64 * 1024);
+            let man = cuda.malloc_managed(64 * 1024, l(11))?;
+            let stream = cuda.stream_create(l(12))?;
+
+            let kernel = KernelDesc::compute("k", 100_000);
+
+            // (1) explicit
+            cuda.launch_kernel(&kernel, StreamId::DEFAULT, l(20))?;
+            cuda.device_synchronize(l(21))?;
+            // (2) implicit: synchronous memcpy
+            cuda.memcpy_htod(d, h, 64 * 1024, l(30))?;
+            // (3) implicit: cudaFree with work in flight
+            cuda.launch_kernel(&kernel, StreamId::DEFAULT, l(40))?;
+            let tmp = cuda.malloc(1024, l(41))?;
+            cuda.free(tmp, l(42))?;
+            // (4) conditional: async D2H into pageable memory
+            cuda.launch_kernel(&kernel, stream, l(50))?;
+            cuda.memcpy_dtoh_async(h, d, 64 * 1024, stream, l(51))?;
+            // (5) conditional: memset on unified memory
+            cuda.memset(man.0, 0, 64 * 1024, l(60))?;
+            // (6) private: vendor-library gemm
+            let blas = CublasLite::new();
+            blas.gemm(cuda, 512, 512, 512, d, 1024, l(70))?;
+
+            cuda.free(d, l(80))?;
+            Ok(())
+        })
+    }
+}
+
+#[test]
+fn cupti_records_only_the_explicit_sync() {
+    let mut cuda = Cuda::new(CostModel::pascal_like());
+    let cupti = Cupti::attach(&mut cuda, CuptiConfig::default());
+    OneOfEach.run(&mut cuda).unwrap();
+
+    // Ground truth: every class actually blocked.
+    let reasons: Vec<WaitReason> = cuda.machine.timeline.waits().map(|w| w.1).collect();
+    assert!(reasons.contains(&WaitReason::Explicit));
+    assert!(reasons.contains(&WaitReason::Implicit));
+    assert!(reasons.contains(&WaitReason::Conditional));
+    assert!(reasons.contains(&WaitReason::Private));
+    assert!(reasons.len() >= 6, "waits: {reasons:?}");
+
+    // The vendor framework saw exactly one synchronization record.
+    let cupti = cupti.borrow();
+    let sync_records = cupti
+        .buffer()
+        .records()
+        .iter()
+        .filter(|r| r.kind == ActivityKind::Synchronization)
+        .count();
+    assert_eq!(sync_records, 1, "only cudaDeviceSynchronize is recorded");
+}
+
+#[test]
+fn ffm_catches_every_class_cupti_misses() {
+    let result = run_diogenes(&OneOfEach, DiogenesConfig::new()).unwrap();
+    let apis: Vec<&str> = result
+        .report
+        .stage1
+        .sync_apis
+        .keys()
+        .map(|a| a.name())
+        .collect();
+    for expected in [
+        "cudaDeviceSynchronize",
+        "cudaMemcpy",
+        "cudaFree",
+        "cudaMemcpyAsync",
+        "cudaMemset",
+        "nv::private::sync",
+    ] {
+        assert!(apis.contains(&expected), "missing {expected} in {apis:?}");
+    }
+}
+
+#[test]
+fn diogenes_flags_the_removable_syncs_only() {
+    let result = run_diogenes(&OneOfEach, DiogenesConfig::new()).unwrap();
+    let a = &result.report.analysis;
+    // The app never reads h or man before later syncs, so the hidden
+    // syncs are unnecessary; there must be real expected benefit.
+    assert!(a.total_benefit_ns() > 0);
+    let flagged: Vec<u32> = a
+        .problems
+        .iter()
+        .filter(|p| p.benefit_ns > 0)
+        .filter_map(|p| p.site.map(|s| s.line))
+        .collect();
+    // The conditional async-D2H (line 51) and the unified memset (60)
+    // must be among them.
+    assert!(flagged.contains(&51), "flagged: {flagged:?}");
+    assert!(flagged.contains(&60), "flagged: {flagged:?}");
+}

@@ -1,0 +1,79 @@
+//! The multi-run model's stability assumption (paper §5.3): Diogenes
+//! "performs best when the execution pattern of the application does not
+//! change dramatically between runs" and "can tolerate small changes in
+//! behavior between runs". These tests inject run-to-run timing jitter
+//! and check the pipeline still converges to the same conclusions —
+//! because cross-run matching keys on call stacks and occurrence
+//! indices, not timestamps.
+
+use diogenes_apps::{AlsConfig, CumfAls};
+use ffm_core::{run_ffm, FfmConfig, Problem};
+use gpu_sim::CostModel;
+
+fn config_with_jitter(ppm: u32) -> FfmConfig {
+    let mut cost = CostModel::pascal_like();
+    cost.jitter_ppm = ppm;
+    FfmConfig { cost, ..FfmConfig::default() }
+}
+
+fn als() -> CumfAls {
+    let mut cfg = AlsConfig::test_scale();
+    cfg.iters = 5;
+    CumfAls::new(cfg)
+}
+
+#[test]
+fn one_percent_jitter_preserves_problem_classification() {
+    let clean = run_ffm(&als(), &FfmConfig::default()).unwrap();
+    let jittery = run_ffm(&als(), &config_with_jitter(10_000)).unwrap();
+
+    // Same problem population (counts per class).
+    let count = |r: &ffm_core::FfmReport, p: Problem| {
+        r.analysis.problems.iter().filter(|x| x.problem == p).count()
+    };
+    for p in [
+        Problem::UnnecessarySync,
+        Problem::MisplacedSync,
+        Problem::UnnecessaryTransfer,
+    ] {
+        assert_eq!(
+            count(&clean, p),
+            count(&jittery, p),
+            "problem counts diverge under jitter for {p:?}"
+        );
+    }
+}
+
+#[test]
+fn one_percent_jitter_moves_the_estimate_by_little() {
+    let clean = run_ffm(&als(), &FfmConfig::default()).unwrap();
+    let jittery = run_ffm(&als(), &config_with_jitter(10_000)).unwrap();
+    let a = clean.analysis.total_benefit_ns() as f64;
+    let b = jittery.analysis.total_benefit_ns() as f64;
+    let rel = (a - b).abs() / a.max(1.0);
+    assert!(rel < 0.10, "estimate moved {:.1}% under 1% jitter", rel * 100.0);
+}
+
+#[test]
+fn duplicate_detection_is_jitter_immune() {
+    // Content hashing keys on payload bytes, not timing.
+    let clean = run_ffm(&als(), &FfmConfig::default()).unwrap();
+    let jittery = run_ffm(&als(), &config_with_jitter(10_000)).unwrap();
+    assert_eq!(
+        clean.stage3.duplicates.len(),
+        jittery.stage3.duplicates.len()
+    );
+}
+
+#[test]
+fn zero_jitter_is_bit_for_bit_reproducible() {
+    let a = run_ffm(&als(), &FfmConfig::default()).unwrap();
+    let b = run_ffm(&als(), &FfmConfig::default()).unwrap();
+    assert_eq!(a.analysis.total_benefit_ns(), b.analysis.total_benefit_ns());
+    assert_eq!(a.stage2.calls.len(), b.stage2.calls.len());
+    assert_eq!(a.stage1.exec_time_ns, b.stage1.exec_time_ns);
+    for (x, y) in a.stage2.calls.iter().zip(&b.stage2.calls) {
+        assert_eq!(x.sig, y.sig);
+        assert_eq!(x.wait_ns, y.wait_ns);
+    }
+}

@@ -1,0 +1,43 @@
+//! The crying-wolf test: on a correctly written application (pinned
+//! staging, device-side event ordering, one necessary drain sync),
+//! Diogenes must report near-zero recoverable time — the counterpart of
+//! the paper's claim that its feedback is *actionable*.
+
+use diogenes::{run_diogenes, DiogenesConfig};
+use diogenes_apps::{Pipelined, PipelinedConfig};
+
+#[test]
+fn clean_pipeline_yields_near_zero_benefit() {
+    let app = Pipelined::new(PipelinedConfig::test_scale());
+    let r = run_diogenes(&app, DiogenesConfig::new()).unwrap();
+    let a = &r.report.analysis;
+    let pct = a.percent(a.total_benefit_ns());
+    assert!(
+        pct < 1.0,
+        "clean app flagged with {pct:.2}% recoverable ({} problems)",
+        a.problems.len()
+    );
+    // No duplicate transfers (fresh bytes each chunk).
+    assert!(r.report.stage3.duplicates.is_empty());
+}
+
+#[test]
+fn clean_pipeline_has_no_sequences_worth_reporting() {
+    let app = Pipelined::new(PipelinedConfig::test_scale());
+    let r = run_diogenes(&app, DiogenesConfig::new()).unwrap();
+    let worst = r.families.first().map(|f| f.total_benefit_ns).unwrap_or(0);
+    let pct = r.report.analysis.percent(worst);
+    assert!(pct < 1.0, "top family claims {pct:.2}%");
+}
+
+#[test]
+fn autofix_derives_an_empty_policy() {
+    use diogenes::{derive_policy, AutofixConfig};
+    let app = Pipelined::new(PipelinedConfig::test_scale());
+    let r = run_diogenes(&app, DiogenesConfig::new()).unwrap();
+    let policy = derive_policy(&r.report.analysis, &AutofixConfig::default());
+    assert!(
+        policy.site_count() <= 1,
+        "nothing meaningful to patch, got {policy:?}"
+    );
+}

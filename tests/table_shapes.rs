@@ -1,0 +1,129 @@
+//! Integration tests asserting the *shape* of the paper's tables at test
+//! scale: who wins, orderings, and magnitude bands. Exact values are
+//! checked in EXPERIMENTS.md against the regenerator binaries.
+
+use diogenes::experiments::{paper_subjects, table1_row, table2_for};
+use gpu_sim::CostModel;
+
+#[test]
+fn table1_every_app_lands_in_the_papers_bands() {
+    let cost = CostModel::pascal_like();
+    for subject in paper_subjects(false) {
+        let name = subject.broken.name().to_string();
+        let (row, _res) = table1_row(&subject, &cost).unwrap();
+        assert!(row.estimated_ns > 0, "{name}: estimate must be positive");
+        assert!(row.actual_ns > 0, "{name}: fixes must actually help");
+        // Estimate accuracy band (paper: 61%-92%).
+        let acc = row.accuracy_pct();
+        assert!(acc >= 50.0, "{name}: accuracy {acc}");
+        // Benefits are a minority of execution (2%-40%).
+        assert!(row.estimated_pct < 40.0, "{name}: est {}", row.estimated_pct);
+        assert!(row.actual_pct < 40.0, "{name}: act {}", row.actual_pct);
+    }
+}
+
+#[test]
+fn table1_per_app_directions_match_the_paper() {
+    let cost = CostModel::pascal_like();
+    let rows: Vec<_> = paper_subjects(false)
+        .iter()
+        .map(|s| table1_row(s, &cost).unwrap().0)
+        .collect();
+    // cuIBM: the fix removes the malloc/free churn too, so actual
+    // exceeds the estimate (paper: 202s est vs 330s actual).
+    let cuibm = rows.iter().find(|r| r.app == "cuIBM").unwrap();
+    assert!(
+        cuibm.actual_ns > cuibm.estimated_ns,
+        "cuIBM actual {} must exceed estimate {}",
+        cuibm.actual_ns,
+        cuibm.estimated_ns
+    );
+    // Gaussian has the smallest benefit of the four (paper: 2.2%).
+    let g = rows.iter().find(|r| r.app == "Rodinia/Gaussian").unwrap();
+    for r in &rows {
+        assert!(
+            g.estimated_pct <= r.estimated_pct + 1e-9,
+            "gaussian should be the smallest: {} vs {}",
+            g.estimated_pct,
+            r.estimated_pct
+        );
+    }
+}
+
+#[test]
+fn table2_als_discrepancy_between_consumption_and_benefit() {
+    let cost = CostModel::pascal_like();
+    let subjects = paper_subjects(false);
+    let als = &subjects[0];
+    let t = table2_for(als.broken.as_ref(), &cost).unwrap();
+    assert!(!t.nvprof_crashed);
+
+    let row = |op: &str| t.rows.iter().find(|r| r.operation == op).unwrap().clone();
+
+    // NVProf's #1 is cudaDeviceSynchronize with the majority of exec.
+    let sync = row("cudaDeviceSynchronize");
+    let (nv_ns, nv_pct, nv_pos) = sync.nvprof.unwrap();
+    assert_eq!(nv_pos, 1);
+    assert!(nv_pct > 40.0, "{nv_pct}");
+    // ... while Diogenes' expected savings for it are tiny: the paper's
+    // "difference in magnitude can be as much as 99%".
+    let (dg_ns, _dg_pct, _) = sync.diogenes.unwrap();
+    assert!(
+        (dg_ns as f64) < 0.1 * nv_ns as f64,
+        "diogenes {dg_ns} vs nvprof {nv_ns}"
+    );
+
+    // Diogenes ranks cudaFree first, like the paper.
+    let free = row("cudaFree");
+    assert_eq!(free.diogenes.unwrap().2, 1, "cudaFree is Diogenes' #1");
+
+    // HPCToolkit broadly agrees with NVProf on the top entry.
+    let (_, hp_pct, hp_pos) = sync.hpctoolkit.unwrap();
+    assert_eq!(hp_pos, 1);
+    assert!(hp_pct > 30.0);
+}
+
+#[test]
+fn table2_nvprof_crashes_on_cuibm_at_paper_scale_only_via_capacity() {
+    use profilers::{run_nvprof, NvprofConfig};
+    let cost = CostModel::pascal_like();
+    let subjects = paper_subjects(false);
+    let cuibm = &subjects[1];
+    // At test scale with a small buffer, the crash reproduces.
+    let out = run_nvprof(
+        cuibm.broken.as_ref(),
+        &cost,
+        &NvprofConfig {
+            cupti: cupti_sim::CuptiConfig { buffer_capacity: 100, ..Default::default() },
+        },
+    )
+    .unwrap();
+    assert!(out.crashed(), "record-buffer overflow must kill the profiler");
+    // HPCToolkit survives the same workload.
+    let hp = profilers::run_hpctoolkit(
+        cuibm.broken.as_ref(),
+        &cost,
+        &profilers::HpctoolkitConfig::default(),
+    )
+    .unwrap();
+    assert!(!hp.crashed());
+}
+
+#[test]
+fn gaussian_table2_shape() {
+    let cost = CostModel::pascal_like();
+    let subjects = paper_subjects(false);
+    let g = &subjects[3];
+    let t = table2_for(g.broken.as_ref(), &cost).unwrap();
+    let sync = t
+        .rows
+        .iter()
+        .find(|r| r.operation == "cudaThreadSynchronize")
+        .unwrap();
+    let (_, nv_pct, nv_pos) = sync.nvprof.unwrap();
+    assert_eq!(nv_pos, 1);
+    assert!(nv_pct > 80.0, "paper: 94.9%; got {nv_pct}");
+    let (_, dg_pct, dg_pos) = sync.diogenes.unwrap();
+    assert_eq!(dg_pos, 1, "still Diogenes' top item");
+    assert!(dg_pct < 8.0, "paper: 2.2%; got {dg_pct}");
+}
