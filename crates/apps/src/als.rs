@@ -171,9 +171,24 @@ impl GpuApp for CumfAls {
                 cuda.in_frame("update_x", la(700), |cuda| {
                     cuda.machine.cpu_work(self.cfg.assemble_ns, "assemble_x_batches");
                     if !f.upload_once {
-                        cuda.memcpy_htod(d_chunks[0], h_chunks[0], cfg.chunk_bytes as u64, la(738))?;
-                        cuda.memcpy_htod(d_chunks[1], h_chunks[1], cfg.chunk_bytes as u64, la(739))?;
-                        cuda.memcpy_htod(d_chunks[2], h_chunks[2], cfg.chunk_bytes as u64, la(741))?;
+                        cuda.memcpy_htod(
+                            d_chunks[0],
+                            h_chunks[0],
+                            cfg.chunk_bytes as u64,
+                            la(738),
+                        )?;
+                        cuda.memcpy_htod(
+                            d_chunks[1],
+                            h_chunks[1],
+                            cfg.chunk_bytes as u64,
+                            la(739),
+                        )?;
+                        cuda.memcpy_htod(
+                            d_chunks[2],
+                            h_chunks[2],
+                            cfg.chunk_bytes as u64,
+                            la(741),
+                        )?;
                     }
                     // Per-batch churn: launch the batch's hermitian
                     // kernel, write back the previous batch on the CPU,
@@ -202,8 +217,7 @@ impl GpuApp for CumfAls {
                     // The solve itself: the explicit device sync below
                     // waits on it, which is what makes
                     // cudaDeviceSynchronize NVProf's #1 row.
-                    let k3 = KernelDesc::compute("als_update_x", cfg.batch2_ns)
-                        .writing(d_x, 1024);
+                    let k3 = KernelDesc::compute("als_update_x", cfg.batch2_ns).writing(d_x, 1024);
                     cuda.launch_kernel(&k3, StreamId::DEFAULT, la(870))?;
                     if !f.remove_device_syncs {
                         cuda.device_synchronize(la(877))?;
@@ -282,10 +296,7 @@ mod tests {
     fn runs_clean_and_fixed() {
         let broken = CumfAls::new(AlsConfig::test_scale());
         let t_broken = uninstrumented_exec_time(&broken, CostModel::pascal_like()).unwrap();
-        let fixed = CumfAls::new(AlsConfig {
-            fixes: AlsFixes::all(),
-            ..AlsConfig::test_scale()
-        });
+        let fixed = CumfAls::new(AlsConfig { fixes: AlsFixes::all(), ..AlsConfig::test_scale() });
         let t_fixed = uninstrumented_exec_time(&fixed, CostModel::pascal_like()).unwrap();
         assert!(t_fixed < t_broken, "fixes must help: {t_fixed} vs {t_broken}");
         // Table 1 band: the fix recovered roughly 5–20% of execution.

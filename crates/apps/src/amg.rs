@@ -57,10 +57,7 @@ impl AmgConfig {
     }
 
     pub fn paper_scale() -> Self {
-        Self {
-            matrix: StencilMatrix { n: 24, levels: 4, cycles: 25 },
-            ..Self::test_scale()
-        }
+        Self { matrix: StencilMatrix { n: 24, levels: 4, cycles: 25 }, ..Self::test_scale() }
     }
 }
 
@@ -131,8 +128,7 @@ impl GpuApp for Amg {
                     }
                     // Legitimate synchronization: the cycle's result norm
                     // is read right after.
-                    let k = KernelDesc::compute("norm_reduce", 8_000)
-                        .writing(d_rhs, 64);
+                    let k = KernelDesc::compute("norm_reduce", 8_000).writing(d_rhs, 64);
                     cuda.launch_kernel(&k, stream, ls(350))?;
                     cuda.stream_synchronize(stream, ls(351))?;
                     CudaResult::Ok(())
@@ -199,13 +195,6 @@ mod tests {
         let app = Amg::new(AmgConfig { fixes: AmgFixes::all(), ..AmgConfig::test_scale() });
         let mut cuda = Cuda::new(CostModel::pascal_like());
         app.run(&mut cuda).unwrap();
-        assert_eq!(
-            cuda.machine
-                .timeline
-                .waits()
-                .filter(|w| w.0 == "cudaMemset")
-                .count(),
-            0
-        );
+        assert_eq!(cuda.machine.timeline.waits().filter(|w| w.0 == "cudaMemset").count(), 0);
     }
 }

@@ -105,6 +105,7 @@ impl CuIbm {
     /// storage, run a kernel over it, free it on scope exit. `tname` is
     /// the instantiated template name — instances fold together in the
     /// folded-function grouping.
+    #[allow(clippy::too_many_arguments)]
     fn thrust_temporary(
         &self,
         cuda: &mut Cuda,
@@ -262,10 +263,8 @@ mod tests {
     #[test]
     fn fix_recovers_time() {
         let broken = CuIbm::new(CuibmConfig::test_scale());
-        let fixed = CuIbm::new(CuibmConfig {
-            fixes: CuibmFixes::all(),
-            ..CuibmConfig::test_scale()
-        });
+        let fixed =
+            CuIbm::new(CuibmConfig { fixes: CuibmFixes::all(), ..CuibmConfig::test_scale() });
         let tb = uninstrumented_exec_time(&broken, CostModel::pascal_like()).unwrap();
         let tf = uninstrumented_exec_time(&fixed, CostModel::pascal_like()).unwrap();
         assert!(tf < tb);
@@ -300,11 +299,7 @@ mod tests {
         let broken = CuIbm::new(CuibmConfig::test_scale());
         let mut cuda = Cuda::new(CostModel::pascal_like());
         broken.run(&mut cuda).unwrap();
-        assert!(cuda
-            .machine
-            .timeline
-            .waits()
-            .any(|w| w.1 == WaitReason::Conditional));
+        assert!(cuda.machine.timeline.waits().any(|w| w.1 == WaitReason::Conditional));
 
         let fixed = CuIbm::new(CuibmConfig {
             fixes: CuibmFixes { pinned_monitor_buffers: true, pool_temporaries: false },
@@ -313,11 +308,7 @@ mod tests {
         let mut cuda2 = Cuda::new(CostModel::pascal_like());
         fixed.run(&mut cuda2).unwrap();
         assert!(
-            !cuda2
-                .machine
-                .timeline
-                .waits()
-                .any(|w| w.1 == WaitReason::Conditional),
+            !cuda2.machine.timeline.waits().any(|w| w.1 == WaitReason::Conditional),
             "pinned monitor buffer removes the hidden sync"
         );
     }

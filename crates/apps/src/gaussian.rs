@@ -50,7 +50,13 @@ impl Default for GaussianConfig {
 
 impl GaussianConfig {
     pub fn test_scale() -> Self {
-        Self { n: 48, fan1_ns: 60_000, fan2_ns: 380_000, host_ns: 8_000, fixes: GaussianFixes::default() }
+        Self {
+            n: 48,
+            fan1_ns: 60_000,
+            fan2_ns: 380_000,
+            host_ns: 8_000,
+            fixes: GaussianFixes::default(),
+        }
     }
 
     pub fn paper_scale() -> Self {
@@ -150,12 +156,8 @@ mod tests {
         let app = Gaussian::new(cfg.clone());
         let mut cuda = Cuda::new(CostModel::pascal_like());
         app.run(&mut cuda).unwrap();
-        let syncs = cuda
-            .machine
-            .timeline
-            .waits()
-            .filter(|w| w.0 == "cudaThreadSynchronize")
-            .count();
+        let syncs =
+            cuda.machine.timeline.waits().filter(|w| w.0 == "cudaThreadSynchronize").count();
         // First row's sync may find the device already idle only if
         // kernels finished; with these costs every sync waits.
         assert_eq!(syncs as u32, cfg.n - 1);
@@ -170,9 +172,6 @@ mod tests {
         app.run(&mut cuda).unwrap();
         let wait: u64 = cuda.machine.timeline.total_wait_ns();
         let exec = cuda.exec_time_ns();
-        assert!(
-            wait as f64 / exec as f64 > 0.6,
-            "wait {wait} / exec {exec}"
-        );
+        assert!(wait as f64 / exec as f64 > 0.6, "wait {wait} / exec {exec}");
     }
 }

@@ -72,10 +72,8 @@ impl GpuApp for Pipelined {
                 cuda.malloc_host(cfg.chunk_bytes, l(13))?,
             ];
             let h_out = cuda.malloc_host(cfg.chunk_bytes, l(14))?;
-            let d_buf = [
-                cuda.malloc(cfg.chunk_bytes, l(15))?,
-                cuda.malloc(cfg.chunk_bytes, l(16))?,
-            ];
+            let d_buf =
+                [cuda.malloc(cfg.chunk_bytes, l(15))?, cuda.malloc(cfg.chunk_bytes, l(16))?];
             let d_out = cuda.malloc(cfg.chunk_bytes, l(17))?;
             let uploaded = [cuda.event_create(l(18))?, cuda.event_create(l(19))?];
 
@@ -138,19 +136,11 @@ mod tests {
         app.run(&mut cuda).unwrap();
         // The only waits: the final drain (explicit) and the implicit
         // syncs of the teardown frees.
-        let explicit = cuda
-            .machine
-            .timeline
-            .waits()
-            .filter(|w| w.1 == WaitReason::Explicit)
-            .count();
+        let explicit =
+            cuda.machine.timeline.waits().filter(|w| w.1 == WaitReason::Explicit).count();
         assert_eq!(explicit, 1, "exactly the drain");
-        let conditional = cuda
-            .machine
-            .timeline
-            .waits()
-            .filter(|w| w.1 == WaitReason::Conditional)
-            .count();
+        let conditional =
+            cuda.machine.timeline.waits().filter(|w| w.1 == WaitReason::Conditional).count();
         assert_eq!(conditional, 0, "pinned buffers: no hidden syncs");
     }
 

@@ -5,8 +5,7 @@
 //! whether payloads repeat — so each generator produces deterministic,
 //! seeded bytes with the right structure.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gpu_sim::SplitMix64;
 
 /// A synthetic stand-in for the GroupLens MovieLens-10M ratings set used
 /// by cumf_als: `users × items` sparse ratings, delivered as fixed-size
@@ -25,10 +24,8 @@ impl RatingsMatrix {
     /// Generate with a fixed seed. `chunk_bytes` controls upload
     /// granularity.
     pub fn generate(users: u32, items: u32, chunks: usize, chunk_bytes: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let chunks = (0..chunks)
-            .map(|_| (0..chunk_bytes).map(|_| rng.gen::<u8>()).collect())
-            .collect();
+        let mut rng = SplitMix64::new(seed);
+        let chunks = (0..chunks).map(|_| rng.bytes(chunk_bytes)).collect();
         Self { chunks, users, items }
     }
 
@@ -96,12 +93,12 @@ pub struct DenseSystem {
 
 impl DenseSystem {
     pub fn generate(n: u32, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let bytes = (n as usize) * (n as usize) * 4;
         // Cap the materialized matrix; the timing model scales with `n`
         // regardless, and only transfer payload contents need bytes.
         let bytes = bytes.min(1 << 20);
-        let matrix = (0..bytes).map(|_| rng.gen::<u8>()).collect();
+        let matrix = rng.bytes(bytes);
         Self { n, matrix }
     }
 

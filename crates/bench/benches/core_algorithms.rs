@@ -5,8 +5,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ffm_core::{
-    carry_forward_benefit, expected_benefit, single_point_groups, BenefitOptions, ExecGraph,
-    NType, Node, OpInstance, Problem,
+    carry_forward_benefit, expected_benefit, single_point_groups, BenefitOptions, ExecGraph, NType,
+    Node, OpInstance, Problem,
 };
 use gpu_sim::{Frame, SourceLoc, StackTrace};
 use instrument::Digest;

@@ -27,17 +27,26 @@ fn als() -> CumfAls {
 }
 
 fn main() {
-    let report = run_ffm(&als(), &FfmConfig::default()).expect("pipeline");
+    let honest_cfg = FfmConfig {
+        cost: CostModel::pascal_like(),
+        driver: DriverConfig::fully_async(),
+        analysis: AnalysisConfig::default(),
+        ..FfmConfig::default()
+    };
+    // Ablation 4 needs a second full pipeline on a fully-async driver;
+    // it is independent of the default run, so overlap the two.
+    let (report, honest) = ffm_core::join(
+        ffm_core::effective_jobs(0),
+        || run_ffm(&als(), &FfmConfig::default()).expect("pipeline"),
+        move || run_ffm(&als(), &honest_cfg).expect("pipeline"),
+    );
     let a = &report.analysis;
 
     // ---- 1. carry-forward vs plain Fig. 5 --------------------------------
     println!("== ablation 1: sequence carry-forward ==");
     let plain_total = a.benefit.total_ns;
-    let carry_total: u64 = a
-        .sequences
-        .iter()
-        .map(|s| carry_forward_benefit(&a.graph, s.start, s.end))
-        .sum();
+    let carry_total: u64 =
+        a.sequences.iter().map(|s| carry_forward_benefit(&a.graph, s.start, s.end)).sum();
     println!("  per-node (Fig. 5)  : {:>12} ns", plain_total);
     println!("  carry-forward       : {:>12} ns over {} sequences", carry_total, a.sequences.len());
     println!(
@@ -70,12 +79,6 @@ fn main() {
 
     // ---- 4. honest driver -------------------------------------------------
     println!("== ablation 4: fully-asynchronous driver ==");
-    let honest_cfg = FfmConfig {
-        cost: CostModel::pascal_like(),
-        driver: DriverConfig::fully_async(),
-        analysis: AnalysisConfig::default(),
-    };
-    let honest = run_ffm(&als(), &honest_cfg).expect("pipeline");
     println!(
         "  default driver: {} problems, {} ns expected benefit",
         a.problems.len(),
@@ -86,11 +89,7 @@ fn main() {
         honest.analysis.problems.len(),
         honest.analysis.benefit.total_ns
     );
-    let hidden = a
-        .problems
-        .iter()
-        .filter(|p| p.api.map(|x| x.name()) == Some("cudaFree"))
-        .count();
+    let hidden = a.problems.iter().filter(|p| p.api.map(|x| x.name()) == Some("cudaFree")).count();
     let hidden_honest = honest
         .analysis
         .problems
@@ -105,6 +104,7 @@ fn main() {
 /// Run the app once with an all-API probe that mimics a single-run tool:
 /// an API's calls only count as traced once the funnel has been observed
 /// inside that API earlier in the *same* run.
+#[allow(clippy::type_complexity)]
 fn single_run_miss_count(app: &dyn GpuApp) -> (u64, u64) {
     let mut cuda = Cuda::new(CostModel::pascal_like());
     let state: Rc<RefCell<(HashSet<ApiFn>, u64, u64, Option<ApiFn>)>> =
@@ -126,9 +126,7 @@ fn single_run_miss_count(app: &dyn GpuApp) -> (u64, u64) {
                     // performers).
                     if matches!(
                         api,
-                        ApiFn::CudaFree
-                            | ApiFn::CudaMemcpy
-                            | ApiFn::CudaDeviceSynchronize
+                        ApiFn::CudaFree | ApiFn::CudaMemcpy | ApiFn::CudaDeviceSynchronize
                     ) {
                         st.2 += 1;
                         if !st.0.contains(api) {

@@ -10,33 +10,51 @@ use cuda_driver::uninstrumented_exec_time;
 use diogenes::experiments::paper_subjects;
 use diogenes::{autocorrect, AutofixConfig};
 use diogenes_bench::secs;
+use ffm_core::{effective_jobs, try_par_map};
 use gpu_sim::CostModel;
 
 fn main() {
     let paper = diogenes_bench::paper_scale_from_env();
     let cost = CostModel::pascal_like();
-    println!("Automatic correction (paper §6 future work), {} scale\n",
-        if paper { "paper" } else { "test" });
+    println!(
+        "Automatic correction (paper §6 future work), {} scale\n",
+        if paper { "paper" } else { "test" }
+    );
     println!(
         "{:<18} {:>7} {:>22} {:>22} {:>22} {:>10}",
-        "Application", "sites", "Diogenes estimate", "autofix realized", "hand-fix realized", "shim ops"
+        "Application",
+        "sites",
+        "Diogenes estimate",
+        "autofix realized",
+        "hand-fix realized",
+        "shim ops"
     );
-    for subject in paper_subjects(paper) {
-        let app = subject.broken.as_ref();
-        eprintln!("  autofixing {} ...", app.name());
-        let (result, _policy, outcome) =
-            autocorrect(app, &AutofixConfig::default()).expect("autofix");
-        let est = result.report.analysis.total_benefit_ns();
-        let hand_before = uninstrumented_exec_time(app, cost.clone()).unwrap();
-        let hand_after =
-            uninstrumented_exec_time(subject.fixed.as_ref(), cost.clone()).unwrap();
-        let hand_saved = hand_before.saturating_sub(hand_after);
+    // jobs = 0: subjects autofix concurrently (each runs the pipeline,
+    // a patched re-run, and two uninstrumented baselines); rows print in
+    // subject order once all land.
+    let rows = try_par_map(
+        paper_subjects(paper),
+        effective_jobs(0),
+        |subject| -> cuda_driver::CudaResult<_> {
+            let app = subject.broken.as_ref();
+            eprintln!("  autofixing {} ...", app.name());
+            let (result, _policy, outcome) = autocorrect(app, &AutofixConfig::default())?;
+            let est = result.report.analysis.total_benefit_ns();
+            let est_pct = result.report.analysis.percent(est);
+            let hand_before = uninstrumented_exec_time(app, cost.clone())?;
+            let hand_after = uninstrumented_exec_time(subject.fixed.as_ref(), cost.clone())?;
+            let hand_saved = hand_before.saturating_sub(hand_after);
+            Ok((app.name().to_string(), outcome, est, est_pct, hand_saved, hand_before))
+        },
+    )
+    .expect("autofix");
+    for (name, outcome, est, est_pct, hand_saved, hand_before) in rows {
         println!(
             "{:<18} {:>7} {:>13} ({:4.1}%) {:>13} ({:4.1}%) {:>13} ({:4.1}%) {:>10}",
-            app.name(),
+            name,
             outcome.patched_sites,
             secs(est),
-            result.report.analysis.percent(est),
+            est_pct,
             secs(outcome.saved_ns()),
             outcome.saved_pct(),
             secs(hand_saved),

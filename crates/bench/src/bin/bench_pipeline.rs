@@ -1,0 +1,111 @@
+//! Wall-clock timing harness for the parallel FFM execution layer.
+//!
+//! Times the same work at `jobs = 1` (the classic sequential path) and
+//! `jobs = auto` (the concurrent stage DAG plus the parallel app fleet)
+//! and writes `results/BENCH_pipeline.json`. No statistics framework:
+//! each scenario is a warmup run followed by a fixed number of timed
+//! iterations, reporting the median.
+//!
+//! The emitted document records the machine's core count. On a 1-core
+//! machine the parallel numbers are expected to be a few percent *worse*
+//! than sequential (thread setup with nothing to overlap); the speedup
+//! acceptance claim only applies at >= 4 cores.
+
+use std::time::Instant;
+
+use diogenes::experiments::{paper_subjects, table1_rows};
+use diogenes_apps::{AlsConfig, CumfAls};
+use ffm_core::{effective_jobs, run_ffm, FfmConfig, Json};
+use gpu_sim::{CostModel, Digest};
+
+const ITERS: usize = 5;
+
+/// Run `f` once to warm up, then `ITERS` timed iterations; seconds, median.
+fn time_median(mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..ITERS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn scenario(name: &str, seq_s: f64, par_s: f64, jobs: usize) -> Json {
+    eprintln!(
+        "  {name:<28} sequential {seq_s:.4}s  parallel({jobs}) {par_s:.4}s  speedup {:.2}x",
+        seq_s / par_s
+    );
+    Json::obj([
+        ("name", Json::Str(name.to_string())),
+        ("sequential_s", Json::Float(seq_s)),
+        ("parallel_s", Json::Float(par_s)),
+        ("parallel_jobs", Json::Int(jobs as i128)),
+        ("speedup", Json::Float(seq_s / par_s)),
+    ])
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Force at least 2 jobs so the concurrent code path runs even on a
+    // 1-core machine (where it can only lose — that loss is the honest
+    // number to record).
+    let jobs = effective_jobs(0).max(2);
+    eprintln!(
+        "bench_pipeline: {cores} cores, parallel jobs = {jobs}, {ITERS} iterations per scenario"
+    );
+
+    let mut scenarios = Vec::new();
+
+    // 1. Stage-level: one full five-stage pipeline on a single app. The
+    //    concurrent DAG overlaps stage 2, memory tracing and data
+    //    hashing, and starts stage 4 as soon as the sync trace lands.
+    let app = CumfAls::new(AlsConfig::test_scale());
+    let run = |jobs: usize| {
+        run_ffm(&app, &FfmConfig::default().with_jobs(jobs)).expect("pipeline runs");
+    };
+    let seq = time_median(|| run(1));
+    let par = time_median(|| run(jobs));
+    scenarios.push(scenario("stage_dag_single_app", seq, par, jobs));
+
+    // 2. Fleet-level: Table 1 regeneration — the five-stage pipeline
+    //    plus a fixed-build baseline for every evaluation application,
+    //    fanned out with par_map.
+    let cost = CostModel::pascal_like();
+    let fleet = |jobs: usize| {
+        table1_rows(paper_subjects(false), &cost, jobs).expect("pipeline runs");
+    };
+    let seq = time_median(|| fleet(1));
+    let par = time_median(|| fleet(jobs));
+    scenarios.push(scenario("fleet_table1_regeneration", seq, par, jobs));
+
+    // 3. Data-level: digest throughput over a transfer-sized buffer
+    //    (word-wise FNV vs. the former byte-at-a-time loop; the old code
+    //    is gone, so this records absolute rate, not a ratio).
+    let buf: Vec<u8> = (0..8 << 20).map(|i| (i * 31 % 251) as u8).collect();
+    let digest_s = time_median(|| {
+        std::hint::black_box(Digest::of(std::hint::black_box(&buf)));
+    });
+    let rate = buf.len() as f64 / digest_s / 1e9;
+    eprintln!("  digest_8MiB                  {digest_s:.4}s  ({rate:.2} GB/s)");
+    scenarios.push(Json::obj([
+        ("name", Json::Str("digest_8MiB".to_string())),
+        ("elapsed_s", Json::Float(digest_s)),
+        ("throughput_gb_s", Json::Float(rate)),
+    ]));
+
+    let doc = Json::obj([
+        ("bench", Json::Str("pipeline-parallelism".to_string())),
+        ("cores", Json::Int(cores as i128)),
+        ("parallel_jobs", Json::Int(jobs as i128)),
+        ("iterations", Json::Int(ITERS as i128)),
+        ("scenarios", Json::Arr(scenarios)),
+    ]);
+    std::fs::create_dir_all("results").expect("results dir");
+    let path = "results/BENCH_pipeline.json";
+    std::fs::write(path, doc.to_string_pretty()).expect("write results");
+    eprintln!("bench_pipeline: wrote {path}");
+}

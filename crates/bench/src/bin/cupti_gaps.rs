@@ -2,7 +2,7 @@
 //! reports synchronization records only for explicit synchronization
 //! APIs, missing implicit, conditional and private waits entirely.
 
-use diogenes::experiments::{cupti_sync_gap, paper_subjects};
+use diogenes::experiments::{cupti_gaps, paper_subjects};
 use gpu_sim::CostModel;
 
 fn main() {
@@ -13,12 +13,11 @@ fn main() {
         "{:<18} {:>22} {:>18} {:>10}",
         "Application", "CUPTI sync records", "actual waits", "coverage"
     );
-    for subject in paper_subjects(paper) {
-        let (records, actual) =
-            cupti_sync_gap(subject.broken.as_ref(), &cost).expect("runs");
+    // jobs = 0: one CUPTI-attached run per subject, concurrently.
+    for (name, (records, actual)) in cupti_gaps(paper_subjects(paper), &cost, 0).expect("runs") {
         println!(
             "{:<18} {:>22} {:>18} {:>9.1}%",
-            subject.broken.name(),
+            name,
             records,
             actual,
             records as f64 * 100.0 / actual.max(1) as f64

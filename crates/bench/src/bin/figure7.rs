@@ -4,7 +4,7 @@
 
 use cuda_driver::ApiFn;
 use diogenes::{render_fold_expansion, render_overview, run_diogenes, DiogenesConfig};
-use diogenes_apps::{CuibmConfig, CuIbm};
+use diogenes_apps::{CuIbm, CuibmConfig};
 
 fn main() {
     let cfg = if diogenes_bench::paper_scale_from_env() {

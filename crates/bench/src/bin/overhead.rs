@@ -2,20 +2,22 @@
 //! data collection costs 8x-20x the application's original execution
 //! time, with per-stage breakdown.
 
-use diogenes::experiments::paper_subjects;
-use diogenes::{run_diogenes, DiogenesConfig};
+use diogenes::experiments::{overhead_reports, paper_subjects};
 
 fn main() {
     let paper = diogenes_bench::paper_scale_from_env();
     println!("Data-collection overhead per application (paper band: 8x-20x)\n");
     println!("{:<18} {:>10} {:>44}", "Application", "Total", "Per-stage factors");
-    for subject in paper_subjects(paper) {
-        let r = run_diogenes(subject.broken.as_ref(), DiogenesConfig::new()).expect("runs");
+    // jobs = 0: the four pipelines run concurrently; the overhead factors
+    // are virtual-time ratios, unaffected by wall-clock scheduling.
+    for r in overhead_reports(paper_subjects(paper), 0).expect("runs") {
         let per_stage: Vec<String> = r
             .report
             .stages
             .iter()
-            .map(|s| format!("{}={:.1}x", s.name.split('-').next().unwrap_or(""), s.overhead_factor))
+            .map(|s| {
+                format!("{}={:.1}x", s.name.split('-').next().unwrap_or(""), s.overhead_factor)
+            })
             .collect();
         println!(
             "{:<18} {:>9.1}x {:>44}",

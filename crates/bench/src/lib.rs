@@ -21,15 +21,18 @@ pub fn secs(ns: Ns) -> String {
 /// Diogenes discovered issues").
 pub fn render_table1(rows: &[Table1Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "Table 1: Applications improved by correcting Diogenes-discovered issues"
-    );
+    let _ =
+        writeln!(out, "Table 1: Applications improved by correcting Diogenes-discovered issues");
     let _ = writeln!(
         out,
         "{:<18} {:<18} {:<26} {:<20} {:>22} {:>22} {:>9}",
-        "Application", "Organization", "Description", "Discovered Issues",
-        "Estimated Benefit", "Actual Reduction", "Accuracy"
+        "Application",
+        "Organization",
+        "Description",
+        "Discovered Issues",
+        "Estimated Benefit",
+        "Actual Reduction",
+        "Accuracy"
     );
     for r in rows {
         let _ = writeln!(

@@ -74,10 +74,7 @@ impl Analysis {
 
     /// Count of problematic transfer operations.
     pub fn transfer_issue_count(&self) -> usize {
-        self.problems
-            .iter()
-            .filter(|p| p.problem == Problem::UnnecessaryTransfer)
-            .count()
+        self.problems.iter().filter(|p| p.problem == Problem::UnnecessaryTransfer).count()
     }
 
     /// Rank (1-based) of an API in the savings ordering, for the
@@ -112,7 +109,7 @@ pub fn analyze(
             }
         })
         .collect();
-    problems.sort_by(|a, b| b.benefit_ns.cmp(&a.benefit_ns));
+    problems.sort_by_key(|p| std::cmp::Reverse(p.benefit_ns));
     let single_point = single_point_groups(&graph, &benefit);
     let api_folds = fold_on_api(&graph, &benefit);
     let sequences = find_sequences(&graph);

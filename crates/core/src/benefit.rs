@@ -116,6 +116,11 @@ fn remove_memory_transfer(g: &mut ExecGraph, node: usize) -> Ns {
 
 /// `ExpectedBenefit` from Fig. 5: evaluate every problematic node, in
 /// program order, against the progressively mutated graph.
+///
+/// Inherently sequential: each removal shrinks later nodes' durations,
+/// so node `i+1` is scored against the graph as mutated by nodes
+/// `0..=i`. Parallel evaluation lives in the immutable-graph paths
+/// instead ([`crate::find_sequences`] over a [`crate::GraphIndex`]).
 pub fn expected_benefit(graph: &ExecGraph, opts: &BenefitOptions) -> BenefitReport {
     let mut g = graph.clone();
     let mut per_node = Vec::new();
@@ -221,11 +226,7 @@ mod tests {
 
     #[test]
     fn misplaced_sync_recovers_first_use_gap() {
-        let mut g = graph(&[
-            (CWork, 5, None),
-            (CWait, 20, MisplacedSync),
-            (CWork, 50, None),
-        ]);
+        let mut g = graph(&[(CWork, 5, None), (CWait, 20, MisplacedSync), (CWork, 50, None)]);
         g.nodes[1].first_use_ns = Some(8);
         let r = expected_benefit(&g, &BenefitOptions::default());
         assert_eq!(r.total_ns, 8);
@@ -246,11 +247,7 @@ mod tests {
 
     #[test]
     fn transfer_removal_recovers_launch_cost() {
-        let g = graph(&[
-            (CWork, 5, None),
-            (CLaunch, 12, UnnecessaryTransfer),
-            (CWait, 3, None),
-        ]);
+        let g = graph(&[(CWork, 5, None), (CLaunch, 12, UnnecessaryTransfer), (CWait, 3, None)]);
         let r = expected_benefit(&g, &BenefitOptions::default());
         assert_eq!(r.total_ns, 12);
     }

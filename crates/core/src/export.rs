@@ -48,10 +48,7 @@ pub fn analysis_to_json(a: &Analysis) -> Json {
     Json::obj([
         ("baseline_exec_ns", Json::Int(a.baseline_exec_ns as i128)),
         ("total_benefit_ns", Json::Int(a.total_benefit_ns() as i128)),
-        (
-            "total_benefit_percent",
-            Json::Float(a.percent(a.total_benefit_ns())),
-        ),
+        ("total_benefit_percent", Json::Float(a.percent(a.total_benefit_ns()))),
         (
             "problems",
             Json::arr(a.problems.iter().map(|p| {
@@ -84,10 +81,7 @@ pub fn report_to_json(r: &FfmReport) -> Json {
     Json::obj([
         ("app", r.app_name.into()),
         ("workload", r.workload.clone().into()),
-        (
-            "discovery",
-            Json::obj([("sync_function", r.discovery.sync_fn.symbol().into())]),
-        ),
+        ("discovery", Json::obj([("sync_function", r.discovery.sync_fn.symbol().into())])),
         (
             "stages",
             Json::arr(r.stages.iter().map(|s| {
@@ -98,10 +92,7 @@ pub fn report_to_json(r: &FfmReport) -> Json {
                 ])
             })),
         ),
-        (
-            "collection_overhead_factor",
-            Json::Float(r.collection_overhead_factor()),
-        ),
+        ("collection_overhead_factor", Json::Float(r.collection_overhead_factor())),
         ("analysis", analysis_to_json(&r.analysis)),
     ])
 }

@@ -114,7 +114,8 @@ impl ExecGraph {
             };
             let is_transfer = call.transfer.is_some();
             if body > 0 || !call.performed_sync() {
-                let ntype = if call.is_launch || is_transfer { NType::CLaunch } else { NType::CWork };
+                let ntype =
+                    if call.is_launch || is_transfer { NType::CLaunch } else { NType::CWork };
                 nodes.push(meta(ntype, call.enter_ns, body, is_transfer));
             }
             if call.performed_sync() {
@@ -140,10 +141,7 @@ impl ExecGraph {
 
     /// Index of the next synchronization node strictly after `idx`.
     pub fn next_sync_after(&self, idx: usize) -> Option<usize> {
-        self.nodes[idx + 1..]
-            .iter()
-            .position(|n| n.ntype == NType::CWait)
-            .map(|p| idx + 1 + p)
+        self.nodes[idx + 1..].iter().position(|n| n.ntype == NType::CWait).map(|p| idx + 1 + p)
     }
 
     /// Sum of durations of `CWork`/`CLaunch` nodes strictly between two
@@ -158,11 +156,63 @@ impl ExecGraph {
 
     /// Total CPU wait time in the graph.
     pub fn total_wait_ns(&self) -> Ns {
-        self.nodes
-            .iter()
-            .filter(|n| n.ntype == NType::CWait)
-            .map(|n| n.duration)
-            .sum()
+        self.nodes.iter().filter(|n| n.ntype == NType::CWait).map(|n| n.duration).sum()
+    }
+
+    /// Build the O(1)-query index for this graph. Valid only while the
+    /// graph's node types and durations stay unchanged — estimators that
+    /// mutate the graph (the Fig. 5 growth model) must keep using the
+    /// scanning accessors.
+    pub fn index(&self) -> GraphIndex {
+        let n = self.nodes.len();
+        let mut cpu_prefix = Vec::with_capacity(n + 1);
+        cpu_prefix.push(0);
+        let mut acc: Ns = 0;
+        for node in &self.nodes {
+            if matches!(node.ntype, NType::CWork | NType::CLaunch) {
+                acc += node.duration;
+            }
+            cpu_prefix.push(acc);
+        }
+        let mut next_sync = vec![n; n];
+        let mut nearest = n;
+        for i in (0..n).rev() {
+            next_sync[i] = nearest;
+            if self.nodes[i].ntype == NType::CWait {
+                nearest = i;
+            }
+        }
+        GraphIndex { cpu_prefix, next_sync }
+    }
+}
+
+/// Precomputed lookups over an **immutable** [`ExecGraph`]: prefix sums
+/// of CPU (`CWork`/`CLaunch`) durations and per-node next-`CWait`
+/// indices. Turns the linear scans of [`ExecGraph::cpu_time_between`]
+/// and [`ExecGraph::next_sync_after`] into O(1) queries, which is what
+/// makes evaluating thousands of candidate sequence windows cheap.
+#[derive(Debug, Clone)]
+pub struct GraphIndex {
+    /// `cpu_prefix[i]` = CPU time in nodes `[0, i)`; length `n + 1`.
+    cpu_prefix: Vec<Ns>,
+    /// `next_sync[i]` = index of the first `CWait` strictly after `i`,
+    /// or `n` when none remains; length `n`.
+    next_sync: Vec<usize>,
+}
+
+impl GraphIndex {
+    /// O(1) equivalent of [`ExecGraph::cpu_time_between`].
+    pub fn cpu_time_between(&self, start: usize, end: usize) -> Ns {
+        if start + 1 >= end {
+            return 0;
+        }
+        self.cpu_prefix[end] - self.cpu_prefix[start + 1]
+    }
+
+    /// O(1) equivalent of [`ExecGraph::next_sync_after`].
+    pub fn next_sync_after(&self, idx: usize) -> Option<usize> {
+        let next = self.next_sync[idx];
+        (next < self.next_sync.len()).then_some(next)
     }
 }
 
@@ -172,14 +222,7 @@ mod tests {
     use crate::records::TracedCall;
     use gpu_sim::{StackTrace, WaitReason};
 
-    fn call(
-        seq: usize,
-        api: ApiFn,
-        enter: Ns,
-        exit: Ns,
-        wait: Ns,
-        launch: bool,
-    ) -> TracedCall {
+    fn call(seq: usize, api: ApiFn, enter: Ns, exit: Ns, wait: Ns, launch: bool) -> TracedCall {
         TracedCall {
             seq,
             api,
@@ -250,11 +293,7 @@ mod tests {
         };
         let g = ExecGraph::from_trace(&trace, 100);
         // nodes: [free body][free WAIT][gap][launch][sync body(0? no — 0 body skipped? body=0 and performed_sync → only CWait)]...
-        let first_wait = g
-            .nodes
-            .iter()
-            .position(|n| n.ntype == NType::CWait)
-            .unwrap();
+        let first_wait = g.nodes.iter().position(|n| n.ntype == NType::CWait).unwrap();
         let next = g.next_sync_after(first_wait).unwrap();
         assert!(g.nodes[next].ntype == NType::CWait);
         // CPU time between the two syncs: gap(10) + launch(10) + sync body(0).
@@ -270,6 +309,32 @@ mod tests {
         assert_eq!(g.nodes[0].duration, 500);
         let total: Ns = g.nodes.iter().map(|n| n.duration).sum();
         assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn index_agrees_with_scanning_accessors() {
+        let trace = Stage2Result {
+            exec_time_ns: 200,
+            calls: vec![
+                call(0, ApiFn::CudaFree, 0, 20, 15, false),
+                call(1, ApiFn::CudaLaunchKernel, 30, 40, 0, true),
+                call(2, ApiFn::CudaMemcpy, 40, 70, 10, false),
+                call(3, ApiFn::CudaDeviceSynchronize, 90, 120, 30, false),
+            ],
+        };
+        let g = ExecGraph::from_trace(&trace, 200);
+        let ix = g.index();
+        let n = g.nodes.len();
+        for i in 0..n {
+            assert_eq!(ix.next_sync_after(i), g.next_sync_after(i), "next_sync @{i}");
+            for j in i + 1..=n {
+                assert_eq!(
+                    ix.cpu_time_between(i, j),
+                    g.cpu_time_between(i, j),
+                    "cpu_time_between({i}, {j})"
+                );
+            }
+        }
     }
 
     #[test]

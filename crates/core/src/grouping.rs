@@ -14,7 +14,8 @@ use cuda_driver::ApiFn;
 use gpu_sim::{Ns, SourceLoc};
 
 use crate::benefit::BenefitReport;
-use crate::graph::{ExecGraph, NType};
+use crate::graph::{ExecGraph, GraphIndex, NType};
+use crate::par::{effective_jobs, par_map};
 use crate::problem::Problem;
 
 /// How a group was formed.
@@ -40,14 +41,9 @@ pub struct ProblemGroup {
 }
 
 fn count_issues(graph: &ExecGraph, nodes: &[usize]) -> (usize, usize) {
-    let sync = nodes
-        .iter()
-        .filter(|&&i| graph.nodes[i].problem.is_sync())
-        .count();
-    let xfer = nodes
-        .iter()
-        .filter(|&&i| graph.nodes[i].problem == Problem::UnnecessaryTransfer)
-        .count();
+    let sync = nodes.iter().filter(|&&i| graph.nodes[i].problem.is_sync()).count();
+    let xfer =
+        nodes.iter().filter(|&&i| graph.nodes[i].problem == Problem::UnnecessaryTransfer).count();
     (sync, xfer)
 }
 
@@ -100,7 +96,7 @@ fn grouped_by<K: std::hash::Hash + Eq>(
             }
         })
         .collect();
-    groups.sort_by(|a, b| b.benefit_ns.cmp(&a.benefit_ns));
+    groups.sort_by_key(|g| std::cmp::Reverse(g.benefit_ns));
     groups
 }
 
@@ -135,12 +131,7 @@ pub fn fold_on_api(graph: &ExecGraph, benefit: &BenefitReport) -> Vec<ProblemGro
         benefit,
         GroupKind::FoldedFunction,
         |n| graph.nodes[n].api,
-        |n| {
-            format!(
-                "Fold on {}",
-                graph.nodes[n].api.map(|a| a.name()).unwrap_or("<unknown>")
-            )
-        },
+        |n| format!("Fold on {}", graph.nodes[n].api.map(|a| a.name()).unwrap_or("<unknown>")),
     )
 }
 
@@ -176,10 +167,7 @@ impl Sequence {
     }
 
     pub fn transfer_issues(&self) -> usize {
-        self.entries
-            .iter()
-            .filter(|e| e.problem == Problem::UnnecessaryTransfer)
-            .count()
+        self.entries.iter().filter(|e| e.problem == Problem::UnnecessaryTransfer).count()
     }
 }
 
@@ -192,14 +180,24 @@ impl Sequence {
 /// `RemoveSyncronization` described in §3.5.2). Transfers contribute
 /// their full CPU cost. Returns the total estimate.
 pub fn carry_forward_benefit(graph: &ExecGraph, start: usize, end: usize) -> Ns {
+    carry_forward_indexed(graph, &graph.index(), start, end)
+}
+
+/// [`carry_forward_benefit`] against a prebuilt [`GraphIndex`], so
+/// evaluating many windows of one immutable graph (sequence discovery,
+/// subsequence refinement sweeps) pays the O(n) index build once and
+/// each window O(entries) instead of O(n) rescans. The estimator only
+/// *reads* durations — unlike the Fig. 5 growth model — which is what
+/// makes the cached index sound here.
+pub fn carry_forward_indexed(graph: &ExecGraph, ix: &GraphIndex, start: usize, end: usize) -> Ns {
     let mut total: Ns = 0;
     let mut carry: Ns = 0;
     for idx in start..end.min(graph.nodes.len()) {
         let node = &graph.nodes[idx];
         match node.problem {
             Problem::UnnecessarySync => {
-                let window_end = graph.next_sync_after(idx).unwrap_or(graph.nodes.len());
-                let avail = graph.cpu_time_between(idx, window_end);
+                let window_end = ix.next_sync_after(idx).unwrap_or(graph.nodes.len());
+                let avail = ix.cpu_time_between(idx, window_end);
                 let demand = node.duration + carry;
                 let est = avail.min(demand);
                 total += est;
@@ -223,7 +221,8 @@ pub fn carry_forward_benefit(graph: &ExecGraph, start: usize, end: usize) -> Ns 
 /// ending at the first *necessary* synchronization (a `CWait` with no
 /// problem, or a misplaced one — it must still happen).
 pub fn find_sequences(graph: &ExecGraph) -> Vec<Sequence> {
-    let mut sequences = Vec::new();
+    // Pass 1 (sequential, O(n)): discover the maximal runs.
+    let mut runs: Vec<(usize, usize)> = Vec::new();
     let mut idx = 0;
     let n = graph.nodes.len();
     while idx < n {
@@ -233,8 +232,6 @@ pub fn find_sequences(graph: &ExecGraph) -> Vec<Sequence> {
             idx += 1;
             continue;
         }
-        //
-
         let start = idx;
         let mut end = idx;
         while end < n {
@@ -246,6 +243,16 @@ pub fn find_sequences(graph: &ExecGraph) -> Vec<Sequence> {
             }
             end += 1;
         }
+        runs.push((start, end));
+        idx = end.max(idx + 1);
+    }
+
+    // Pass 2: evaluate every run against one shared index. Runs are
+    // independent reads of the immutable graph, so the fleet fans out
+    // over `par_map` (order-preserving) when the environment grants more
+    // than one worker; jobs=1 is the plain sequential loop.
+    let ix = graph.index();
+    let evaluate = |(start, end): (usize, usize)| -> Option<Sequence> {
         let entries: Vec<SeqEntry> = (start..end)
             .filter(|&i| graph.nodes[i].problem != Problem::None)
             .enumerate()
@@ -258,12 +265,20 @@ pub fn find_sequences(graph: &ExecGraph) -> Vec<Sequence> {
             })
             .collect();
         if entries.len() > 1 {
-            let benefit_ns = carry_forward_benefit(graph, start, end);
-            sequences.push(Sequence { start, end, entries, benefit_ns });
+            let benefit_ns = carry_forward_indexed(graph, &ix, start, end);
+            Some(Sequence { start, end, entries, benefit_ns })
+        } else {
+            None
         }
-        idx = end.max(idx + 1);
-    }
-    sequences.sort_by(|a, b| b.benefit_ns.cmp(&a.benefit_ns));
+    };
+    // Thread spawn costs dwarf per-run evaluation on small graphs; only
+    // fan out when there is real work to split.
+    let jobs = if runs.len() >= 64 { effective_jobs(0) } else { 1 };
+    let mut sequences: Vec<Sequence> =
+        par_map(runs, jobs, evaluate).into_iter().flatten().collect();
+
+    // Stable sort: ties keep discovery (graph) order regardless of jobs.
+    sequences.sort_by_key(|s| std::cmp::Reverse(s.benefit_ns));
     sequences
 }
 
@@ -366,10 +381,7 @@ mod tests {
         let g = sample_graph();
         let b = expected_benefit(&g, &BenefitOptions::default());
         let groups = single_point_groups(&g, &b);
-        let free = groups
-            .iter()
-            .find(|gr| gr.label.contains("cudaFree"))
-            .unwrap();
+        let free = groups.iter().find(|gr| gr.label.contains("cudaFree")).unwrap();
         assert_eq!(free.nodes.len(), 2, "both cudaFree instances in one group");
         assert_eq!(free.sync_issues, 2);
         assert!(free.label.contains("als.cpp at line 856"));
@@ -442,11 +454,7 @@ mod tests {
         let g = sample_graph();
         let seqs = find_sequences(&g);
         let s = &seqs[0];
-        let max: Ns = s
-            .entries
-            .iter()
-            .map(|e| g.nodes[e.node].duration)
-            .sum();
+        let max: Ns = s.entries.iter().map(|e| g.nodes[e.node].duration).sum();
         assert!(s.benefit_ns <= max);
         assert!(s.benefit_ns > 0);
     }

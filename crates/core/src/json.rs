@@ -194,10 +194,7 @@ mod tests {
             ("empty", Json::Arr(vec![])),
             ("emptyo", Json::Obj(vec![])),
         ]);
-        assert_eq!(
-            j.to_string_compact(),
-            r#"{"name":"als","times":[1,2],"empty":[],"emptyo":{}}"#
-        );
+        assert_eq!(j.to_string_compact(), r#"{"name":"als","times":[1,2],"empty":[],"emptyo":{}}"#);
     }
 
     #[test]

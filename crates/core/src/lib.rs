@@ -63,6 +63,7 @@ pub mod export;
 pub mod graph;
 pub mod grouping;
 pub mod json;
+pub mod par;
 pub mod pipeline;
 pub mod problem;
 pub mod records;
@@ -71,12 +72,14 @@ pub mod stages;
 pub use analysis::{analyze, Analysis, AnalysisConfig, ProblemOp};
 pub use benefit::{expected_benefit, BenefitOptions, BenefitReport, NodeBenefit};
 pub use export::{analysis_to_json, report_to_json};
-pub use graph::{ExecGraph, NType, Node};
+pub use graph::{ExecGraph, GraphIndex, NType, Node};
 pub use grouping::{
-    carry_forward_benefit, find_sequences, fold_on_api, folded_function_groups, savings_by_api,
-    single_point_groups, subsequence_benefit, GroupKind, ProblemGroup, SeqEntry, Sequence,
+    carry_forward_benefit, carry_forward_indexed, find_sequences, fold_on_api,
+    folded_function_groups, savings_by_api, single_point_groups, subsequence_benefit, GroupKind,
+    ProblemGroup, SeqEntry, Sequence,
 };
 pub use json::Json;
+pub use par::{effective_jobs, join, par_map, try_par_map, JOBS_ENV};
 pub use pipeline::{run_ffm, FfmConfig, FfmReport, StageStats};
 pub use problem::{classify, ClassifyConfig, Problem};
 pub use records::{

@@ -1,0 +1,182 @@
+//! Bounded, order-preserving parallelism primitives.
+//!
+//! The whole measurement pipeline is *embarrassingly re-runnable*: every
+//! FFM stage and every application in an experiment fleet builds its own
+//! fresh simulator context, so runs share no mutable state and can
+//! proceed concurrently. What must **not** change under parallelism is
+//! the output: results are returned in input order, so every consumer
+//! (tables, JSON exports, report renderers) sees exactly the bytes a
+//! sequential run would produce.
+//!
+//! Built on `std::thread::scope` only — the workspace builds with no
+//! external crates.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker count for every fleet-level
+/// `par_map` in the repo (`0` or unset = one worker per available core).
+pub const JOBS_ENV: &str = "DIOGENES_JOBS";
+
+/// Resolve an effective worker count.
+///
+/// Precedence: an explicit non-zero `requested` wins; otherwise a
+/// non-zero [`JOBS_ENV`] value; otherwise the machine's available
+/// parallelism. Always at least 1.
+pub fn effective_jobs(requested: usize) -> usize {
+    if requested != 0 {
+        return requested;
+    }
+    if let Some(env) = std::env::var(JOBS_ENV).ok().and_then(|v| v.parse::<usize>().ok()) {
+        if env != 0 {
+            return env;
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Apply `f` to every item, running up to `jobs` applications at once,
+/// and return the results **in input order**.
+///
+/// `jobs <= 1` (after clamping to the item count) degenerates to a plain
+/// sequential map on the caller's thread — no threads are spawned, so
+/// `jobs = 1` is byte-for-byte the sequential pipeline. Panics in `f`
+/// propagate to the caller (the scope join re-raises them).
+pub fn par_map<T, U, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let jobs = jobs.max(1).min(items.len());
+    if jobs <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Work-stealing by index: items are parked in Option slots, workers
+    // claim the next index atomically, and results carry their index so
+    // input order survives arbitrary completion order.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(slots.len()));
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("slot claimed once");
+                let out = f(item);
+                done.lock().unwrap().push((i, out));
+            });
+        }
+    });
+
+    let mut tagged = done.into_inner().unwrap();
+    tagged.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(tagged.len(), slots.len());
+    tagged.into_iter().map(|(_, u)| u).collect()
+}
+
+/// Fallible [`par_map`]: the full fleet still runs to completion, then
+/// the first error **in input order** is returned (matching what a
+/// sequential `?`-loop would report for an input whose failures do not
+/// depend on earlier items — true here, since every run is independent).
+pub fn try_par_map<T, U, E, F>(items: Vec<T>, jobs: usize, f: F) -> Result<Vec<U>, E>
+where
+    T: Send,
+    U: Send,
+    E: Send,
+    F: Fn(T) -> Result<U, E> + Sync,
+{
+    par_map(items, jobs, f).into_iter().collect()
+}
+
+/// Run two independent closures concurrently and return both results.
+///
+/// Used for stage-level overlap in the pipeline, where the dependency
+/// graph is a small static fork, not a homogeneous fleet. With
+/// `jobs <= 1` both run sequentially (left first) on the caller's thread.
+pub fn join<A, B, FA, FB>(jobs: usize, fa: FA, fb: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    if jobs <= 1 {
+        let a = fa();
+        let b = fb();
+        return (a, b);
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(fb);
+        let a = fa();
+        let b = hb.join().expect("joined task panicked");
+        (a, b)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_input_order() {
+        for jobs in [1, 2, 3, 8, 64] {
+            let out = par_map((0..100).collect::<Vec<_>>(), jobs, |x| x * 2);
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<u64> = (0..40).collect();
+        let seq = par_map(items.clone(), 1, |x| x.wrapping_mul(0x9E37_79B9).rotate_left(7));
+        let par = par_map(items, 6, |x| x.wrapping_mul(0x9E37_79B9).rotate_left(7));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let out = par_map((0..57).collect::<Vec<_>>(), 4, |x| {
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 57);
+        assert_eq!(CALLS.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(par_map(Vec::<u8>::new(), 8, |x| x), Vec::<u8>::new());
+        assert_eq!(par_map(vec![9], 8, |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn try_par_map_reports_first_error_in_input_order() {
+        let items: Vec<u32> = (0..20).collect();
+        let r = try_par_map(items, 4, |x| if x % 7 == 3 { Err(x) } else { Ok(x) });
+        // Failures at 3, 10, 17; input order means 3 wins regardless of
+        // which worker finished first.
+        assert_eq!(r, Err(3));
+    }
+
+    #[test]
+    fn join_returns_both_sides() {
+        for jobs in [1, 4] {
+            let (a, b) = join(jobs, || 2 + 2, || "ok".to_string());
+            assert_eq!((a, b.as_str()), (4, "ok"), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn effective_jobs_precedence() {
+        assert_eq!(effective_jobs(3), 3);
+        assert!(effective_jobs(0) >= 1);
+    }
+}

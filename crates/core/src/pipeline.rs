@@ -4,14 +4,37 @@
 //! application the way `diogenes ./app` is launched, and it runs the
 //! complete feed-forward sequence with no interaction between stages
 //! (paper §3: "no user interaction is required between stages").
+//!
+//! ## Parallel stage execution
+//!
+//! "Feed-forward" constrains *what each stage instruments* — stage N's
+//! probe set is computed from stage N-1's output — but several runs have
+//! no data edge between them and can proceed concurrently on real
+//! threads, each with its own private simulator:
+//!
+//! ```text
+//! discovery ──┐                     (independent of the app)
+//! stage 1 ────┼──> stage 2          (needs s1's sync-API set)
+//!             ├──> stage 3a (sync)──> stage 4   (needs 3a's first-use sites)
+//!             └──> stage 3b (hash)
+//! ```
+//!
+//! Stage 4 deliberately starts as soon as stage 3a lands — it consumes
+//! only the first-use sites, which the hashing run never produces. With
+//! [`FfmConfig::jobs`] ≤ 1 the stages run in the classic sequential
+//! order; either way the report is bit-identical, because every run is a
+//! complete isolated execution whose virtual clock starts at zero.
 
 use cuda_driver::{CudaResult, DriverConfig, GpuApp};
 use gpu_sim::{CostModel, Ns};
 use instrument::{identify_sync_function, Discovery};
 
 use crate::analysis::{analyze, Analysis, AnalysisConfig};
+use crate::par::effective_jobs;
 use crate::records::{Stage1Result, Stage2Result, Stage3Result, Stage4Result};
-use crate::stages::{run_stage1, run_stage2, run_stage3, run_stage4};
+use crate::stages::{
+    merge_stage3, run_stage1, run_stage2, run_stage3, run_stage3_hash, run_stage3_sync, run_stage4,
+};
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -19,6 +42,11 @@ pub struct FfmConfig {
     pub cost: CostModel,
     pub driver: DriverConfig,
     pub analysis: AnalysisConfig,
+    /// Worker threads for concurrent stage execution. `0` (the default)
+    /// resolves via [`crate::par::effective_jobs`]: the `DIOGENES_JOBS`
+    /// environment variable if set, else the machine's core count. `1`
+    /// forces the sequential stage order.
+    pub jobs: usize,
 }
 
 impl Default for FfmConfig {
@@ -27,7 +55,16 @@ impl Default for FfmConfig {
             cost: CostModel::pascal_like(),
             driver: DriverConfig::default(),
             analysis: AnalysisConfig::default(),
+            jobs: 0,
         }
+    }
+}
+
+impl FfmConfig {
+    /// Builder-style worker-count override (0 = auto).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
     }
 }
 
@@ -74,13 +111,11 @@ impl FfmReport {
 
 /// Run the full feed-forward pipeline against an application.
 pub fn run_ffm(app: &dyn GpuApp, cfg: &FfmConfig) -> CudaResult<FfmReport> {
-    // Pre-stage: find the internal sync function (throwaway context).
-    let discovery = identify_sync_function(cfg.cost.clone())?;
-
-    let stage1 = run_stage1(app, &cfg.cost, &cfg.driver)?;
-    let stage2 = run_stage2(app, &cfg.cost, &cfg.driver, &stage1)?;
-    let stage3 = run_stage3(app, &cfg.cost, &cfg.driver, &stage1)?;
-    let stage4 = run_stage4(app, &cfg.cost, &cfg.driver, &stage1, &stage3)?;
+    let (discovery, stage1, stage2, stage3, stage4) = if effective_jobs(cfg.jobs) > 1 {
+        collect_parallel(app, cfg)?
+    } else {
+        collect_sequential(app, cfg)?
+    };
     let analysis = analyze(&stage1, &stage2, &stage3, &stage4, &cfg.analysis);
 
     let base = stage1.exec_time_ns.max(1) as f64;
@@ -125,4 +160,56 @@ pub fn run_ffm(app: &dyn GpuApp, cfg: &FfmConfig) -> CudaResult<FfmReport> {
         stages,
         collection_total_ns,
     })
+}
+
+type Collected = (Discovery, Stage1Result, Stage2Result, Stage3Result, Stage4Result);
+
+/// The classic stage order, one run after another on the caller's thread.
+fn collect_sequential(app: &dyn GpuApp, cfg: &FfmConfig) -> CudaResult<Collected> {
+    // Pre-stage: find the internal sync function (throwaway context).
+    let discovery = identify_sync_function(cfg.cost.clone())?;
+    let stage1 = run_stage1(app, &cfg.cost, &cfg.driver)?;
+    let stage2 = run_stage2(app, &cfg.cost, &cfg.driver, &stage1)?;
+    let stage3 = run_stage3(app, &cfg.cost, &cfg.driver, &stage1)?;
+    let stage4 = run_stage4(app, &cfg.cost, &cfg.driver, &stage1, &stage3)?;
+    Ok((discovery, stage1, stage2, stage3, stage4))
+}
+
+/// The concurrent layout from the module docs. Error reporting matches
+/// the sequential path: when several stages fail, the error of the
+/// earliest stage in classic order is the one returned.
+fn collect_parallel(app: &dyn GpuApp, cfg: &FfmConfig) -> CudaResult<Collected> {
+    // Discovery probes a throwaway context and never touches the app, so
+    // it overlaps with the baseline run.
+    let (discovery, stage1) = std::thread::scope(|scope| {
+        let disco = scope.spawn(|| identify_sync_function(cfg.cost.clone()));
+        let stage1 = run_stage1(app, &cfg.cost, &cfg.driver);
+        (disco.join().expect("discovery thread panicked"), stage1)
+    });
+    let discovery = discovery?;
+    let stage1 = stage1?;
+
+    // Fork: stage 2 and the hashing run are leaves; the memory-tracing
+    // run feeds stage 4, so that chain stays on the current thread.
+    let (stage2, sync, hash, stage4) = std::thread::scope(|scope| {
+        let h2 = scope.spawn(|| run_stage2(app, &cfg.cost, &cfg.driver, &stage1));
+        let h3b = scope.spawn(|| run_stage3_hash(app, &cfg.cost, &cfg.driver, &stage1));
+        let sync = run_stage3_sync(app, &cfg.cost, &cfg.driver, &stage1);
+        let stage4 = match &sync {
+            Ok(s3a) => Some(run_stage4(app, &cfg.cost, &cfg.driver, &stage1, s3a)),
+            Err(_) => None,
+        };
+        (
+            h2.join().expect("stage 2 thread panicked"),
+            sync,
+            h3b.join().expect("stage 3b thread panicked"),
+            stage4,
+        )
+    });
+    let stage2 = stage2?;
+    let sync = sync?;
+    let hash = hash?;
+    let stage3 = merge_stage3(sync, hash);
+    let stage4 = stage4.expect("stage 4 ran because stage 3a succeeded")?;
+    Ok((discovery, stage1, stage2, stage3, stage4))
 }

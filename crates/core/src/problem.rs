@@ -89,11 +89,9 @@ pub fn classify(
                     }
                 }
             }
-            NType::CLaunch if node.is_transfer => {
-                if dups.contains(&inst) {
-                    node.problem = Problem::UnnecessaryTransfer;
-                    count += 1;
-                }
+            NType::CLaunch if node.is_transfer && dups.contains(&inst) => {
+                node.problem = Problem::UnnecessaryTransfer;
+                count += 1;
             }
             _ => {}
         }
@@ -177,10 +175,7 @@ mod tests {
 
     #[test]
     fn duplicate_transfers_flagged_per_instance() {
-        let mut g = graph(vec![
-            node(NType::CLaunch, 9, 0, true),
-            node(NType::CLaunch, 9, 1, true),
-        ]);
+        let mut g = graph(vec![node(NType::CLaunch, 9, 0, true), node(NType::CLaunch, 9, 1, true)]);
         let mut s3 = Stage3Result::default();
         s3.duplicates.push(crate::records::DuplicateTransfer {
             op: OpInstance { sig: 9, occ: 1 },

@@ -192,12 +192,8 @@ pub struct Stage4Result {
 impl Stage4Result {
     /// Mean first-use gap for a sync *site* (all occurrences).
     pub fn site_mean_gap(&self, sig: u64) -> Option<Ns> {
-        let gaps: Vec<Ns> = self
-            .first_use_ns
-            .iter()
-            .filter(|(k, _)| k.sig == sig)
-            .map(|(_, &v)| v)
-            .collect();
+        let gaps: Vec<Ns> =
+            self.first_use_ns.iter().filter(|(k, _)| k.sig == sig).map(|(_, &v)| v).collect();
         if gaps.is_empty() {
             None
         } else {

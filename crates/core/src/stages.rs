@@ -10,9 +10,7 @@ use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
-use cuda_driver::{
-    ApiFn, CallInfo, Cuda, CudaResult, DriverConfig, GpuApp, HookEvent, InternalFn,
-};
+use cuda_driver::{ApiFn, CallInfo, Cuda, CudaResult, DriverConfig, GpuApp, HookEvent, InternalFn};
 use gpu_sim::{CostModel, Direction, Ns, SourceLoc, StackTrace, WaitReason};
 use instrument::{Digest, FunctionProbe, LoadStoreWatcher, ProbeSpec};
 
@@ -29,10 +27,7 @@ fn fresh_context(cost: &CostModel, cfg: &DriverConfig) -> Cuda {
 fn stack_identity(stack: &StackTrace) -> (u64, u64, SourceLoc) {
     let sig = stack.address_signature();
     let folded = stack.folded_signature();
-    let site = stack
-        .leaf()
-        .map(|f| f.callsite)
-        .unwrap_or(SourceLoc::new("<unknown>", 0));
+    let site = stack.leaf().map(|f| f.callsite).unwrap_or(SourceLoc::new("<unknown>", 0));
     (sig, folded, site)
 }
 
@@ -330,10 +325,7 @@ pub fn run_stage3_sync(
                     // Device-to-host destinations become GPU-writable
                     // ranges once the data lands.
                     if let CallInfo::Transfer {
-                        dir: Direction::DtoH,
-                        bytes,
-                        host: Some(h),
-                        ..
+                        dir: Direction::DtoH, bytes, host: Some(h), ..
                     } = info
                     {
                         w_probe.borrow_mut().watch_range(h.0, *bytes);
@@ -432,10 +424,10 @@ pub fn run_stage3_hash(
                         entry.push((dst, site));
                     }
                 }
-                HookEvent::ApiExit { call_id, .. } => {
-                    if st.current.as_ref().map(|(id, _, _)| id) == Some(call_id) {
-                        st.current = None;
-                    }
+                HookEvent::ApiExit { call_id, .. }
+                    if st.current.as_ref().map(|(id, _, _)| id) == Some(call_id) =>
+                {
+                    st.current = None;
                 }
                 _ => {}
             }
@@ -458,6 +450,23 @@ pub fn run_stage3_hash(
     })
 }
 
+/// Merge the evidence of the two stage 3 collection runs. The runs are
+/// independent complete executions, so the merge is a pure field union —
+/// which is also what lets the pipeline run them concurrently.
+pub fn merge_stage3(sync: Stage3Result, hash: Stage3Result) -> Stage3Result {
+    Stage3Result {
+        required_syncs: sync.required_syncs,
+        observed_syncs: sync.observed_syncs,
+        accesses: sync.accesses,
+        duplicates: hash.duplicates,
+        first_use_sites: sync.first_use_sites,
+        hashed_bytes: hash.hashed_bytes,
+        exec_time_sync_ns: sync.exec_time_sync_ns,
+        exec_time_hash_ns: hash.exec_time_hash_ns,
+        exec_time_ns: sync.exec_time_sync_ns + hash.exec_time_hash_ns,
+    }
+}
+
 /// Run both stage 3 collections (memory tracing, then data hashing — two
 /// separate runs, as Diogenes performs them) and merge the evidence.
 pub fn run_stage3(
@@ -468,17 +477,7 @@ pub fn run_stage3(
 ) -> CudaResult<Stage3Result> {
     let sync = run_stage3_sync(app, cost, cfg, s1)?;
     let hash = run_stage3_hash(app, cost, cfg, s1)?;
-    Ok(Stage3Result {
-        required_syncs: sync.required_syncs,
-        observed_syncs: sync.observed_syncs,
-        accesses: sync.accesses,
-        duplicates: hash.duplicates,
-        first_use_sites: sync.first_use_sites,
-        hashed_bytes: hash.hashed_bytes,
-        exec_time_sync_ns: sync.exec_time_sync_ns,
-        exec_time_hash_ns: hash.exec_time_hash_ns,
-        exec_time_ns: sync.exec_time_sync_ns + hash.exec_time_hash_ns,
-    })
+    Ok(merge_stage3(sync, hash))
 }
 
 // ---------------------------------------------------------------------------
@@ -522,9 +521,7 @@ pub fn run_stage4(
             }
         }),
     );
-    watcher
-        .borrow_mut()
-        .set_site_filter(s3.first_use_sites.iter().copied().collect());
+    watcher.borrow_mut().set_site_filter(s3.first_use_sites.iter().copied().collect());
 
     let s_probe = state.clone();
     let w_probe = watcher.clone();
@@ -559,17 +556,13 @@ pub fn run_stage4(
                         return;
                     }
                     if let CallInfo::Transfer {
-                        dir: Direction::DtoH,
-                        bytes,
-                        host: Some(h),
-                        ..
+                        dir: Direction::DtoH, bytes, host: Some(h), ..
                     } = info
                     {
                         w_probe.borrow_mut().watch_range(h.0, *bytes);
                     }
                     if synced {
-                        st.pending_sync =
-                            Some((inst, m.now() - m.measurement_overhead_ns()));
+                        st.pending_sync = Some((inst, m.now() - m.measurement_overhead_ns()));
                     }
                 }
                 _ => {}

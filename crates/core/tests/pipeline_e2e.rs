@@ -99,12 +99,8 @@ fn stage1_finds_the_synchronizing_apis() {
 fn stage2_traces_have_stacks_and_waits() {
     let r = report();
     assert!(!r.stage2.calls.is_empty());
-    let frees: Vec<_> = r
-        .stage2
-        .calls
-        .iter()
-        .filter(|c| c.api == ApiFn::CudaFree && c.site.line == 25)
-        .collect();
+    let frees: Vec<_> =
+        r.stage2.calls.iter().filter(|c| c.api == ApiFn::CudaFree && c.site.line == 25).collect();
     assert_eq!(frees.len(), 8, "one scratch free per iteration");
     assert!(frees.iter().all(|c| c.wait_ns > 0), "frees wait on the kernel");
     assert!(frees.iter().all(|c| c.stack.depth() >= 3), "main/solve_step/cudaFree");
@@ -141,18 +137,16 @@ fn stage4_measures_first_use_gaps() {
 fn analysis_flags_each_problem_class() {
     let r = report();
     let a = &r.analysis;
-    let kinds: std::collections::HashSet<_> =
-        a.problems.iter().map(|p| p.problem).collect();
+    let kinds: std::collections::HashSet<_> = a.problems.iter().map(|p| p.problem).collect();
     assert!(kinds.contains(&Problem::UnnecessarySync), "{kinds:?}");
     assert!(kinds.contains(&Problem::UnnecessaryTransfer));
     assert!(kinds.contains(&Problem::MisplacedSync));
     assert!(a.total_benefit_ns() > 0);
     // The well-placed necessary sync at line 41/42 must not be flagged.
     assert!(
-        !a.problems
-            .iter()
-            .any(|p| p.site.map(|s| s.line) == Some(41) && p.benefit_ns > 0
-                && p.problem == Problem::UnnecessarySync),
+        !a.problems.iter().any(|p| p.site.map(|s| s.line) == Some(41)
+            && p.benefit_ns > 0
+            && p.problem == Problem::UnnecessarySync),
         "well-placed sync wrongly flagged"
     );
     // Problems are sorted by benefit.
@@ -164,10 +158,7 @@ fn analysis_flags_each_problem_class() {
 #[test]
 fn analysis_finds_the_free_transfer_sequence() {
     let r = report();
-    assert!(
-        !r.analysis.sequences.is_empty(),
-        "loop pathologies should form a sequence"
-    );
+    assert!(!r.analysis.sequences.is_empty(), "loop pathologies should form a sequence");
     let s = &r.analysis.sequences[0];
     assert!(s.entries.len() >= 8, "entries: {}", s.entries.len());
     assert!(s.benefit_ns > 0);

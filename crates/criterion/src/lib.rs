@@ -1,0 +1,268 @@
+//! # criterion (offline shim)
+//!
+//! The build environment has **no network access**, so the real
+//! crates.io `criterion` cannot be fetched. This path crate implements
+//! the subset of its API that the workspace's `[[bench]]` targets use,
+//! as a plain wall-clock harness:
+//!
+//! * [`Criterion::bench_function`] / [`Criterion::benchmark_group`] /
+//!   [`BenchmarkGroup::bench_with_input`]
+//! * [`Bencher::iter`]
+//! * [`BenchmarkId::from_parameter`], [`Throughput::Bytes`]
+//! * [`black_box`], [`criterion_group!`], [`criterion_main!`]
+//!
+//! Each benchmark runs a short warmup, then `sample_size` timed samples
+//! (batching iterations so one sample is long enough to time), and
+//! prints the median per-iteration latency — plus throughput when the
+//! group declared one. There is no statistics engine, HTML report, or
+//! baseline comparison; the numbers are honest medians and nothing more.
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+
+/// Top-level harness handle, one per `criterion_group!` run.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Builder-style sample count override (min 2, as upstream enforces
+    /// a floor).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Open a named group; IDs inside it render as `group/id`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and optional
+/// throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a per-iteration data volume;
+    /// the report then includes a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(&full, self.criterion.sample_size, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(&full, self.criterion.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier for one parameterized benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        Self(p.to_string())
+    }
+
+    pub fn new<P: Display>(function: &str, p: P) -> Self {
+        Self(format!("{function}/{p}"))
+    }
+}
+
+/// Per-iteration data volume for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Passed to the benchmark closure; calls [`Bencher::iter`] to time the
+/// routine.
+pub struct Bencher {
+    batch: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Calibrate a batch size, take samples, print the median.
+fn run_one(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Warmup + calibration: grow the batch until one sample is long
+    // enough to time reliably.
+    let mut batch = 1u64;
+    loop {
+        let mut b = Bencher { batch, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= SAMPLE_TARGET || batch >= 1 << 20 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            16
+        } else {
+            (SAMPLE_TARGET.as_nanos() / b.elapsed.as_nanos().max(1)).clamp(2, 16) as u64
+        };
+        batch = batch.saturating_mul(grow);
+    }
+
+    let mut per_iter: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher { batch, elapsed: Duration::ZERO };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>10}/s", human_bytes(n as f64 / (median * 1e-9)))
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>10.0} elem/s", n as f64 / (median * 1e-9))
+        }
+        None => String::new(),
+    };
+    println!("{name:<55} {:>12}/iter{rate}", human_time(median));
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn human_bytes(bps: f64) -> String {
+    if bps < 1024.0 {
+        format!("{bps:.0} B")
+    } else if bps < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", bps / 1024.0)
+    } else if bps < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1} MiB", bps / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2} GiB", bps / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+/// Both upstream forms: `criterion_group!(name, targets...)` and the
+/// braced `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ( name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)? ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ( $name:ident, $($target:path),+ $(,)? ) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point for `harness = false` bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ( $($group:path),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default().sample_size(2)
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut ran = 0u64;
+        quick().bench_function("shim/self_test", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_with_throughput_runs() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("shim_group");
+        g.throughput(Throughput::Bytes(64));
+        g.bench_with_input(BenchmarkId::from_parameter(64), &vec![1u8; 64], |b, v| {
+            b.iter(|| v.iter().map(|&x| x as u64).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn units_format() {
+        assert_eq!(human_time(12.0), "12.0 ns");
+        assert_eq!(human_time(1_500.0), "1.50 µs");
+        assert_eq!(human_time(2_500_000.0), "2.50 ms");
+        assert!(human_bytes(2.0 * 1024.0 * 1024.0 * 1024.0).ends_with("GiB"));
+    }
+}

@@ -25,11 +25,7 @@ pub struct CuptiConfig {
 
 impl Default for CuptiConfig {
     fn default() -> Self {
-        Self {
-            buffer_capacity: 4_000_000,
-            omit_vendor_lib_calls: true,
-            callback_overhead_ns: 150,
-        }
+        Self { buffer_capacity: 4_000_000, omit_vendor_lib_calls: true, callback_overhead_ns: 150 }
     }
 }
 
@@ -238,11 +234,7 @@ mod tests {
         blas.gemm(&mut cuda, 16, 16, 16, d, 64, site()).unwrap();
         let cupti = cupti.borrow();
         assert!(
-            !cupti
-                .buffer()
-                .records()
-                .iter()
-                .any(|r| matches!(r.api, Some(a) if !a.is_public())),
+            !cupti.buffer().records().iter().any(|r| matches!(r.api, Some(a) if !a.is_public())),
             "private entry points must never appear"
         );
         // But the subscriber did *see* them fly past (they are dropped,
@@ -276,29 +268,17 @@ mod tests {
         let k = KernelDesc::compute("mykernel", 500);
         cuda.launch_kernel(&k, StreamId::DEFAULT, site()).unwrap();
         let cupti = cupti.borrow();
-        let m = cupti
-            .buffer()
-            .records()
-            .iter()
-            .find(|r| r.kind == ActivityKind::Memcpy)
-            .unwrap();
+        let m = cupti.buffer().records().iter().find(|r| r.kind == ActivityKind::Memcpy).unwrap();
         assert_eq!(m.memcpy, Some((gpu_sim::Direction::HtoD, 1000)));
-        let kr = cupti
-            .buffer()
-            .records()
-            .iter()
-            .find(|r| r.kind == ActivityKind::Kernel)
-            .unwrap();
+        let kr = cupti.buffer().records().iter().find(|r| r.kind == ActivityKind::Kernel).unwrap();
         assert_eq!(kr.kernel, Some("mykernel"));
     }
 
     #[test]
     fn buffer_overflow_is_observable() {
         let mut cuda = Cuda::new(CostModel::unit());
-        let cupti = Cupti::attach(
-            &mut cuda,
-            CuptiConfig { buffer_capacity: 3, ..CuptiConfig::default() },
-        );
+        let cupti =
+            Cupti::attach(&mut cuda, CuptiConfig { buffer_capacity: 3, ..CuptiConfig::default() });
         for _ in 0..5 {
             cuda.func_get_attributes(site()).unwrap();
         }

@@ -74,10 +74,7 @@ pub fn derive_policy(analysis: &Analysis, cfg: &AutofixConfig) -> FixPolicy {
             (ApiFn::CudaMemset, Problem::UnnecessarySync) => {
                 policy.host_memset_sites.insert(site_addr);
             }
-            (
-                ApiFn::CudaMemcpyAsync,
-                Problem::UnnecessarySync | Problem::MisplacedSync,
-            ) => {
+            (ApiFn::CudaMemcpyAsync, Problem::UnnecessarySync | Problem::MisplacedSync) => {
                 policy.pin_on_first_use_sites.insert(site_addr);
             }
             _ => {}
@@ -146,15 +143,14 @@ pub fn autocorrect(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use diogenes_apps::{Amg, AmgConfig, AlsConfig, CumfAls, Gaussian, GaussianConfig};
+    use diogenes_apps::{AlsConfig, Amg, AmgConfig, CumfAls, Gaussian, GaussianConfig};
 
     #[test]
     fn autofix_recovers_time_on_als() {
         let mut cfg = AlsConfig::test_scale();
         cfg.iters = 6;
         let app = CumfAls::new(cfg);
-        let (result, policy, outcome) =
-            autocorrect(&app, &AutofixConfig::default()).unwrap();
+        let (result, policy, outcome) = autocorrect(&app, &AutofixConfig::default()).unwrap();
         assert!(!policy.is_empty());
         assert!(!policy.pool_free_sites.is_empty(), "frees get pooled");
         assert!(!policy.dedup_transfer_sites.is_empty(), "uploads get deduped");
@@ -192,8 +188,7 @@ mod tests {
         let mut cfg = AlsConfig::test_scale();
         cfg.iters = 4;
         let app = CumfAls::new(cfg);
-        let result =
-            crate::tool::run_diogenes(&app, crate::tool::DiogenesConfig::new()).unwrap();
+        let result = crate::tool::run_diogenes(&app, crate::tool::DiogenesConfig::new()).unwrap();
         let loose = derive_policy(&result.report.analysis, &AutofixConfig::default());
         let strict = derive_policy(
             &result.report.analysis,

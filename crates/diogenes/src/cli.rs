@@ -21,6 +21,20 @@ pub fn fmt_secs(ns: Ns) -> String {
     format!("{:.3}s", ns as f64 / 1e9)
 }
 
+/// Resolve a `--jobs N` flag value to the worker count the tool will
+/// use, and a human-readable description of where it came from, for the
+/// startup banner. `None` (flag absent) falls back to the `DIOGENES_JOBS`
+/// environment variable, then to the machine's core count.
+pub fn resolve_jobs(flag: Option<usize>) -> (usize, String) {
+    let jobs = ffm_core::effective_jobs(flag.unwrap_or(0));
+    let origin = match flag {
+        Some(n) if n != 0 => "--jobs".to_string(),
+        _ if std::env::var(ffm_core::JOBS_ENV).is_ok() => format!("${}", ffm_core::JOBS_ENV),
+        _ => "auto".to_string(),
+    };
+    (jobs, origin)
+}
+
 /// The overview display: benefit-sorted rows mixing per-API folds and
 /// sequence families (paper Fig. 7, left panel).
 pub fn render_overview(r: &DiogenesResult) -> String {
@@ -33,14 +47,16 @@ pub fn render_overview(r: &DiogenesResult) -> String {
         let first = f
             .entries
             .first()
-            .and_then(|e| e.site.map(|s| format!("{} at {}", e.api.map(|a| a.name()).unwrap_or("?"), s)))
+            .and_then(|e| {
+                e.site.map(|s| format!("{} at {}", e.api.map(|a| a.name()).unwrap_or("?"), s))
+            })
             .unwrap_or_default();
         rows.push((
             f.total_benefit_ns,
             format!("Sequence #{} starting at call {first} ({} ops)", i + 1, f.entries.len()),
         ));
     }
-    rows.sort_by(|x, y| y.0.cmp(&x.0));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.0));
     let mut out = String::new();
     let _ = writeln!(out, "Diogenes Overview Display — {}", r.report.app_name);
     let _ = writeln!(out, "Time(s) (% of execution time)");
@@ -73,23 +89,15 @@ pub fn render_fold_expansion(r: &DiogenesResult, api: ApiFn) -> String {
             .map(|f| f.function.clone().into_owned())
             .unwrap_or_else(|| "<top level>".to_string());
         let key = fold_template_name(&parent);
-        let e = benefit_by_parent
-            .entry(key)
-            .or_insert((0, parent.clone(), node.problem));
+        let e = benefit_by_parent.entry(key).or_insert((0, parent.clone(), node.problem));
         e.0 += nb.benefit_ns;
     }
     let mut rows: Vec<(Ns, String, Problem)> = benefit_by_parent.into_values().collect();
-    rows.sort_by(|x, y| y.0.cmp(&x.0));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.0));
 
     let total: Ns = rows.iter().map(|r| r.0).sum();
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "▸{}({:.2}%) Fold on {}",
-        fmt_secs(total),
-        r.percent(total),
-        api.name()
-    );
+    let _ = writeln!(out, "▸{}({:.2}%) Fold on {}", fmt_secs(total), r.percent(total), api.name());
     for (ns, name, problem) in rows {
         let _ = writeln!(out, "  {}({:.2}%) {}", fmt_secs(ns), r.percent(ns), name);
         let note = match problem {
@@ -172,7 +180,7 @@ pub fn render_subsequence(r: &DiogenesResult, family_idx: usize, from: usize, to
 mod tests {
     use super::*;
     use crate::tool::{run_diogenes, DiogenesConfig};
-    use diogenes_apps::{AlsConfig, CuibmConfig, CumfAls, CuIbm};
+    use diogenes_apps::{AlsConfig, CuIbm, CuibmConfig, CumfAls};
 
     fn als() -> DiogenesResult {
         let mut cfg = AlsConfig::test_scale();

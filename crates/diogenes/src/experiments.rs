@@ -2,6 +2,7 @@
 //! bench binaries and the integration tests).
 
 use cuda_driver::{uninstrumented_exec_time, ApiFn, CudaResult, GpuApp};
+use ffm_core::{effective_jobs, try_par_map};
 use gpu_sim::{CostModel, Ns};
 use profilers::{run_hpctoolkit, run_nvprof, HpctoolkitConfig, NvprofConfig};
 
@@ -67,10 +68,7 @@ pub fn paper_subjects(paper_scale: bool) -> Vec<Subject> {
         },
         Subject {
             broken: Box::new(Gaussian::new(g_cfg.clone())),
-            fixed: Box::new(Gaussian::new(GaussianConfig {
-                fixes: GaussianFixes::all(),
-                ..g_cfg
-            })),
+            fixed: Box::new(Gaussian::new(GaussianConfig { fixes: GaussianFixes::all(), ..g_cfg })),
             organization: "UVA",
             description: "Gaussian (CUDA)",
             issues: "Sync",
@@ -139,6 +137,18 @@ pub fn table1_row(subject: &Subject, cost: &CostModel) -> CudaResult<(Table1Row,
     Ok((row, result))
 }
 
+/// Produce every Table 1 row, running up to `jobs` subjects' pipelines
+/// concurrently (`0` = auto via `DIOGENES_JOBS` / core count). Each
+/// subject is a completely independent set of simulator runs, so results
+/// are identical to the sequential loop and returned in subject order.
+pub fn table1_rows(
+    subjects: Vec<Subject>,
+    cost: &CostModel,
+    jobs: usize,
+) -> CudaResult<Vec<(Table1Row, DiogenesResult)>> {
+    try_par_map(subjects, effective_jobs(jobs), |s| table1_row(&s, cost))
+}
+
 /// One operation row of Table 2.
 #[derive(Debug, Clone)]
 pub struct Table2Row {
@@ -177,10 +187,7 @@ pub fn table2_for(app: &dyn GpuApp, cost: &CostModel) -> CudaResult<Table2> {
         names.extend(p.entries.iter().map(|e| e.name.clone()));
     } else if let Some(p) = hp_profile {
         names.extend(
-            p.entries
-                .iter()
-                .filter(|e| e.name != "<unwind failure>")
-                .map(|e| e.name.clone()),
+            p.entries.iter().filter(|e| e.name != "<unwind failure>").map(|e| e.name.clone()),
         );
     }
     for (api, _) in &analysis.by_api {
@@ -198,22 +205,25 @@ pub fn table2_for(app: &dyn GpuApp, cost: &CostModel) -> CudaResult<Table2> {
             let hpctoolkit = hp_profile
                 .and_then(|p| p.entry(&operation))
                 .map(|e| (e.total_ns, e.percent, e.position));
-            let diogenes = analysis
-                .by_api
-                .iter()
-                .find(|(a, _)| a.name() == operation)
-                .map(|(a, ns)| {
-                    (
-                        *ns,
-                        analysis.percent(*ns),
-                        analysis.api_rank(*a).unwrap_or(0),
-                    )
+            let diogenes =
+                analysis.by_api.iter().find(|(a, _)| a.name() == operation).map(|(a, ns)| {
+                    (*ns, analysis.percent(*ns), analysis.api_rank(*a).unwrap_or(0))
                 });
             Table2Row { operation, nvprof, hpctoolkit, diogenes }
         })
         .collect();
 
     Ok(Table2 { app: app.name().to_string(), nvprof_crashed: nv.crashed(), rows })
+}
+
+/// [`table2_for`] across a whole subject fleet, `jobs` at a time
+/// (`0` = auto). Order and content match the sequential loop.
+pub fn table2_all(
+    subjects: Vec<Subject>,
+    cost: &CostModel,
+    jobs: usize,
+) -> CudaResult<Vec<Table2>> {
+    try_par_map(subjects, effective_jobs(jobs), |s| table2_for(s.broken.as_ref(), cost))
 }
 
 /// Keep only rows the paper's Table 2 would show (something reported by
@@ -234,6 +244,29 @@ pub fn significant_rows(t: &Table2, min_pct: f64) -> Vec<&Table2Row> {
 pub fn overhead_factor(app: &dyn GpuApp) -> CudaResult<f64> {
     let r = crate::tool::run_diogenes(app, DiogenesConfig::new())?;
     Ok(r.report.collection_overhead_factor())
+}
+
+/// [`overhead_factor`]'s full report across a subject fleet, `jobs` at a
+/// time (`0` = auto): one complete Diogenes result per subject, in
+/// subject order, for the §5.3 per-stage overhead table.
+pub fn overhead_reports(subjects: Vec<Subject>, jobs: usize) -> CudaResult<Vec<DiogenesResult>> {
+    try_par_map(subjects, effective_jobs(jobs), |s| {
+        run_diogenes(s.broken.as_ref(), DiogenesConfig::new())
+    })
+}
+
+/// [`cupti_sync_gap`] across a subject fleet, `jobs` at a time
+/// (`0` = auto): `(app name, (cupti_sync_records, actual_waits))` per
+/// subject, in subject order.
+pub fn cupti_gaps(
+    subjects: Vec<Subject>,
+    cost: &CostModel,
+    jobs: usize,
+) -> CudaResult<Vec<(String, (u64, u64))>> {
+    try_par_map(subjects, effective_jobs(jobs), |s| {
+        let name = s.broken.name().to_string();
+        cupti_sync_gap(s.broken.as_ref(), cost).map(|gap| (name, gap))
+    })
 }
 
 /// How CUPTI undercounts synchronizations vs. ground truth for an app
@@ -271,15 +304,27 @@ mod tests {
     }
 
     #[test]
+    fn fleet_rows_are_jobs_invariant() {
+        let cost = CostModel::pascal_like();
+        let take2 = || paper_subjects(false).into_iter().take(2).collect::<Vec<_>>();
+        let seq = table1_rows(take2(), &cost, 1).unwrap();
+        let par = table1_rows(take2(), &cost, 4).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for ((a, _), (b, _)) in seq.iter().zip(&par) {
+            assert_eq!(a.app, b.app, "subject order preserved");
+            assert_eq!(a.estimated_ns, b.estimated_ns);
+            assert_eq!(a.actual_ns, b.actual_ns);
+            assert_eq!(a.baseline_ns, b.baseline_ns);
+        }
+    }
+
+    #[test]
     fn cupti_gap_is_real_on_als() {
         let mut cfg = AlsConfig::test_scale();
         cfg.iters = 3;
         let app = CumfAls::new(cfg);
         let (records, actual) = cupti_sync_gap(&app, &CostModel::pascal_like()).unwrap();
-        assert!(
-            records < actual / 2,
-            "CUPTI must miss most syncs: {records} vs {actual}"
-        );
+        assert!(records < actual / 2, "CUPTI must miss most syncs: {records} vs {actual}");
         assert!(records > 0, "explicit syncs are recorded");
     }
 }

@@ -29,7 +29,10 @@ pub mod tool;
 pub mod traceviz;
 
 pub use autofix::{autocorrect, derive_policy, evaluate_autofix, AutofixConfig, AutofixOutcome};
-pub use cli::{fmt_secs, render_fold_expansion, render_overview, render_sequence, render_subsequence};
+pub use cli::{
+    fmt_secs, render_fold_expansion, render_overview, render_sequence, render_subsequence,
+    resolve_jobs,
+};
 pub use seqfam::{
     best_subsequence, family_subsequence_benefit, merge_sequences, FamilyEntry, SequenceFamily,
     SubsequenceChoice,

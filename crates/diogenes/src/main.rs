@@ -5,8 +5,13 @@
 //! diogenes <als|cuibm|amg|gaussian|pipelined> [--scale test|paper]
 //!          [--view overview|sequence|fold]
 //!          [--fold <apiName>] [--seq N] [--sub FROM TO] [--autoseq]
-//!          [--autofix] [--json <path>]
+//!          [--autofix] [--json <path>] [--jobs N]
 //! ```
+//!
+//! `--jobs N` sets the worker-thread count for concurrent stage
+//! execution (`0` or absent = the `DIOGENES_JOBS` environment variable,
+//! else the core count; `1` = classic sequential order). The report is
+//! bit-identical at every setting.
 //!
 //! `--autoseq` runs the automated subsequence selection (benefit weighed
 //! against fixing complexity); `--autofix` derives a fix policy from the
@@ -20,11 +25,11 @@
 use cuda_driver::{ApiFn, GpuApp};
 use diogenes::{
     best_subsequence, derive_policy, evaluate_autofix, render_fold_expansion, render_overview,
-    render_sequence, render_subsequence, run_diogenes, AutofixConfig, DiogenesConfig,
+    render_sequence, render_subsequence, resolve_jobs, run_diogenes, AutofixConfig, DiogenesConfig,
 };
-use gpu_sim::CostModel;
 use diogenes_apps::*;
 use ffm_core::report_to_json;
+use gpu_sim::CostModel;
 
 fn make_app(name: &str, paper: bool) -> Option<Box<dyn GpuApp>> {
     Some(match (name, paper) {
@@ -46,7 +51,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: diogenes <als|cuibm|amg|gaussian|pipelined> [--scale test|paper] \
          [--view overview|sequence|fold|compare] [--fold <apiName>] [--seq N] \
-         [--sub FROM TO] [--autoseq] [--autofix] [--json <path>]"
+         [--sub FROM TO] [--autoseq] [--autofix] [--json <path>] [--jobs N]"
     );
     std::process::exit(2);
 }
@@ -65,6 +70,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut autoseq = false;
     let mut autofix = false;
+    let mut jobs_flag: Option<usize> = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -83,10 +89,7 @@ fn main() {
             }
             "--seq" => {
                 i += 1;
-                seq_idx = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage());
+                seq_idx = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
             "--sub" => {
                 let from = args.get(i + 1).and_then(|s| s.parse().ok());
@@ -100,6 +103,11 @@ fn main() {
             "--json" => {
                 i += 1;
                 json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--jobs" => {
+                i += 1;
+                jobs_flag =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
             }
             "--autoseq" => autoseq = true,
             "--autofix" => autofix = true,
@@ -115,27 +123,41 @@ fn main() {
         eprintln!("diogenes: profiling {} with nvprof/hpctoolkit/diogenes models...", app.name());
         let t = diogenes::experiments::table2_for(app.as_ref(), &CostModel::pascal_like())
             .expect("tools run");
-        println!("{:<26} {:>26} {:>26} {:>26}", "Operation", "NVProf", "HPCToolkit", "Diogenes savings");
+        println!(
+            "{:<26} {:>26} {:>26} {:>26}",
+            "Operation", "NVProf", "HPCToolkit", "Diogenes savings"
+        );
         let cell = |v: Option<(u64, f64, usize)>| match v {
             Some((ns, pct, pos)) => format!("{:.3}ms ({:.1}%, {})", ns as f64 / 1e6, pct, pos),
             None => "-".to_string(),
         };
         for (i, r) in diogenes::experiments::significant_rows(&t, 0.3).iter().enumerate() {
             let nv = if t.nvprof_crashed {
-                if i == 0 { "Profiler Crashed".to_string() } else { String::new() }
+                if i == 0 {
+                    "Profiler Crashed".to_string()
+                } else {
+                    String::new()
+                }
             } else {
                 cell(r.nvprof)
             };
-            println!("{:<26} {:>26} {:>26} {:>26}", r.operation, nv, cell(r.hpctoolkit), cell(r.diogenes));
+            println!(
+                "{:<26} {:>26} {:>26} {:>26}",
+                r.operation,
+                nv,
+                cell(r.hpctoolkit),
+                cell(r.diogenes)
+            );
         }
         return;
     }
+    let (jobs, jobs_origin) = resolve_jobs(jobs_flag);
     eprintln!(
-        "diogenes: running 5-stage feed-forward pipeline on {} ({})...",
+        "diogenes: running 5-stage feed-forward pipeline on {} ({}) [{jobs} jobs, {jobs_origin}]...",
         app.name(),
         app.workload()
     );
-    let result = match run_diogenes(app.as_ref(), DiogenesConfig::new()) {
+    let result = match run_diogenes(app.as_ref(), DiogenesConfig::new().with_jobs(jobs)) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("diogenes: application failed: {e}");
@@ -189,8 +211,11 @@ auto-selected subsequence: entries {}..{} ({} sites to edit, \
 
     if autofix {
         let policy = derive_policy(&result.report.analysis, &AutofixConfig::default());
-        println!("
-autofix: patching {} call sites...", policy.site_count());
+        println!(
+            "
+autofix: patching {} call sites...",
+            policy.site_count()
+        );
         match evaluate_autofix(app.as_ref(), &policy, &CostModel::pascal_like()) {
             Ok(outcome) => {
                 println!(

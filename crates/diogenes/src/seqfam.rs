@@ -57,8 +57,7 @@ fn display_entries(analysis: &Analysis, seq: &Sequence) -> Vec<FamilyEntry> {
         let transfer = e.problem == Problem::UnnecessaryTransfer;
         match out.last_mut() {
             Some(last)
-                if call.is_some()
-                    && analysis.graph.nodes[last.last_node].call_seq == call =>
+                if call.is_some() && analysis.graph.nodes[last.last_node].call_seq == call =>
             {
                 last.is_sync_issue |= sync;
                 last.is_transfer_issue |= transfer;
@@ -80,13 +79,10 @@ fn display_entries(analysis: &Analysis, seq: &Sequence) -> Vec<FamilyEntry> {
 
 /// Pattern identity of a sequence: the (api, site, problem) list hashed.
 fn pattern_key(seq: &Sequence) -> u64 {
-    let mut h: u64 = 0xfeed_f0d_u64;
+    let mut h: u64 = 0x0fee_df0d_u64;
     for e in &seq.entries {
         let api = e.api.map(|a| a.name()).unwrap_or("?");
-        let site = e
-            .site
-            .map(|s| s.addr())
-            .unwrap_or(0);
+        let site = e.site.map(|s| s.addr()).unwrap_or(0);
         h = h
             .rotate_left(9)
             .wrapping_add(fnv1a_64(api.as_bytes()) ^ site ^ (e.problem as u64) << 3);
@@ -116,7 +112,7 @@ pub fn merge_sequences(analysis: &Analysis) -> Vec<SequenceFamily> {
             });
         }
     }
-    families.sort_by(|a, b| b.total_benefit_ns.cmp(&a.total_benefit_ns));
+    families.sort_by_key(|f| std::cmp::Reverse(f.total_benefit_ns));
     families
 }
 
@@ -174,11 +170,7 @@ mod tests {
         // (5 memcpys + 16 frees + 2 device syncs).
         assert_eq!(f.entries.len(), 23, "entries {}", f.entries.len());
         // 5 transfers carry both flags.
-        let both = f
-            .entries
-            .iter()
-            .filter(|e| e.is_sync_issue && e.is_transfer_issue)
-            .count();
+        let both = f.entries.iter().filter(|e| e.is_sync_issue && e.is_transfer_issue).count();
         assert_eq!(both, 5);
     }
 
@@ -201,17 +193,12 @@ mod tests {
     fn subsequence_is_monotone_in_range() {
         let r = als_result();
         let f = &r.families[0];
-        let full = family_subsequence_benefit(&r.report.analysis, f, 1, f.entries.len())
-            .unwrap();
-        let sub = family_subsequence_benefit(&r.report.analysis, f, 10, f.entries.len())
-            .unwrap();
+        let full = family_subsequence_benefit(&r.report.analysis, f, 1, f.entries.len()).unwrap();
+        let sub = family_subsequence_benefit(&r.report.analysis, f, 10, f.entries.len()).unwrap();
         assert!(sub <= full, "sub {sub} vs full {full}");
         assert!(sub > 0);
         // Paper Fig. 8: the 10..23 subsequence retains most of the value.
-        assert!(
-            sub as f64 > 0.3 * full as f64,
-            "sub {sub} should retain much of full {full}"
-        );
+        assert!(sub as f64 > 0.3 * full as f64, "sub {sub} should retain much of full {full}");
     }
 }
 
@@ -256,8 +243,7 @@ pub fn best_subsequence(
     let mut best: Option<SubsequenceChoice> = None;
     for from in 1..=n {
         for to in from..=n {
-            let Some(benefit_ns) = family_subsequence_benefit(analysis, family, from, to)
-            else {
+            let Some(benefit_ns) = family_subsequence_benefit(analysis, family, from, to) else {
                 continue;
             };
             let sites_to_edit = family
@@ -309,12 +295,8 @@ mod autoseq_tests {
         let r = als_result();
         let f = &r.families[0];
         let cheap = best_subsequence(&r.report.analysis, f, 0).unwrap();
-        let pricey =
-            best_subsequence(&r.report.analysis, f, cheap.benefit_ns / 8).unwrap();
-        assert!(
-            pricey.sites_to_edit < cheap.sites_to_edit,
-            "pricey {pricey:?} vs cheap {cheap:?}"
-        );
+        let pricey = best_subsequence(&r.report.analysis, f, cheap.benefit_ns / 8).unwrap();
+        assert!(pricey.sites_to_edit < cheap.sites_to_edit, "pricey {pricey:?} vs cheap {cheap:?}");
         assert!(pricey.benefit_ns > 0);
     }
 

@@ -18,6 +18,13 @@ impl DiogenesConfig {
     pub fn new() -> Self {
         Self { ffm: FfmConfig::default(), overview_rows: 8 }
     }
+
+    /// Builder-style override for the pipeline's worker-thread count
+    /// (`0` = auto via `DIOGENES_JOBS` / core count, `1` = sequential).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.ffm.jobs = jobs;
+        self
+    }
 }
 
 /// The tool's complete result for one application.

@@ -1,0 +1,50 @@
+//! Regression: the parallel pipeline must be *bit-identical* to the
+//! sequential one. `jobs = 1` takes the classic sequential path through
+//! `run_ffm`; `jobs = 4` exercises the concurrent stage DAG (stage 2,
+//! memory tracing and data hashing overlapped, stage 4 started early).
+//! Both must serialize to byte-for-byte the same JSON document — the
+//! stages are pure functions of the app recipe and the cost model, and
+//! the merge is field-union, so any divergence is a scheduling leak.
+
+use cuda_driver::GpuApp;
+use diogenes_apps::{AlsConfig, CumfAls, Gaussian, GaussianConfig, Pipelined, PipelinedConfig};
+use ffm_core::{report_to_json, run_ffm, FfmConfig};
+
+fn report_json(app: &dyn GpuApp, jobs: usize) -> String {
+    let report = run_ffm(app, &FfmConfig::default().with_jobs(jobs)).expect("pipeline runs");
+    report_to_json(&report).to_string_pretty()
+}
+
+fn assert_jobs_invariant(app: &dyn GpuApp) {
+    let sequential = report_json(app, 1);
+    for jobs in [2, 4] {
+        let parallel = report_json(app, jobs);
+        assert_eq!(sequential, parallel, "{}: jobs=1 and jobs={jobs} reports differ", app.name());
+    }
+}
+
+#[test]
+fn als_report_is_identical_at_any_job_count() {
+    assert_jobs_invariant(&CumfAls::new(AlsConfig::test_scale()));
+}
+
+#[test]
+fn gaussian_report_is_identical_at_any_job_count() {
+    assert_jobs_invariant(&Gaussian::new(GaussianConfig::test_scale()));
+}
+
+#[test]
+fn pipelined_report_is_identical_at_any_job_count() {
+    assert_jobs_invariant(&Pipelined::new(PipelinedConfig::test_scale()));
+}
+
+#[test]
+fn env_override_is_also_deterministic() {
+    // DIOGENES_JOBS is read by effective_jobs only when jobs == 0; an
+    // explicit jobs value must win and stay deterministic regardless.
+    let app = CumfAls::new(AlsConfig::test_scale());
+    std::env::set_var(ffm_core::JOBS_ENV, "3");
+    let auto = report_json(&app, 0);
+    std::env::remove_var(ffm_core::JOBS_ENV);
+    assert_eq!(report_json(&app, 1), auto, "env-selected job count changed the report");
+}

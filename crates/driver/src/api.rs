@@ -73,10 +73,7 @@ impl ApiFn {
     /// Whether this is part of the documented public API. Private entry
     /// points are never reported by the vendor collection framework.
     pub fn is_public(&self) -> bool {
-        !matches!(
-            self,
-            ApiFn::PrivateLaunch | ApiFn::PrivateMemcpy | ApiFn::PrivateSync
-        )
+        !matches!(self, ApiFn::PrivateLaunch | ApiFn::PrivateMemcpy | ApiFn::PrivateSync)
     }
 
     /// Whether the vendor documentation describes this call as performing

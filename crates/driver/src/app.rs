@@ -14,7 +14,13 @@ use crate::error::CudaResult;
 /// Implementations must be deterministic with respect to the driver calls
 /// they issue (the paper notes FFM "performs best when the execution
 /// pattern of the application does not change dramatically between runs").
-pub trait GpuApp {
+///
+/// `Send + Sync` is a supertrait so one recipe can be re-run from several
+/// measurement threads at once: each stage of the parallel pipeline holds
+/// `&dyn GpuApp` while building its own private context. Apps are input
+/// descriptions, not live program state, so this costs implementors
+/// nothing in practice.
+pub trait GpuApp: Send + Sync {
     /// Short name for reports ("cumf_als").
     fn name(&self) -> &'static str;
 

@@ -42,6 +42,7 @@ impl CublasLite {
     /// Launches a private kernel writing `c`, then synchronizes through
     /// the private API — the synchronization is invisible to the vendor
     /// collection framework but caught by internal-function interception.
+    #[allow(clippy::too_many_arguments)]
     pub fn gemm(
         &self,
         cuda: &mut Cuda,
@@ -137,14 +138,8 @@ mod tests {
         blas.gemm(&mut cuda, 64, 64, 64, c, 1024, site()).unwrap();
         let spy = spy.borrow();
         assert_eq!(spy.private_waits, 1);
-        assert!(spy
-            .api_calls
-            .iter()
-            .any(|(a, v)| *a == ApiFn::PrivateLaunch && *v));
-        assert!(spy
-            .api_calls
-            .iter()
-            .any(|(a, v)| *a == ApiFn::PrivateSync && *v));
+        assert!(spy.api_calls.iter().any(|(a, v)| *a == ApiFn::PrivateLaunch && *v));
+        assert!(spy.api_calls.iter().any(|(a, v)| *a == ApiFn::PrivateSync && *v));
     }
 
     #[test]
@@ -185,10 +180,6 @@ mod tests {
         let got = cuda.machine.host_read_raw(h, 16).unwrap();
         assert_ne!(got, vec![0u8; 16]);
         // a private wait happened (synchronous private copy)
-        assert!(cuda
-            .machine
-            .timeline
-            .waits()
-            .any(|w| w.1 == WaitReason::Private));
+        assert!(cuda.machine.timeline.waits().any(|w| w.1 == WaitReason::Private));
     }
 }

@@ -114,11 +114,12 @@ impl Cuda {
     /// Fixed CPU cost of one shim interception (a patched branch).
     const SHIM_NS: Ns = 80;
 
-    fn policy_has(&self, which: fn(&FixPolicy) -> &std::collections::HashSet<u64>, site: SourceLoc) -> bool {
-        self.fix_policy
-            .as_ref()
-            .map(|p| which(p).contains(&site.addr()))
-            .unwrap_or(false)
+    fn policy_has(
+        &self,
+        which: fn(&FixPolicy) -> &std::collections::HashSet<u64>,
+        site: SourceLoc,
+    ) -> bool {
+        self.fix_policy.as_ref().map(|p| which(p).contains(&site.addr())).unwrap_or(false)
     }
 
     /// The hook registry measurement layers attach to.
@@ -192,20 +193,12 @@ impl Cuda {
 
     /// The internal synchronization funnel (paper Fig. 3): block until
     /// `target`, reporting the wait through hook events.
-    fn sync_wait(
-        &mut self,
-        call_id: u64,
-        target: Ns,
-        reason: WaitReason,
-        op: Option<OpId>,
-    ) -> Ns {
+    fn sync_wait(&mut self, call_id: u64, target: Ns, reason: WaitReason, op: Option<OpId>) -> Ns {
         let api = self.current_api();
         self.emit(HookEvent::InternalEnter { call_id, func: InternalFn::SyncWait });
         let entry_cost = self.machine.cost.sync_entry_ns;
         self.machine.record(CpuEventKind::DriverCall { api }, entry_cost);
-        let span = self
-            .machine
-            .record_until(CpuEventKind::Wait { api, reason, op }, target);
+        let span = self.machine.record_until(CpuEventKind::Wait { api, reason, op }, target);
         self.emit(HookEvent::InternalExit {
             call_id,
             func: InternalFn::SyncWait,
@@ -276,17 +269,12 @@ impl Cuda {
             });
         }
         let ptr = DevPtr(self.machine.dev.alloc(bytes, HostAllocKind::Pageable));
-        self.api_call(
-            ApiFn::CudaMalloc,
-            CallInfo::Alloc { bytes, ptr },
-            site,
-            |s, id| {
-                s.charge_driver_entry();
-                let cost = s.machine.cost.alloc_ns(bytes);
-                s.internal(InternalFn::AllocDevice, id, cost);
-                Ok(ptr)
-            },
-        )
+        self.api_call(ApiFn::CudaMalloc, CallInfo::Alloc { bytes, ptr }, site, |s, id| {
+            s.charge_driver_entry();
+            let cost = s.machine.cost.alloc_ns(bytes);
+            s.internal(InternalFn::AllocDevice, id, cost);
+            Ok(ptr)
+        })
     }
 
     /// `cudaFree`: release device memory. **Implicitly synchronizes the
@@ -378,6 +366,7 @@ impl Cuda {
 
     // ---- transfers ----------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn do_transfer(
         &mut self,
         api: ApiFn,
@@ -405,10 +394,7 @@ impl Cuda {
         self.internal(InternalFn::Enqueue, call_id, 0);
         let dur = self.machine.cost.transfer_ns(bytes, dir, pinned);
         let now = self.machine.now();
-        let op = self
-            .machine
-            .device
-            .enqueue(now, stream, GpuOpKind::Transfer { dir, bytes }, dur);
+        let op = self.machine.device.enqueue(now, stream, GpuOpKind::Transfer { dir, bytes }, dur);
         let launch_span_kind = CpuEventKind::Launch { api: api_name, op: Some(op) };
         self.machine.record(launch_span_kind, 0);
         // Expose the payload to interceptors (stage 3 hashing) before any
@@ -547,7 +533,16 @@ impl Cuda {
         };
         self.api_call(ApiFn::CudaMemcpyAsync, info, site, |s, id| {
             s.charge_driver_entry();
-            s.do_transfer(ApiFn::CudaMemcpyAsync, id, Direction::HtoD, src, dst, bytes, stream, None)
+            s.do_transfer(
+                ApiFn::CudaMemcpyAsync,
+                id,
+                Direction::HtoD,
+                src,
+                dst,
+                bytes,
+                stream,
+                None,
+            )
         })
     }
 
@@ -594,9 +589,18 @@ impl Cuda {
         };
         self.api_call(ApiFn::CudaMemcpyAsync, info, site, |s, id| {
             s.charge_driver_entry();
-            let reason = (!pinned && s.config.async_dtoh_pageable_sync)
-                .then_some(WaitReason::Conditional);
-            s.do_transfer(ApiFn::CudaMemcpyAsync, id, Direction::DtoH, dst, src, bytes, stream, reason)
+            let reason =
+                (!pinned && s.config.async_dtoh_pageable_sync).then_some(WaitReason::Conditional);
+            s.do_transfer(
+                ApiFn::CudaMemcpyAsync,
+                id,
+                Direction::DtoH,
+                dst,
+                src,
+                bytes,
+                stream,
+                reason,
+            )
         })
     }
 
@@ -605,13 +609,7 @@ impl Cuda {
     /// **Conditional synchronization**: when the destination is unified
     /// (managed) memory the call blocks until the device-side set
     /// completes — the pathology Diogenes found in AMG.
-    pub fn memset(
-        &mut self,
-        dst: u64,
-        value: u8,
-        bytes: u64,
-        site: SourceLoc,
-    ) -> CudaResult<()> {
+    pub fn memset(&mut self, dst: u64, value: u8, bytes: u64, site: SourceLoc) -> CudaResult<()> {
         let unified = matches!(self.machine.host.kind_of(dst), Some(HostAllocKind::Unified));
         let is_device = self.machine.dev.is_mapped(dst);
         if !unified && !is_device {
@@ -632,10 +630,8 @@ impl Cuda {
                 dur *= s.config.unified_memset_penalty.max(1);
             }
             let now = s.machine.now();
-            let op = s
-                .machine
-                .device
-                .enqueue(now, StreamId::DEFAULT, GpuOpKind::Memset { bytes }, dur);
+            let op =
+                s.machine.device.enqueue(now, StreamId::DEFAULT, GpuOpKind::Memset { bytes }, dur);
             let api = s.current_api();
             s.machine.record(CpuEventKind::Launch { api, op: Some(op) }, 0);
             if unified && s.config.memset_unified_sync {
@@ -705,15 +701,10 @@ impl Cuda {
         let stream = StreamId(self.next_stream);
         self.next_stream += 1;
         self.created_streams.push(stream);
-        self.api_call(
-            ApiFn::CudaStreamCreate,
-            CallInfo::StreamCreate { stream },
-            site,
-            |s, _id| {
-                s.charge_driver_entry();
-                Ok(stream)
-            },
-        )
+        self.api_call(ApiFn::CudaStreamCreate, CallInfo::StreamCreate { stream }, site, |s, _id| {
+            s.charge_driver_entry();
+            Ok(stream)
+        })
     }
 
     /// `cudaLaunchKernel`: asynchronous kernel launch.
@@ -750,13 +741,9 @@ impl Cuda {
             s.internal(InternalFn::Enqueue, id, 0);
             let launch_cost = s.machine.cost.kernel_launch_ns;
             let now = s.machine.now();
-            let op = s
-                .machine
-                .device
-                .enqueue(now, stream, GpuOpKind::Kernel { name }, dur);
+            let op = s.machine.device.enqueue(now, stream, GpuOpKind::Kernel { name }, dur);
             let api_name = s.current_api();
-            s.machine
-                .record(CpuEventKind::Launch { api: api_name, op: Some(op) }, launch_cost);
+            s.machine.record(CpuEventKind::Launch { api: api_name, op: Some(op) }, launch_cost);
             // Materialize output contents ("the GPU computed new data").
             for b in &desc.writes {
                 let data = desc.output_bytes(launch_index, b.bytes);
@@ -808,16 +795,11 @@ impl Cuda {
         if self.machine.host.size_of(ptr.0).is_none() {
             return Err(CudaError::InvalidHostPointer { addr: ptr.0 });
         }
-        self.api_call(
-            ApiFn::CudaHostUnregister,
-            CallInfo::HostFree { ptr },
-            site,
-            |s, _id| {
-                s.charge_driver_entry();
-                s.machine.host.set_kind(ptr.0, HostAllocKind::Pageable)?;
-                Ok(())
-            },
-        )
+        self.api_call(ApiFn::CudaHostUnregister, CallInfo::HostFree { ptr }, site, |s, _id| {
+            s.charge_driver_entry();
+            s.machine.host.set_kind(ptr.0, HostAllocKind::Pageable)?;
+            Ok(())
+        })
     }
 
     // ---- events ----------------------------------------------------------------
@@ -929,23 +911,18 @@ impl Cuda {
     /// entry point. The wait reason is [`WaitReason::Private`].
     pub fn private_sync(&mut self, stream: StreamId, site: SourceLoc) -> CudaResult<()> {
         self.check_stream(stream)?;
-        self.api_call(
-            ApiFn::PrivateSync,
-            CallInfo::Sync { stream: Some(stream) },
-            site,
-            |s, id| {
-                let cost = if s.config.private_api_discount {
-                    s.machine.cost.driver_call_ns / 2
-                } else {
-                    s.machine.cost.driver_call_ns
-                };
-                let api = s.current_api();
-                s.machine.record(CpuEventKind::DriverCall { api }, cost);
-                let target = s.machine.device.stream_completion(stream);
-                s.sync_wait(id, target, WaitReason::Private, None);
-                Ok(())
-            },
-        )
+        self.api_call(ApiFn::PrivateSync, CallInfo::Sync { stream: Some(stream) }, site, |s, id| {
+            let cost = if s.config.private_api_discount {
+                s.machine.cost.driver_call_ns / 2
+            } else {
+                s.machine.cost.driver_call_ns
+            };
+            let api = s.current_api();
+            s.machine.record(CpuEventKind::DriverCall { api }, cost);
+            let target = s.machine.device.stream_completion(stream);
+            s.sync_wait(id, target, WaitReason::Private, None);
+            Ok(())
+        })
     }
 
     /// Private device-to-host copy used by vendor libraries. Synchronous,
@@ -1098,20 +1075,12 @@ mod tests {
         let pageable = c.host_malloc(100_000);
         let pinned = c.malloc_host(100_000, site()).unwrap();
         c.memcpy_dtoh_async(pageable, d, 100_000, stream, site()).unwrap();
-        let conditional_waits = c
-            .machine
-            .timeline
-            .waits()
-            .filter(|w| w.1 == gpu_sim::WaitReason::Conditional)
-            .count();
+        let conditional_waits =
+            c.machine.timeline.waits().filter(|w| w.1 == gpu_sim::WaitReason::Conditional).count();
         assert_eq!(conditional_waits, 1, "pageable D2H async must hide a sync");
         c.memcpy_dtoh_async(pinned, d, 100_000, stream, site()).unwrap();
-        let conditional_waits = c
-            .machine
-            .timeline
-            .waits()
-            .filter(|w| w.1 == gpu_sim::WaitReason::Conditional)
-            .count();
+        let conditional_waits =
+            c.machine.timeline.waits().filter(|w| w.1 == gpu_sim::WaitReason::Conditional).count();
         assert_eq!(conditional_waits, 1, "pinned D2H async must not sync");
     }
 
@@ -1122,20 +1091,12 @@ mod tests {
         let dev = c.malloc(4096, site()).unwrap();
         c.memset(man.0, 0, 4096, site()).unwrap();
         assert_eq!(
-            c.machine
-                .timeline
-                .waits()
-                .filter(|w| w.1 == gpu_sim::WaitReason::Conditional)
-                .count(),
+            c.machine.timeline.waits().filter(|w| w.1 == gpu_sim::WaitReason::Conditional).count(),
             1
         );
         c.memset(dev.0, 0, 4096, site()).unwrap();
         assert_eq!(
-            c.machine
-                .timeline
-                .waits()
-                .filter(|w| w.1 == gpu_sim::WaitReason::Conditional)
-                .count(),
+            c.machine.timeline.waits().filter(|w| w.1 == gpu_sim::WaitReason::Conditional).count(),
             1,
             "device memset must not synchronize"
         );
@@ -1218,9 +1179,7 @@ mod tests {
         impl DriverHook for SyncSpy {
             fn on_event(&mut self, ev: &HookEvent, _m: &mut Machine) {
                 if let HookEvent::InternalExit {
-                    func: InternalFn::SyncWait,
-                    reason: Some(r),
-                    ..
+                    func: InternalFn::SyncWait, reason: Some(r), ..
                 } = ev
                 {
                     self.reasons.push(*r);
@@ -1284,8 +1243,7 @@ mod tests {
         impl DriverHook for StackSpy {
             fn on_event(&mut self, ev: &HookEvent, m: &mut Machine) {
                 if matches!(ev, HookEvent::InternalEnter { func: InternalFn::SyncWait, .. }) {
-                    self.leaf =
-                        m.capture_stack().leaf().map(|f| f.function.clone().into_owned());
+                    self.leaf = m.capture_stack().leaf().map(|f| f.function.clone().into_owned());
                 }
             }
         }

@@ -74,12 +74,7 @@ pub enum HookEvent {
     /// Exit from an internal driver function. For [`InternalFn::SyncWait`]
     /// the waited duration and reason are reported; other internal
     /// functions always report zero.
-    InternalExit {
-        call_id: u64,
-        func: InternalFn,
-        waited_ns: Ns,
-        reason: Option<WaitReason>,
-    },
+    InternalExit { call_id: u64, func: InternalFn, waited_ns: Ns, reason: Option<WaitReason> },
     /// A transfer's payload became stable and observable (fires for every
     /// transfer, with the concrete source bytes available via the machine
     /// when the hook runs). Used by stage 3's hashing interceptor.
@@ -118,9 +113,11 @@ pub trait DriverHook {
 /// layer can keep handles to its own hook state (trace buffers) while the
 /// driver owns the dispatch list. A simulation is single-threaded; whole
 /// simulations run in parallel by constructing independent machines.
+type HookList = Rc<RefCell<Vec<Rc<RefCell<dyn DriverHook>>>>>;
+
 #[derive(Clone, Default)]
 pub struct HookRegistry {
-    hooks: Rc<RefCell<Vec<Rc<RefCell<dyn DriverHook>>>>>,
+    hooks: HookList,
 }
 
 impl HookRegistry {
@@ -205,10 +202,7 @@ mod tests {
         reg.clear();
         assert!(reg.is_empty());
         let mut m = Machine::new(CostModel::unit());
-        reg.emit(
-            &HookEvent::InternalEnter { call_id: 1, func: InternalFn::Enqueue },
-            &mut m,
-        );
+        reg.emit(&HookEvent::InternalEnter { call_id: 1, func: InternalFn::Enqueue }, &mut m);
         assert!(a.borrow().seen.is_empty());
     }
 

@@ -1,6 +1,9 @@
 //! Property-based tests of driver/machine invariants under random
 //! operation sequences.
 
+// Gated: run with `--features extern-testing` (see workspace README).
+#![cfg(feature = "extern-testing")]
+
 use cuda_driver::{Cuda, KernelDesc};
 use gpu_sim::{CostModel, SourceLoc, StreamId};
 use proptest::prelude::*;
@@ -60,8 +63,7 @@ fn run_actions(actions: &[Action]) -> Cuda {
             }
             Action::Launch { dur, stream } => {
                 let k = KernelDesc::compute("pk", *dur);
-                cuda.launch_kernel(&k, streams[(*stream as usize) % streams.len()], site)
-                    .unwrap();
+                cuda.launch_kernel(&k, streams[(*stream as usize) % streams.len()], site).unwrap();
             }
             Action::MemcpyH2D { bytes } => {
                 cuda.memcpy_htod(base, h, *bytes, site).unwrap();

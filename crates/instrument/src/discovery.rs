@@ -58,9 +58,8 @@ pub fn identify_sync_function(cost: CostModel) -> CudaResult<Discovery> {
     // A known synchronous function: where does the CPU wait?
     cuda.device_synchronize(site)?;
 
-    let waits = Rc::try_unwrap(waits)
-        .map(RefCell::into_inner)
-        .unwrap_or_else(|rc| rc.borrow().clone());
+    let waits =
+        Rc::try_unwrap(waits).map(RefCell::into_inner).unwrap_or_else(|rc| rc.borrow().clone());
     let sync_fn = waits
         .iter()
         .max_by_key(|(_, &w)| w)

@@ -35,14 +35,7 @@ pub struct LoadStoreWatcher {
 
 impl LoadStoreWatcher {
     pub fn new(callback: AccessCallback) -> Self {
-        Self {
-            ranges: Vec::new(),
-            site_filter: None,
-            armed: true,
-            callback,
-            hits: 0,
-            inspected: 0,
-        }
+        Self { ranges: Vec::new(), site_filter: None, armed: true, callback, hits: 0, inspected: 0 }
     }
 
     /// Create, wrap and install as the machine's access sink.
@@ -58,8 +51,7 @@ impl LoadStoreWatcher {
     ) -> Rc<RefCell<LoadStoreWatcher>> {
         let w = Rc::new(RefCell::new(LoadStoreWatcher::new(callback)));
         cuda.machine.set_access_sink(Some(w.clone()));
-        cuda.machine
-            .set_cpu_work_dilation_pct(if full_program { 900 } else { 130 });
+        cuda.machine.set_cpu_work_dilation_pct(if full_program { 900 } else { 130 });
         w
     }
 
@@ -123,6 +115,7 @@ mod tests {
     use super::*;
     use gpu_sim::{AccessKind, CostModel, HostAllocKind};
 
+    #[allow(clippy::type_complexity)]
     fn setup() -> (Cuda, Rc<RefCell<LoadStoreWatcher>>, Rc<RefCell<Vec<Access>>>) {
         let mut cuda = Cuda::new(CostModel::unit());
         let log: Rc<RefCell<Vec<Access>>> = Rc::new(RefCell::new(vec![]));
@@ -172,9 +165,7 @@ mod tests {
         w.borrow_mut().watch_range(a.0, 64);
         w.borrow_mut().set_armed(false);
         let before = cuda.machine.now();
-        cuda.machine
-            .host_read_app(a, 8, SourceLoc::new("x", 1))
-            .unwrap();
+        cuda.machine.host_read_app(a, 8, SourceLoc::new("x", 1)).unwrap();
         assert_eq!(log.borrow().len(), 0);
         assert_eq!(cuda.machine.now(), before, "no overhead while disarmed");
     }
@@ -185,9 +176,7 @@ mod tests {
         let a = cuda.machine.host_alloc(64, HostAllocKind::Pageable);
         w.borrow_mut().watch_range(a.0, 64);
         let before = cuda.machine.now();
-        cuda.machine
-            .host_write_app(a, &[1, 2, 3], SourceLoc::new("x", 1))
-            .unwrap();
+        cuda.machine.host_write_app(a, &[1, 2, 3], SourceLoc::new("x", 1)).unwrap();
         assert!(cuda.machine.now() > before);
     }
 
@@ -197,9 +186,7 @@ mod tests {
         let a = cuda.machine.host_alloc(64, HostAllocKind::Pageable);
         w.borrow_mut().watch_range(a.0, 64);
         w.borrow_mut().unwatch_start(a.0);
-        cuda.machine
-            .host_read_app(a, 8, SourceLoc::new("x", 1))
-            .unwrap();
+        cuda.machine.host_read_app(a, 8, SourceLoc::new("x", 1)).unwrap();
         assert!(log.borrow().is_empty());
         assert_eq!(w.borrow().range_count(), 0);
     }

@@ -50,10 +50,7 @@ impl ProbeSpec {
 
     /// Wrap every internal function (discovery configuration).
     pub fn all_internals() -> Self {
-        Self {
-            internals: InternalFn::all().iter().copied().collect(),
-            ..Self::default()
-        }
+        Self { internals: InternalFn::all().iter().copied().collect(), ..Self::default() }
     }
 
     /// Wrap a specific set of API functions plus the sync funnel
@@ -168,10 +165,10 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::type_complexity)]
     fn sync_funnel_probe_sees_implicit_syncs_with_stacks() {
         let mut cuda = Cuda::new(CostModel::unit());
-        let seen: Rc<RefCell<Vec<(InternalFn, Option<String>)>>> =
-            Rc::new(RefCell::new(vec![]));
+        let seen: Rc<RefCell<Vec<(InternalFn, Option<String>)>>> = Rc::new(RefCell::new(vec![]));
         let seen2 = seen.clone();
         FunctionProbe::install(
             &mut cuda,
@@ -260,11 +257,8 @@ mod tests {
     #[test]
     fn hit_counter_counts() {
         let mut cuda = Cuda::new(CostModel::unit());
-        let p = FunctionProbe::install(
-            &mut cuda,
-            ProbeSpec::all_internals(),
-            Box::new(|_h, _m| {}),
-        );
+        let p =
+            FunctionProbe::install(&mut cuda, ProbeSpec::all_internals(), Box::new(|_h, _m| {}));
         cuda.malloc(64, site()).unwrap();
         assert!(p.borrow().hits >= 2, "alloc internal enter+exit");
     }

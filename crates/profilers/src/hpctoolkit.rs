@@ -156,8 +156,9 @@ mod tests {
 
     #[test]
     fn agrees_with_nvprof_on_ordering_but_reports_less() {
-        let hp = run_hpctoolkit(&SyncHeavy, &CostModel::pascal_like(), &HpctoolkitConfig::default())
-            .unwrap();
+        let hp =
+            run_hpctoolkit(&SyncHeavy, &CostModel::pascal_like(), &HpctoolkitConfig::default())
+                .unwrap();
         let nv =
             run_nvprof(&SyncHeavy, &CostModel::pascal_like(), &NvprofConfig::default()).unwrap();
         let hp = hp.profile().unwrap();
@@ -189,12 +190,9 @@ mod tests {
 
     #[test]
     fn vendor_library_time_lands_in_unwind_failure_bucket() {
-        let out = run_hpctoolkit(
-            &VendorHeavy,
-            &CostModel::pascal_like(),
-            &HpctoolkitConfig::default(),
-        )
-        .unwrap();
+        let out =
+            run_hpctoolkit(&VendorHeavy, &CostModel::pascal_like(), &HpctoolkitConfig::default())
+                .unwrap();
         let p = out.profile().unwrap();
         let u = p.entry("<unwind failure>").expect("bucket exists");
         assert!(u.percent > 50.0, "gemm syncs dominate: {}", u.percent);

@@ -98,8 +98,8 @@ mod tests {
 
     #[test]
     fn attributes_wait_time_to_the_sync_call() {
-        let out = run_nvprof(&SyncHeavy, &CostModel::pascal_like(), &NvprofConfig::default())
-            .unwrap();
+        let out =
+            run_nvprof(&SyncHeavy, &CostModel::pascal_like(), &NvprofConfig::default()).unwrap();
         let p = out.profile().expect("completes");
         let top = &p.entries[0];
         assert_eq!(top.name, "cudaDeviceSynchronize");
@@ -108,9 +108,8 @@ mod tests {
 
     #[test]
     fn small_buffer_crashes_the_profiler() {
-        let cfg = NvprofConfig {
-            cupti: CuptiConfig { buffer_capacity: 3, ..CuptiConfig::default() },
-        };
+        let cfg =
+            NvprofConfig { cupti: CuptiConfig { buffer_capacity: 3, ..CuptiConfig::default() } };
         let out = run_nvprof(&SyncHeavy, &CostModel::pascal_like(), &cfg).unwrap();
         assert!(out.crashed());
         if let ProfileOutcome::Crashed { reason, .. } = out {
@@ -138,14 +137,9 @@ mod tests {
     #[test]
     fn private_api_time_is_invisible_to_nvprof() {
         let out =
-            run_nvprof(&PrivateHeavy, &CostModel::pascal_like(), &NvprofConfig::default())
-                .unwrap();
+            run_nvprof(&PrivateHeavy, &CostModel::pascal_like(), &NvprofConfig::default()).unwrap();
         let p = out.profile().unwrap();
-        assert!(
-            p.entries.iter().all(|e| !e.name.contains("private")),
-            "{:?}",
-            p.entries
-        );
+        assert!(p.entries.iter().all(|e| !e.name.contains("private")), "{:?}", p.entries);
         // Almost all execution time is in private gemm syncs that nvprof
         // cannot see: attributed total is a small fraction of exec.
         let attributed: Ns = p.entries.iter().map(|e| e.total_ns).sum();

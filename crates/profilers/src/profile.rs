@@ -39,8 +39,7 @@ impl Profile {
         exec_ns: Ns,
         totals: impl IntoIterator<Item = (String, Ns)>,
     ) -> Profile {
-        let mut rows: Vec<(String, Ns)> =
-            totals.into_iter().filter(|(_, t)| *t > 0).collect();
+        let mut rows: Vec<(String, Ns)> = totals.into_iter().filter(|(_, t)| *t > 0).collect();
         rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let entries = rows
             .into_iter()
@@ -48,11 +47,7 @@ impl Profile {
             .map(|(i, (name, total_ns))| ProfileEntry {
                 name,
                 total_ns,
-                percent: if exec_ns == 0 {
-                    0.0
-                } else {
-                    total_ns as f64 * 100.0 / exec_ns as f64
-                },
+                percent: if exec_ns == 0 { 0.0 } else { total_ns as f64 * 100.0 / exec_ns as f64 },
                 position: i + 1,
             })
             .collect();
@@ -91,11 +86,7 @@ mod tests {
             "test",
             "app".into(),
             1000,
-            vec![
-                ("b".to_string(), 100),
-                ("a".to_string(), 500),
-                ("c".to_string(), 0),
-            ],
+            vec![("b".to_string(), 100), ("a".to_string(), 500), ("c".to_string(), 0)],
         );
         assert_eq!(p.entries.len(), 2, "zero rows dropped");
         assert_eq!(p.entries[0].name, "a");

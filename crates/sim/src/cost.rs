@@ -195,10 +195,7 @@ mod tests {
         let c = CostModel::pascal_like();
         let pageable = c.transfer_ns(1 << 20, Direction::HtoD, false);
         let pinned = c.transfer_ns(1 << 20, Direction::HtoD, true);
-        assert!(
-            pinned < pageable,
-            "pinned {pinned} should beat pageable {pageable}"
-        );
+        assert!(pinned < pageable, "pinned {pinned} should beat pageable {pageable}");
     }
 
     #[test]
@@ -212,10 +209,7 @@ mod tests {
     #[test]
     fn zero_byte_transfer_still_costs_latency() {
         let c = CostModel::pascal_like();
-        assert_eq!(
-            c.transfer_ns(0, Direction::HtoD, false),
-            c.transfer_latency_ns
-        );
+        assert_eq!(c.transfer_ns(0, Direction::HtoD, false), c.transfer_latency_ns);
     }
 
     #[test]

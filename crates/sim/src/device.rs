@@ -120,13 +120,7 @@ impl Device {
     ///
     /// Returns the operation id; its resolved timing can be queried via
     /// [`Device::op`]. Also returns a fresh correlation id via the op.
-    pub fn enqueue(
-        &mut self,
-        now: Ns,
-        stream: StreamId,
-        kind: GpuOpKind,
-        duration: Ns,
-    ) -> OpId {
+    pub fn enqueue(&mut self, now: Ns, stream: StreamId, kind: GpuOpKind, duration: Ns) -> OpId {
         let engine = kind.engine();
         let stream_ready = self.stream_tail.get(&stream).copied().unwrap_or(0);
         let engine_ready = self.engine_tail[engine_index(engine)];
@@ -175,12 +169,7 @@ impl Device {
 
     /// Device busy time restricted to a window.
     pub fn busy_in(&self, window: Span) -> Ns {
-        merged_duration(
-            self.ops
-                .iter()
-                .filter_map(|o| o.span().intersect(&window))
-                .collect(),
-        )
+        merged_duration(self.ops.iter().filter_map(|o| o.span().intersect(&window)).collect())
     }
 
     /// Device idle time inside `window` (window length minus busy time).
@@ -232,12 +221,8 @@ mod tests {
     fn copy_and_compute_overlap() {
         let mut d = Device::new();
         d.enqueue(0, StreamId(1), kernel("a"), 100);
-        let t = d.enqueue(
-            0,
-            StreamId(2),
-            GpuOpKind::Transfer { dir: Direction::HtoD, bytes: 10 },
-            80,
-        );
+        let t =
+            d.enqueue(0, StreamId(2), GpuOpKind::Transfer { dir: Direction::HtoD, bytes: 10 }, 80);
         // Copy engine is free: transfer overlaps the kernel.
         assert_eq!(d.op(t).span(), Span::new(0, 80));
         assert_eq!(d.busy_ns(), 100);
@@ -246,12 +231,8 @@ mod tests {
     #[test]
     fn same_stream_copy_then_kernel_orders_across_engines() {
         let mut d = Device::new();
-        let t = d.enqueue(
-            0,
-            StreamId(3),
-            GpuOpKind::Transfer { dir: Direction::HtoD, bytes: 10 },
-            40,
-        );
+        let t =
+            d.enqueue(0, StreamId(3), GpuOpKind::Transfer { dir: Direction::HtoD, bytes: 10 }, 40);
         let k = d.enqueue(0, StreamId(3), kernel("k"), 60);
         assert_eq!(d.op(t).end_ns, 40);
         // Kernel on the same stream waits for the transfer even though the
@@ -273,12 +254,7 @@ mod tests {
     fn stream_completion_is_per_stream() {
         let mut d = Device::new();
         d.enqueue(0, StreamId(1), kernel("a"), 100);
-        d.enqueue(
-            0,
-            StreamId(2),
-            GpuOpKind::Transfer { dir: Direction::DtoH, bytes: 1 },
-            10,
-        );
+        d.enqueue(0, StreamId(2), GpuOpKind::Transfer { dir: Direction::DtoH, bytes: 1 }, 10);
         assert_eq!(d.stream_completion(StreamId(1)), 100);
         assert_eq!(d.stream_completion(StreamId(2)), 10);
         assert_eq!(d.stream_completion(StreamId(9)), 0);

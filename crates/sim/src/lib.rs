@@ -36,21 +36,23 @@
 #![warn(rust_2018_idioms)]
 
 pub mod clock;
-pub mod digest;
 pub mod cost;
 pub mod device;
+pub mod digest;
 pub mod machine;
 pub mod memory;
+pub mod rng;
 pub mod stack;
 pub mod timeline;
 
 pub use clock::{Ns, Span, VirtualClock, NEVER};
-pub use digest::Digest;
 pub use cost::{CostModel, Direction};
 pub use device::{Device, EngineClass, GpuOp, GpuOpKind, OpId, StreamId};
+pub use digest::Digest;
 pub use machine::{AccessSink, Machine, SharedAccessSink};
 pub use memory::{
     Access, AccessKind, AddressSpace, DevPtr, HostAllocKind, HostPtr, MemError, Range,
 };
+pub use rng::SplitMix64;
 pub use stack::{fnv1a_64, fold_template_name, Frame, SourceLoc, StackTrace};
 pub use timeline::{CpuEvent, CpuEventKind, Timeline, WaitReason};

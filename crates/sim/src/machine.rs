@@ -9,13 +9,11 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use crate::clock::{Ns, Span, VirtualClock};
 use crate::cost::CostModel;
 use crate::device::Device;
 use crate::memory::{Access, AccessKind, AddressSpace, HostAllocKind, HostPtr, MemError};
+use crate::rng::SplitMix64;
 use crate::stack::{Frame, SourceLoc, StackTrace};
 use crate::timeline::{CpuEventKind, Timeline};
 
@@ -46,7 +44,7 @@ pub struct Machine {
     pub timeline: Timeline,
     callstack: Vec<Frame>,
     access_sink: Option<SharedAccessSink>,
-    rng: SmallRng,
+    rng: SplitMix64,
     /// Count of application load/store accesses issued (watched or not).
     pub app_accesses: u64,
     /// Slowdown applied to application CPU work while full-program
@@ -82,7 +80,7 @@ impl Machine {
             timeline: Timeline::new(),
             callstack: Vec::new(),
             access_sink: None,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             app_accesses: 0,
             cpu_dilation_pct: 100,
         }
@@ -100,7 +98,7 @@ impl Machine {
         if ppm == 0 || ns == 0 {
             return ns;
         }
-        let delta = self.rng.gen_range(-(ppm as i64)..=(ppm as i64));
+        let delta = self.rng.range_i64(-(ppm as i64), ppm as i64);
         let adjusted = ns as i128 + (ns as i128 * delta as i128) / 1_000_000;
         adjusted.max(0) as Ns
     }
@@ -143,8 +141,7 @@ impl Machine {
         }
         let start = self.now();
         let end = self.clock.advance(ns);
-        self.timeline
-            .push(CpuEventKind::Overhead { what }, Span::new(start, end));
+        self.timeline.push(CpuEventKind::Overhead { what }, Span::new(start, end));
     }
 
     /// Record an arbitrary timeline event spanning the clock advance of

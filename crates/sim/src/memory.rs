@@ -147,10 +147,7 @@ impl AddressSpace {
         let base = self.next;
         let padded = size.max(1).div_ceil(256) * 256;
         self.next += padded + 256;
-        self.allocs.insert(
-            base,
-            Alloc { base, data: vec![0u8; size.max(1) as usize], kind },
-        );
+        self.allocs.insert(base, Alloc { base, data: vec![0u8; size.max(1) as usize], kind });
         self.live_bytes += size.max(1);
         self.total_allocs += 1;
         base

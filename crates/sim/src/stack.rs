@@ -192,10 +192,7 @@ mod tests {
 
     #[test]
     fn fold_template_name_handles_nesting() {
-        assert_eq!(
-            fold_template_name("f<pair<int, vec<float>>>::g<int>"),
-            "f::g"
-        );
+        assert_eq!(fold_template_name("f<pair<int, vec<float>>>::g<int>"), "f::g");
         assert_eq!(fold_template_name("no_templates"), "no_templates");
     }
 

@@ -133,20 +133,14 @@ impl Timeline {
 
     /// Sum of event durations matching a predicate.
     pub fn sum_where(&self, pred: impl Fn(&CpuEvent) -> bool) -> Ns {
-        self.events
-            .iter()
-            .filter(|e| pred(e))
-            .map(|e| e.span.duration())
-            .sum()
+        self.events.iter().filter(|e| pred(e)).map(|e| e.span.duration()).sum()
     }
 
     /// The event active at time `t`, if any (events never overlap).
     pub fn event_at(&self, t: Ns) -> Option<&CpuEvent> {
         // Events are sorted by start; binary search for the candidate.
         let idx = self.events.partition_point(|e| e.span.start <= t);
-        idx.checked_sub(1)
-            .map(|i| &self.events[i])
-            .filter(|e| e.span.contains(t))
+        idx.checked_sub(1).map(|i| &self.events[i]).filter(|e| e.span.contains(t))
     }
 
     /// Iterate waits with their reasons, for tests and the harness.

@@ -5,7 +5,9 @@
 //! Run with: `cargo run --release --example als_tuning_walkthrough`
 
 use cuda_driver::uninstrumented_exec_time;
-use diogenes::{render_overview, render_sequence, render_subsequence, run_diogenes, DiogenesConfig};
+use diogenes::{
+    render_overview, render_sequence, render_subsequence, run_diogenes, DiogenesConfig,
+};
 use diogenes_apps::{AlsConfig, AlsFixes, CumfAls};
 use gpu_sim::CostModel;
 

@@ -9,7 +9,7 @@
 
 use cuda_driver::{Cuda, CudaResult, DriverConfig, GpuApp, KernelDesc};
 use ffm_core::{analyze, stages, AnalysisConfig};
-use gpu_sim::{CostModel, SourceLoc, StreamId};
+use gpu_sim::{CostModel, SourceLoc};
 use instrument::identify_sync_function;
 
 /// A made-up "particle push" mini-app with a conditional hidden sync:
@@ -38,8 +38,7 @@ impl GpuApp for ParticlePush {
 
             for _b in 0..self.blocks {
                 cuda.in_frame("push_block", l(20), |cuda| {
-                    let k = KernelDesc::compute("push_kernel", 90_000)
-                        .writing(d_parts, 4096);
+                    let k = KernelDesc::compute("push_kernel", 90_000).writing(d_parts, 4096);
                     cuda.launch_kernel(&k, stream, l(22))?;
                     // Secretly synchronous: D2H async into pageable memory.
                     cuda.memcpy_dtoh_async(h_stage, d_parts, 32 * 1024, stream, l(24))?;
@@ -109,9 +108,7 @@ fn main() {
     );
     println!("hint: allocate the staging buffer with cudaMallocHost.");
     assert!(
-        a.problems
-            .iter()
-            .any(|p| p.api.map(|x| x.name()) == Some("cudaMemcpyAsync")),
+        a.problems.iter().any(|p| p.api.map(|x| x.name()) == Some("cudaMemcpyAsync")),
         "the hidden conditional sync must surface"
     );
 }

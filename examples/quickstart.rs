@@ -59,14 +59,8 @@ fn main() {
     let result = run_diogenes(&Quickstart, DiogenesConfig::new()).expect("pipeline");
     let a = &result.report.analysis;
 
-    println!(
-        "discovered internal sync function: {}",
-        result.report.discovery.sync_fn.symbol()
-    );
-    println!(
-        "baseline execution time: {:.3} ms",
-        a.baseline_exec_ns as f64 / 1e6
-    );
+    println!("discovered internal sync function: {}", result.report.discovery.sync_fn.symbol());
+    println!("baseline execution time: {:.3} ms", a.baseline_exec_ns as f64 / 1e6);
     println!(
         "data collection cost: {:.1}x the baseline run\n",
         result.report.collection_overhead_factor()
@@ -99,10 +93,7 @@ fn main() {
         .filter_map(|p| p.site.map(|s| s.line))
         .collect();
     println!("\nflagged call sites (lines): {flagged_lines:?}");
-    assert!(
-        flagged_lines.contains(&23),
-        "the useless cudaDeviceSynchronize must be flagged"
-    );
+    assert!(flagged_lines.contains(&23), "the useless cudaDeviceSynchronize must be flagged");
 
     println!("\nJSON export (truncated):");
     let json = report_to_json(&result.report).to_string_pretty();

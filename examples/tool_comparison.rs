@@ -19,7 +19,7 @@ fn main() {
     let app = Gaussian::new(GaussianConfig::test_scale());
     let cost = CostModel::pascal_like();
 
-    println!("profiling {} with three tools...\n", "Rodinia/Gaussian");
+    println!("profiling Rodinia/Gaussian with three tools...\n");
 
     let nv = run_nvprof(&app, &cost, &NvprofConfig::default()).expect("nvprof");
     let hp = run_hpctoolkit(&app, &cost, &HpctoolkitConfig::default()).expect("hpctoolkit");
@@ -38,12 +38,7 @@ fn main() {
     println!("\nDiogenes (expected benefit of FIXING each operation):");
     let a = &dg.report.analysis;
     for (api, ns) in &a.by_api {
-        println!(
-            "  {:<26} {:>10.3} ms ({:5.1}%)",
-            api.name(),
-            *ns as f64 / 1e6,
-            a.percent(*ns)
-        );
+        println!("  {:<26} {:>10.3} ms ({:5.1}%)", api.name(), *ns as f64 / 1e6, a.percent(*ns));
     }
 
     let nv_sync_pct = nv
@@ -58,9 +53,7 @@ fn main() {
         .map(|(_, ns)| a.percent(*ns))
         .unwrap_or(0.0);
 
-    println!(
-        "\nNVProf says cudaThreadSynchronize consumes {nv_sync_pct:.1}% of execution;"
-    );
+    println!("\nNVProf says cudaThreadSynchronize consumes {nv_sync_pct:.1}% of execution;");
     println!(
         "Diogenes says fixing it is worth {dg_sync_pct:.1}% — a {:.0}x difference.",
         nv_sync_pct / dg_sync_pct.max(0.01)

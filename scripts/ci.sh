@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Offline CI for the Diogenes reproduction workspace.
+#
+# Everything here runs without network access: the workspace has no
+# registry dependencies (proptest/criterion are in-repo shims under
+# crates/), so `cargo` never needs to touch crates.io.
+#
+# Usage: scripts/ci.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== format =="
+cargo fmt --check
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets --features extern-testing -- -D warnings
+
+echo "== tier-1: build + test =="
+cargo build --release
+cargo test -q
+
+echo "== full workspace tests =="
+cargo test -q --workspace
+
+echo "== property tests (extern-testing feature) =="
+cargo test -q --workspace --features extern-testing
+
+echo "ci: all green"

@@ -48,11 +48,6 @@ fn autofix_preserves_application_semantics_markers() {
     patched.set_fix_policy(policy);
     app.run(&mut patched).unwrap();
     // The rmse readbacks still synchronize (they are necessary).
-    let memcpy_waits = patched
-        .machine
-        .timeline
-        .waits()
-        .filter(|w| w.0 == "cudaMemcpy")
-        .count();
+    let memcpy_waits = patched.machine.timeline.waits().filter(|w| w.0 == "cudaMemcpy").count();
     assert!(memcpy_waits >= 4, "per-iteration readbacks survive: {memcpy_waits}");
 }

@@ -3,7 +3,7 @@
 //! feed-forward pipeline, which intercepts the internal sync funnel
 //! directly, does not.
 
-use cuda_driver::{Cuda, CudaResult, CublasLite, GpuApp, KernelDesc};
+use cuda_driver::{CublasLite, Cuda, CudaResult, GpuApp, KernelDesc};
 use cupti_sim::{ActivityKind, Cupti, CuptiConfig};
 use diogenes::{run_diogenes, DiogenesConfig};
 use gpu_sim::{CostModel, SourceLoc, StreamId, WaitReason};
@@ -66,25 +66,15 @@ fn cupti_records_only_the_explicit_sync() {
 
     // The vendor framework saw exactly one synchronization record.
     let cupti = cupti.borrow();
-    let sync_records = cupti
-        .buffer()
-        .records()
-        .iter()
-        .filter(|r| r.kind == ActivityKind::Synchronization)
-        .count();
+    let sync_records =
+        cupti.buffer().records().iter().filter(|r| r.kind == ActivityKind::Synchronization).count();
     assert_eq!(sync_records, 1, "only cudaDeviceSynchronize is recorded");
 }
 
 #[test]
 fn ffm_catches_every_class_cupti_misses() {
     let result = run_diogenes(&OneOfEach, DiogenesConfig::new()).unwrap();
-    let apis: Vec<&str> = result
-        .report
-        .stage1
-        .sync_apis
-        .keys()
-        .map(|a| a.name())
-        .collect();
+    let apis: Vec<&str> = result.report.stage1.sync_apis.keys().map(|a| a.name()).collect();
     for expected in [
         "cudaDeviceSynchronize",
         "cudaMemcpy",

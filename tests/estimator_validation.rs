@@ -97,8 +97,5 @@ fn transfer_benefit_matches_removed_call_cost() {
         .map(|c| c.total_ns() - c.wait_ns.min(c.total_ns()))
         .sum();
     assert!(transfer_benefit > 0);
-    assert!(
-        transfer_benefit <= memcpy_bodies,
-        "{transfer_benefit} vs {memcpy_bodies}"
-    );
+    assert!(transfer_benefit <= memcpy_bodies, "{transfer_benefit} vs {memcpy_bodies}");
 }

@@ -43,12 +43,7 @@ fn fixed_amg_never_enters_the_funnel_via_memset() {
     let subjects = paper_subjects(false);
     let fixed = run_diogenes(subjects[2].fixed.as_ref(), DiogenesConfig::new()).unwrap();
     assert!(
-        !fixed
-            .report
-            .stage1
-            .sync_apis
-            .keys()
-            .any(|a| a.name() == "cudaMemset"),
+        !fixed.report.stage1.sync_apis.keys().any(|a| a.name() == "cudaMemset"),
         "host memset never synchronizes"
     );
 }
@@ -58,12 +53,7 @@ fn fixed_gaussian_keeps_only_necessary_syncs() {
     let subjects = paper_subjects(false);
     let fixed = run_diogenes(subjects[3].fixed.as_ref(), DiogenesConfig::new()).unwrap();
     assert!(
-        !fixed
-            .report
-            .stage1
-            .sync_apis
-            .keys()
-            .any(|a| a.name() == "cudaThreadSynchronize"),
+        !fixed.report.stage1.sync_apis.keys().any(|a| a.name() == "cudaThreadSynchronize"),
         "the per-row sync is gone"
     );
     // The final result readback still synchronizes (necessarily).

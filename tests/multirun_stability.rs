@@ -31,11 +31,7 @@ fn one_percent_jitter_preserves_problem_classification() {
     let count = |r: &ffm_core::FfmReport, p: Problem| {
         r.analysis.problems.iter().filter(|x| x.problem == p).count()
     };
-    for p in [
-        Problem::UnnecessarySync,
-        Problem::MisplacedSync,
-        Problem::UnnecessaryTransfer,
-    ] {
+    for p in [Problem::UnnecessarySync, Problem::MisplacedSync, Problem::UnnecessaryTransfer] {
         assert_eq!(
             count(&clean, p),
             count(&jittery, p),
@@ -59,10 +55,7 @@ fn duplicate_detection_is_jitter_immune() {
     // Content hashing keys on payload bytes, not timing.
     let clean = run_ffm(&als(), &FfmConfig::default()).unwrap();
     let jittery = run_ffm(&als(), &config_with_jitter(10_000)).unwrap();
-    assert_eq!(
-        clean.stage3.duplicates.len(),
-        jittery.stage3.duplicates.len()
-    );
+    assert_eq!(clean.stage3.duplicates.len(), jittery.stage3.duplicates.len());
 }
 
 #[test]

@@ -36,8 +36,5 @@ fn autofix_derives_an_empty_policy() {
     let app = Pipelined::new(PipelinedConfig::test_scale());
     let r = run_diogenes(&app, DiogenesConfig::new()).unwrap();
     let policy = derive_policy(&r.report.analysis, &AutofixConfig::default());
-    assert!(
-        policy.site_count() <= 1,
-        "nothing meaningful to patch, got {policy:?}"
-    );
+    assert!(policy.site_count() <= 1, "nothing meaningful to patch, got {policy:?}");
 }

@@ -25,10 +25,8 @@ fn table1_every_app_lands_in_the_papers_bands() {
 #[test]
 fn table1_per_app_directions_match_the_paper() {
     let cost = CostModel::pascal_like();
-    let rows: Vec<_> = paper_subjects(false)
-        .iter()
-        .map(|s| table1_row(s, &cost).unwrap().0)
-        .collect();
+    let rows: Vec<_> =
+        paper_subjects(false).iter().map(|s| table1_row(s, &cost).unwrap().0).collect();
     // cuIBM: the fix removes the malloc/free churn too, so actual
     // exceeds the estimate (paper: 202s est vs 330s actual).
     let cuibm = rows.iter().find(|r| r.app == "cuIBM").unwrap();
@@ -68,10 +66,7 @@ fn table2_als_discrepancy_between_consumption_and_benefit() {
     // ... while Diogenes' expected savings for it are tiny: the paper's
     // "difference in magnitude can be as much as 99%".
     let (dg_ns, _dg_pct, _) = sync.diogenes.unwrap();
-    assert!(
-        (dg_ns as f64) < 0.1 * nv_ns as f64,
-        "diogenes {dg_ns} vs nvprof {nv_ns}"
-    );
+    assert!((dg_ns as f64) < 0.1 * nv_ns as f64, "diogenes {dg_ns} vs nvprof {nv_ns}");
 
     // Diogenes ranks cudaFree first, like the paper.
     let free = row("cudaFree");
@@ -115,11 +110,7 @@ fn gaussian_table2_shape() {
     let subjects = paper_subjects(false);
     let g = &subjects[3];
     let t = table2_for(g.broken.as_ref(), &cost).unwrap();
-    let sync = t
-        .rows
-        .iter()
-        .find(|r| r.operation == "cudaThreadSynchronize")
-        .unwrap();
+    let sync = t.rows.iter().find(|r| r.operation == "cudaThreadSynchronize").unwrap();
     let (_, nv_pct, nv_pos) = sync.nvprof.unwrap();
     assert_eq!(nv_pos, 1);
     assert!(nv_pct > 80.0, "paper: 94.9%; got {nv_pct}");
