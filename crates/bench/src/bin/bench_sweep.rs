@@ -1,0 +1,85 @@
+//! Wall-clock timing harness for the configuration-sweep subsystem.
+//!
+//! Times the same 3×3 cost/driver sweep at `jobs = 1` (fully sequential
+//! on the main thread) and `jobs = auto` (fleet × stage DAG sharing the
+//! persistent worker pool) and writes `results/BENCH_sweep.json`, plus a
+//! cross-check that both job counts produced byte-identical matrices.
+//!
+//! On a 1-core machine the parallel numbers are expected to be slightly
+//! worse than sequential (pool handoff with nothing to overlap); the
+//! speedup claim only applies at >= 4 cores.
+
+use std::time::Instant;
+
+use diogenes_apps::{AlsConfig, CumfAls};
+use ffm_core::{effective_jobs, run_sweep, sweep_to_json, FfmConfig, Json, SweepSpec};
+
+const ITERS: usize = 5;
+
+fn time_median(mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..ITERS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn spec(jobs: usize) -> SweepSpec {
+    SweepSpec::new(FfmConfig::default())
+        .axis("cost.free_base_ns", vec![1_000, 2_000, 4_000])
+        .axis("driver.unified_memset_penalty", vec![1, 30, 60])
+        .with_jobs(jobs)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let jobs = effective_jobs(0).max(2);
+    eprintln!("bench_sweep: {cores} cores, parallel jobs = {jobs}, {ITERS} iterations");
+
+    let mut cfg = AlsConfig::test_scale();
+    cfg.iters = 3;
+    let app = CumfAls::new(cfg);
+
+    let run = |jobs: usize| {
+        let m = run_sweep(&app, &spec(jobs)).expect("sweep runs");
+        sweep_to_json(&m).to_string_pretty()
+    };
+
+    // Determinism cross-check rides along with the timing run.
+    let seq_doc = run(1);
+    let par_doc = run(jobs);
+    let identical = seq_doc == par_doc;
+    assert!(identical, "jobs=1 and jobs={jobs} sweep matrices differ");
+
+    let seq_s = time_median(|| {
+        run(1);
+    });
+    let par_s = time_median(|| {
+        run(jobs);
+    });
+    eprintln!(
+        "  sweep_3x3_als             sequential {seq_s:.4}s  parallel({jobs}) {par_s:.4}s  \
+         speedup {:.2}x",
+        seq_s / par_s
+    );
+
+    let doc = Json::obj([
+        ("bench", Json::Str("sweep".to_string())),
+        ("cores", Json::Int(cores as i128)),
+        ("parallel_jobs", Json::Int(jobs as i128)),
+        ("cells", Json::Int(9)),
+        ("sequential_s", Json::Float(seq_s)),
+        ("parallel_s", Json::Float(par_s)),
+        ("speedup", Json::Float(seq_s / par_s)),
+        ("matrices_identical", Json::Bool(identical)),
+    ]);
+    std::fs::create_dir_all("results").expect("results dir");
+    let path = "results/BENCH_sweep.json";
+    std::fs::write(path, doc.to_string_pretty()).expect("write results");
+    eprintln!("bench_sweep: wrote {path}");
+}

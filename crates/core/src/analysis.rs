@@ -85,12 +85,18 @@ impl Analysis {
 }
 
 /// Run stage 5 over the collected stage results.
+///
+/// `jobs` is the resolved worker budget from the pipeline configuration,
+/// handed down so analysis-internal fan-out (sequence scoring) uses the
+/// configured parallelism instead of consulting the environment — with
+/// `jobs = 1` the whole analysis stays on the caller's thread.
 pub fn analyze(
     s1: &Stage1Result,
     s2: &Stage2Result,
     s3: &Stage3Result,
     s4: &Stage4Result,
     cfg: &AnalysisConfig,
+    jobs: usize,
 ) -> Analysis {
     let mut graph = ExecGraph::from_trace(s2, s1.exec_time_ns);
     classify(&mut graph, s3, s4, &cfg.classify);
@@ -112,7 +118,7 @@ pub fn analyze(
     problems.sort_by_key(|p| std::cmp::Reverse(p.benefit_ns));
     let single_point = single_point_groups(&graph, &benefit);
     let api_folds = fold_on_api(&graph, &benefit);
-    let sequences = find_sequences(&graph);
+    let sequences = find_sequences(&graph, jobs);
     let mut by_api: Vec<(ApiFn, Ns)> = savings_by_api(&graph, &benefit).into_iter().collect();
     by_api.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     Analysis {
@@ -177,7 +183,7 @@ mod tests {
         s3.observed_syncs.insert(inst);
         // not required -> unnecessary
         let s4 = Stage4Result::default();
-        let a = analyze(&s1, &s2, &s3, &s4, &AnalysisConfig::default());
+        let a = analyze(&s1, &s2, &s3, &s4, &AnalysisConfig::default(), 1);
         assert_eq!(a.problems.len(), 1);
         assert_eq!(a.problems[0].problem, Problem::UnnecessarySync);
         assert!(a.total_benefit_ns() > 0);
@@ -201,6 +207,7 @@ mod tests {
             &Stage3Result::default(),
             &Stage4Result::default(),
             &AnalysisConfig::default(),
+            1,
         );
         assert_eq!(a.percent(100), 0.0);
         assert!(a.problems.is_empty());

@@ -116,6 +116,7 @@ mod tests {
             &Stage3Result::default(),
             &Stage4Result::default(),
             &AnalysisConfig::default(),
+            1,
         );
         let j = analysis_to_json(&a).to_string_compact();
         assert!(j.contains("\"problems\":[]"));

@@ -15,7 +15,7 @@ use gpu_sim::{Ns, SourceLoc};
 
 use crate::benefit::BenefitReport;
 use crate::graph::{ExecGraph, GraphIndex, NType};
-use crate::par::{effective_jobs, par_map};
+use crate::par::par_map;
 use crate::problem::Problem;
 
 /// How a group was formed.
@@ -58,28 +58,26 @@ fn site_label(graph: &ExecGraph, node: usize) -> String {
     }
 }
 
-fn grouped_by<K: std::hash::Hash + Eq>(
+fn grouped_by<K: std::hash::Hash + Eq + Clone>(
     graph: &ExecGraph,
     benefit: &BenefitReport,
     kind: GroupKind,
     mut key: impl FnMut(usize) -> Option<K>,
     mut label: impl FnMut(usize) -> String,
 ) -> Vec<ProblemGroup> {
+    // Deterministic ordering: first appearance in the benefit list. The
+    // map doubles as the seen-set (a linear `order.contains` scan here
+    // went quadratic on graphs with many distinct sites).
     let mut map: HashMap<K, (Vec<usize>, Ns)> = HashMap::new();
     let mut order: Vec<K> = Vec::new();
     for nb in &benefit.per_node {
         let Some(k) = key(nb.node) else { continue };
+        if !map.contains_key(&k) {
+            order.push(k.clone());
+        }
         let entry = map.entry(k).or_insert_with(|| (Vec::new(), 0));
         entry.0.push(nb.node);
         entry.1 += nb.benefit_ns;
-    }
-    // Deterministic ordering: first appearance in the benefit list.
-    for nb in &benefit.per_node {
-        if let Some(k) = key(nb.node) {
-            if map.contains_key(&k) && !order.contains(&k) {
-                order.push(k);
-            }
-        }
     }
     let mut groups: Vec<ProblemGroup> = order
         .into_iter()
@@ -190,11 +188,31 @@ pub fn carry_forward_benefit(graph: &ExecGraph, start: usize, end: usize) -> Ns 
 /// *reads* durations — unlike the Fig. 5 growth model — which is what
 /// makes the cached index sound here.
 pub fn carry_forward_indexed(graph: &ExecGraph, ix: &GraphIndex, start: usize, end: usize) -> Ns {
+    carry_forward_masked(graph, ix, start, end, |_| true)
+}
+
+/// [`carry_forward_indexed`] with a node-mask predicate: nodes for which
+/// `mask` returns `false` are treated as unproblematic (`Problem::None`)
+/// without mutating or cloning the graph.
+///
+/// This is exactly equivalent to cloning the graph and clearing the
+/// masked nodes' classifications — the window structure
+/// (`next_sync_after`, `cpu_time_between`) depends only on node types
+/// and durations, which a problem mask never changes — but it keeps
+/// Fig. 8-style subsequence refinement sweeps allocation-free.
+pub fn carry_forward_masked(
+    graph: &ExecGraph,
+    ix: &GraphIndex,
+    start: usize,
+    end: usize,
+    mask: impl Fn(usize) -> bool,
+) -> Ns {
     let mut total: Ns = 0;
     let mut carry: Ns = 0;
     for idx in start..end.min(graph.nodes.len()) {
         let node = &graph.nodes[idx];
-        match node.problem {
+        let problem = if mask(idx) { node.problem } else { Problem::None };
+        match problem {
             Problem::UnnecessarySync => {
                 let window_end = ix.next_sync_after(idx).unwrap_or(graph.nodes.len());
                 let avail = ix.cpu_time_between(idx, window_end);
@@ -220,7 +238,14 @@ pub fn carry_forward_indexed(graph: &ExecGraph, ix: &GraphIndex, start: usize, e
 /// Find maximal sequences: runs beginning at a problematic node and
 /// ending at the first *necessary* synchronization (a `CWait` with no
 /// problem, or a misplaced one — it must still happen).
-pub fn find_sequences(graph: &ExecGraph) -> Vec<Sequence> {
+///
+/// `jobs` is the *resolved* worker budget handed down from the pipeline
+/// configuration (`FfmConfig::jobs` via `effective_jobs`): sequence
+/// scoring fans out on the shared pool only when the caller granted more
+/// than one worker, so `jobs = 1` runs the plain sequential loop and
+/// spawns nothing — grouping no longer consults the environment behind
+/// the configuration's back.
+pub fn find_sequences(graph: &ExecGraph, jobs: usize) -> Vec<Sequence> {
     // Pass 1 (sequential, O(n)): discover the maximal runs.
     let mut runs: Vec<(usize, usize)> = Vec::new();
     let mut idx = 0;
@@ -271,9 +296,9 @@ pub fn find_sequences(graph: &ExecGraph) -> Vec<Sequence> {
             None
         }
     };
-    // Thread spawn costs dwarf per-run evaluation on small graphs; only
+    // Dispatch overhead dwarfs per-run evaluation on small graphs; only
     // fan out when there is real work to split.
-    let jobs = if runs.len() >= 64 { effective_jobs(0) } else { 1 };
+    let jobs = if runs.len() >= 64 { jobs.max(1) } else { 1 };
     let mut sequences: Vec<Sequence> =
         par_map(runs, jobs, evaluate).into_iter().flatten().collect();
 
@@ -294,27 +319,37 @@ pub fn subsequence_benefit(
     from_entry: usize,
     to_entry: usize,
 ) -> Option<Ns> {
+    subsequence_benefit_indexed(graph, &graph.index(), seq, from_entry, to_entry)
+}
+
+/// [`subsequence_benefit`] against a prebuilt [`GraphIndex`], so a
+/// refinement sweep over many candidate ranges (the automated
+/// subsequence search) pays the index build once and never clones the
+/// graph: problems outside the chosen entries are suppressed with a
+/// node-mask predicate in the estimator instead.
+pub fn subsequence_benefit_indexed(
+    graph: &ExecGraph,
+    ix: &GraphIndex,
+    seq: &Sequence,
+    from_entry: usize,
+    to_entry: usize,
+) -> Option<Ns> {
     let first = seq.entries.iter().find(|e| e.index == from_entry)?;
     let last = seq.entries.iter().find(|e| e.index == to_entry)?;
     if last.node < first.node {
         return None;
     }
-    // The evaluation window extends to the sequence's terminating sync so
-    // the final entry's removal can still be absorbed by trailing work.
-    let mut g = graph.clone();
-    // Mask out problems outside the chosen entries so only they count.
+    // Only the chosen entries count; every other problem in the window is
+    // masked out. The evaluation window extends to the sequence's
+    // terminating sync so the final entry's removal can still be absorbed
+    // by trailing work.
     let chosen: std::collections::HashSet<usize> = seq
         .entries
         .iter()
         .filter(|e| e.index >= from_entry && e.index <= to_entry)
         .map(|e| e.node)
         .collect();
-    for i in seq.start..seq.end {
-        if g.nodes[i].problem != Problem::None && !chosen.contains(&i) {
-            g.nodes[i].problem = Problem::None;
-        }
-    }
-    Some(carry_forward_benefit(&g, first.node, seq.end))
+    Some(carry_forward_masked(graph, ix, first.node, seq.end, |i| chosen.contains(&i)))
 }
 
 /// Estimated savings per API function (used for the Table 2 comparison).
@@ -411,7 +446,7 @@ mod tests {
     #[test]
     fn sequence_spans_until_necessary_sync() {
         let g = sample_graph();
-        let seqs = find_sequences(&g);
+        let seqs = find_sequences(&g, 1);
         assert_eq!(seqs.len(), 1);
         let s = &seqs[0];
         assert_eq!(s.entries.len(), 3, "2 syncs + 1 transfer");
@@ -452,7 +487,7 @@ mod tests {
     #[test]
     fn carry_forward_does_not_exceed_total_waits_plus_transfers() {
         let g = sample_graph();
-        let seqs = find_sequences(&g);
+        let seqs = find_sequences(&g, 1);
         let s = &seqs[0];
         let max: Ns = s.entries.iter().map(|e| g.nodes[e.node].duration).sum();
         assert!(s.benefit_ns <= max);
@@ -462,7 +497,7 @@ mod tests {
     #[test]
     fn subsequence_estimates_subset() {
         let g = sample_graph();
-        let seqs = find_sequences(&g);
+        let seqs = find_sequences(&g, 1);
         let s = &seqs[0];
         let full = s.benefit_ns;
         let sub = subsequence_benefit(&g, s, 2, 3).unwrap();
@@ -470,6 +505,67 @@ mod tests {
         assert!(sub > 0);
         // Degenerate request
         assert!(subsequence_benefit(&g, s, 9, 10).is_none());
+    }
+
+    /// Regression pin: the mask-predicate refinement path must return
+    /// exactly what the old clone-the-graph-and-clear-problems path did,
+    /// for every (from, to) range of the sequence.
+    #[test]
+    fn masked_subsequence_equals_clone_based_path() {
+        let g = sample_graph();
+        let seqs = find_sequences(&g, 1);
+        let s = &seqs[0];
+        let n = s.entries.len();
+        for from in 1..=n {
+            for to in from..=n {
+                let masked = subsequence_benefit(&g, s, from, to);
+                // The pre-optimization reference implementation.
+                let chosen: std::collections::HashSet<usize> = s
+                    .entries
+                    .iter()
+                    .filter(|e| e.index >= from && e.index <= to)
+                    .map(|e| e.node)
+                    .collect();
+                let mut clone = g.clone();
+                for i in s.start..s.end {
+                    if clone.nodes[i].problem != Problem::None && !chosen.contains(&i) {
+                        clone.nodes[i].problem = Problem::None;
+                    }
+                }
+                let first = s.entries.iter().find(|e| e.index == from).unwrap();
+                let cloned = Some(carry_forward_benefit(&clone, first.node, s.end));
+                assert_eq!(masked, cloned, "range {from}..={to}");
+            }
+        }
+    }
+
+    /// Sequence scoring honors the jobs handed down from the pipeline:
+    /// results are identical at any worker count (and `jobs = 1` stays on
+    /// the caller's thread — covered process-wide by the thread-count
+    /// probe in `crates/diogenes/tests`).
+    #[test]
+    fn find_sequences_is_jobs_invariant() {
+        use NType::*;
+        use Problem::*;
+        // Enough runs (>= 64) that the parallel path actually engages.
+        let mut nodes = Vec::new();
+        for k in 0..200u64 {
+            nodes.push(node(CWait, 10 + k % 7, UnnecessarySync, k, 0, ApiFn::CudaFree, 10));
+            nodes.push(node(CLaunch, 6, UnnecessaryTransfer, 1_000 + k, 0, ApiFn::CudaMemcpy, 11));
+            nodes.push(node(CWork, 4 + k % 3, None, 0, k, ApiFn::CudaMalloc, 12));
+            nodes.push(node(CWait, 8, None, 2_000 + k, 0, ApiFn::CudaDeviceSynchronize, 13));
+        }
+        let exec = nodes.iter().map(|n| n.duration).sum();
+        let g = ExecGraph { nodes, exec_time_ns: exec, baseline_exec_ns: exec };
+        let seq = find_sequences(&g, 1);
+        assert!(seq.len() >= 64, "graph must exercise the fan-out path");
+        for jobs in [2, 4, 16] {
+            let par = find_sequences(&g, jobs);
+            assert_eq!(seq.len(), par.len(), "jobs={jobs}");
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!((a.start, a.end, a.benefit_ns), (b.start, b.end, b.benefit_ns));
+            }
+        }
     }
 
     #[test]

@@ -68,21 +68,26 @@ pub mod pipeline;
 pub mod problem;
 pub mod records;
 pub mod stages;
+pub mod sweep;
 
 pub use analysis::{analyze, Analysis, AnalysisConfig, ProblemOp};
 pub use benefit::{expected_benefit, BenefitOptions, BenefitReport, NodeBenefit};
 pub use export::{analysis_to_json, report_to_json};
 pub use graph::{ExecGraph, GraphIndex, NType, Node};
 pub use grouping::{
-    carry_forward_benefit, carry_forward_indexed, find_sequences, fold_on_api,
-    folded_function_groups, savings_by_api, single_point_groups, subsequence_benefit, GroupKind,
-    ProblemGroup, SeqEntry, Sequence,
+    carry_forward_benefit, carry_forward_indexed, carry_forward_masked, find_sequences,
+    fold_on_api, folded_function_groups, savings_by_api, single_point_groups, subsequence_benefit,
+    subsequence_benefit_indexed, GroupKind, ProblemGroup, SeqEntry, Sequence,
 };
 pub use json::Json;
-pub use par::{effective_jobs, join, par_map, try_par_map, JOBS_ENV};
-pub use pipeline::{run_ffm, FfmConfig, FfmReport, StageStats};
+pub use par::{effective_jobs, join, par_map, try_par_map, Pool, JOBS_ENV};
+pub use pipeline::{overhead_factor, run_ffm, FfmConfig, FfmReport, StageStats};
 pub use problem::{classify, ClassifyConfig, Problem};
 pub use records::{
     DuplicateTransfer, OpInstance, ProtectedAccess, Stage1Result, Stage2Result, Stage3Result,
     Stage4Result, TracedCall, TransferRec,
+};
+pub use sweep::{
+    run_fleet, run_sweep, set_field, sweep_to_json, Axis, AxisLayout, SweepCell, SweepMatrix,
+    SweepPoint, SweepSpec, SweepSummary, SWEEPABLE_FIELDS,
 };

@@ -1,4 +1,5 @@
-//! Bounded, order-preserving parallelism primitives.
+//! Bounded, order-preserving parallelism primitives over one persistent
+//! worker pool.
 //!
 //! The whole measurement pipeline is *embarrassingly re-runnable*: every
 //! FFM stage and every application in an experiment fleet builds its own
@@ -8,76 +9,418 @@
 //! (tables, JSON exports, report renderers) sees exactly the bytes a
 //! sequential run would produce.
 //!
-//! Built on `std::thread::scope` only — the workspace builds with no
-//! external crates.
+//! ## The pool
+//!
+//! Earlier revisions spawned fresh `std::thread::scope` threads for
+//! every fan-out, which meant a configuration sweep paid thread setup
+//! per cell × per stage × per sequence-scoring pass. All fan-out now
+//! shares one process-wide [`Pool`]: helper threads are spawned once,
+//! lazily, and parked between batches. Nested fan-out (a pool task that
+//! itself calls [`par_map`]) is safe and cannot deadlock because every
+//! submitter executes its own batch's work too — helpers only *add*
+//! concurrency, they are never required for progress.
+//!
+//! `jobs <= 1` never touches the pool: the work runs inline on the
+//! caller's thread, no worker threads are spawned anywhere, and the
+//! result is byte-for-byte the sequential pipeline's.
+//!
+//! Built on `std` only — the workspace builds with no external crates.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Environment variable overriding the worker count for every fleet-level
 /// `par_map` in the repo (`0` or unset = one worker per available core).
 pub const JOBS_ENV: &str = "DIOGENES_JOBS";
 
+/// Upper bound on pool helper threads, a guard against absurd `--jobs`
+/// requests (the pool grows lazily up to the largest request seen).
+const MAX_POOL_HELPERS: usize = 256;
+
+/// Interpret a raw [`JOBS_ENV`] value.
+///
+/// `Ok(Some(n))` — a positive worker count; `Ok(None)` — unset-equivalent
+/// (`0` means "auto", empty/whitespace means "not configured");
+/// `Err(())` — malformed (not a base-10 non-negative integer: `abc`,
+/// `-2`, `1e3`, …), which callers must treat as unset, loudly.
+pub(crate) fn parse_jobs_env(raw: &str) -> Result<Option<usize>, ()> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Ok(None),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(()),
+    }
+}
+
 /// Resolve an effective worker count.
 ///
 /// Precedence: an explicit non-zero `requested` wins; otherwise a
 /// non-zero [`JOBS_ENV`] value; otherwise the machine's available
-/// parallelism. Always at least 1.
+/// parallelism. Always at least 1. A malformed [`JOBS_ENV`] value is
+/// reported once on stderr and treated as unset instead of silently
+/// falling through to the core count.
 pub fn effective_jobs(requested: usize) -> usize {
     if requested != 0 {
         return requested;
     }
-    if let Some(env) = std::env::var(JOBS_ENV).ok().and_then(|v| v.parse::<usize>().ok()) {
-        if env != 0 {
-            return env;
+    if let Ok(raw) = std::env::var(JOBS_ENV) {
+        match parse_jobs_env(&raw) {
+            Ok(Some(n)) => return n,
+            Ok(None) => {}
+            Err(()) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "diogenes: ignoring malformed {JOBS_ENV}={raw:?} \
+                         (expected a non-negative integer); using auto worker count"
+                    );
+                });
+            }
         }
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
-/// Apply `f` to every item, running up to `jobs` applications at once,
-/// and return the results **in input order**.
+// ---------------------------------------------------------------------------
+// The batch: one fan-out submitted to the pool.
+// ---------------------------------------------------------------------------
+
+/// Type-erased pointer to a submitter's task closure.
+///
+/// # Safety
+///
+/// The pointee lives on the submitting thread's stack. [`Pool::submit`]
+/// transmutes its lifetime away, which is sound because
+/// [`ActiveBatch::finish`] blocks until every claimed index has
+/// completed, and no worker dereferences the pointer except for a
+/// claimed index `< count` — so every dereference happens while the
+/// submitter is still inside `submit`/`finish` and the borrow is live.
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointer is only dereferenced under the protocol described
+// on `TaskPtr`; the pointee itself is `Sync`.
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+struct Batch {
+    task: TaskPtr,
+    /// Number of indexed tasks; indices `0..count` are claimed exactly
+    /// once via `next`.
+    count: usize,
+    next: AtomicUsize,
+    /// Helper-thread slots remaining (bounds per-batch concurrency to
+    /// the submitter plus `jobs - 1` helpers).
+    helper_slots: AtomicUsize,
+    /// Completion counter + condvar the submitter sleeps on.
+    completed: Mutex<usize>,
+    done_cv: Condvar,
+    /// First panic payload from any task, re-raised on the submitter.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Batch {
+    /// Whether a worker scanning the queue could still find work here.
+    fn has_claimable(&self) -> bool {
+        self.next.load(Ordering::Relaxed) < self.count
+            && self.helper_slots.load(Ordering::Relaxed) > 0
+    }
+
+    /// Try to reserve a helper slot (workers only; the submitter always
+    /// participates without a slot).
+    fn try_join(&self) -> bool {
+        self.helper_slots
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| s.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Claim and run indices until none remain. Runs on the submitter
+    /// and on any helper that joined the batch.
+    fn run_claimed(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.count {
+                return;
+            }
+            // SAFETY: `i < count`, so the submitter is still blocked in
+            // `finish` and the closure borrow is live (see `TaskPtr`).
+            let task = unsafe { &*self.task.0 };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(i))) {
+                let mut slot = self.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            let mut completed = self.completed.lock().unwrap();
+            *completed += 1;
+            if *completed == self.count {
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn wait_done(&self) {
+        let mut completed = self.completed.lock().unwrap();
+        while *completed < self.count {
+            completed = self.done_cv.wait(completed).unwrap();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pool.
+// ---------------------------------------------------------------------------
+
+struct PoolQueue {
+    /// Batches with potentially unclaimed work. Submitters push and
+    /// remove their own entries; workers only read.
+    batches: Vec<Arc<Batch>>,
+    /// Helper threads spawned so far.
+    workers: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    work_cv: Condvar,
+}
+
+/// A persistent pool of helper threads shared by every fan-out in the
+/// process: the sweep fleet, the per-application fleet, the pipeline's
+/// stage DAG, and sequence scoring all draw from the same bounded set
+/// of workers instead of respawning scoped threads per stage.
+///
+/// Helpers are spawned lazily, grow to the largest concurrency ever
+/// requested (capped), and park between batches. The pool preserves the
+/// `par_map` contract: results in input order, batches bit-identical to
+/// a sequential run, and `jobs <= 1` bypassing the pool entirely.
+pub struct Pool {
+    shared: Arc<PoolShared>,
+}
+
+/// A submitted, not-yet-finished batch. Must be `finish`ed before the
+/// task closure it borrows goes out of scope; the only way to obtain one
+/// keeps it inside `Pool`'s own methods plus [`Pool::join`]'s frame.
+struct ActiveBatch<'p> {
+    pool: &'p Pool,
+    batch: Arc<Batch>,
+}
+
+impl ActiveBatch<'_> {
+    /// Participate in the batch until all work is claimed, block until
+    /// every claimed task has completed, then re-raise the first task
+    /// panic, if any.
+    fn finish(self) {
+        let batch = Arc::clone(&self.batch);
+        drop(self); // run_claimed + wait_done + deregister (Drop impl)
+        let payload = batch.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ActiveBatch<'_> {
+    /// The cleanup lives in `drop` (not only in [`ActiveBatch::finish`])
+    /// so that a panic on the submitting thread between `submit` and
+    /// `finish` still blocks until helpers are out of the task closure —
+    /// otherwise unwinding would free a borrow a helper may be reading.
+    fn drop(&mut self) {
+        self.batch.run_claimed();
+        self.batch.wait_done();
+        let mut q = self.pool.shared.queue.lock().unwrap();
+        q.batches.retain(|b| !Arc::ptr_eq(b, &self.batch));
+    }
+}
+
+impl Pool {
+    /// A fresh pool with no helper threads yet (they spawn on demand).
+    pub fn new() -> Pool {
+        Pool {
+            shared: Arc::new(PoolShared {
+                queue: Mutex::new(PoolQueue { batches: Vec::new(), workers: 0, shutdown: false }),
+                work_cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The process-wide pool used by [`par_map`] / [`join`] and thus by
+    /// every sweep, fleet and pipeline fan-out in the repo. Created on
+    /// first parallel use; never touched by `jobs <= 1` call paths.
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(Pool::new)
+    }
+
+    /// Helper threads currently alive in this pool.
+    pub fn workers(&self) -> usize {
+        self.shared.queue.lock().unwrap().workers
+    }
+
+    fn ensure_workers(&self, want: usize) {
+        let want = want.min(MAX_POOL_HELPERS);
+        let mut q = self.shared.queue.lock().unwrap();
+        while q.workers < want {
+            q.workers += 1;
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name(format!("ffm-pool-{}", q.workers))
+                .spawn(move || worker_loop(shared))
+                .expect("spawn pool worker");
+        }
+    }
+
+    /// Register a batch of `count` indexed tasks that up to `helpers`
+    /// pool threads may help execute. The caller must `finish` the
+    /// returned handle before `task` leaves scope.
+    fn submit<'p>(
+        &'p self,
+        count: usize,
+        helpers: usize,
+        task: &(dyn Fn(usize) + Sync),
+    ) -> ActiveBatch<'p> {
+        let helpers = helpers.min(count);
+        self.ensure_workers(helpers);
+        // SAFETY: lifetime erasure per the `TaskPtr` protocol — `finish`
+        // (mandatory, same frame) outlives every dereference.
+        let task: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(task) };
+        let batch = Arc::new(Batch {
+            task: TaskPtr(task as *const _),
+            count,
+            next: AtomicUsize::new(0),
+            helper_slots: AtomicUsize::new(helpers),
+            completed: Mutex::new(0),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.batches.push(Arc::clone(&batch));
+            self.work_cv_notify();
+        }
+        ActiveBatch { pool: self, batch }
+    }
+
+    fn work_cv_notify(&self) {
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Apply `f` to every item, running up to `jobs` applications at
+    /// once (the caller plus `jobs - 1` pool helpers), returning results
+    /// **in input order**. `jobs <= 1` degenerates to a plain sequential
+    /// map on the caller's thread without touching the pool.
+    pub fn map<T, U, F>(&self, items: Vec<T>, jobs: usize, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let jobs = jobs.max(1).min(items.len());
+        if jobs <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        // Items are parked in Option slots; workers claim the next index
+        // atomically and write the result into the same index, so input
+        // order survives arbitrary completion order.
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let out: Vec<Mutex<Option<U>>> = (0..slots.len()).map(|_| Mutex::new(None)).collect();
+        let task = |i: usize| {
+            let item = slots[i].lock().unwrap().take().expect("slot claimed once");
+            *out[i].lock().unwrap() = Some(f(item));
+        };
+        self.submit(slots.len(), jobs - 1, &task).finish();
+        out.into_iter().map(|m| m.into_inner().unwrap().expect("every index completed")).collect()
+    }
+
+    /// Run two independent closures concurrently and return both
+    /// results. `fa` runs on the caller; `fb` is offered to the pool and
+    /// reclaimed by the caller if no helper picked it up. With
+    /// `jobs <= 1` both run sequentially (left first) on the caller's
+    /// thread and the pool is not touched.
+    pub fn join<A, B, FA, FB>(&self, jobs: usize, fa: FA, fb: FB) -> (A, B)
+    where
+        A: Send,
+        B: Send,
+        FA: FnOnce() -> A + Send,
+        FB: FnOnce() -> B + Send,
+    {
+        if jobs <= 1 {
+            let a = fa();
+            let b = fb();
+            return (a, b);
+        }
+        let fb_cell: Mutex<Option<FB>> = Mutex::new(Some(fb));
+        let out_b: Mutex<Option<B>> = Mutex::new(None);
+        let task = |_i: usize| {
+            let fb = fb_cell.lock().unwrap().take().expect("fb runs once");
+            *out_b.lock().unwrap() = Some(fb());
+        };
+        let active = self.submit(1, 1, &task);
+        let a = fa();
+        active.finish();
+        let b = out_b.into_inner().unwrap().expect("fb completed");
+        (a, b)
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::new()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        let mut q = self.shared.queue.lock().unwrap();
+        q.shutdown = true;
+        self.shared.work_cv.notify_all();
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if q.shutdown {
+                    return;
+                }
+                // Scan for a batch with unclaimed work and a free helper
+                // slot; claim the slot before leaving the lock.
+                let joined =
+                    q.batches.iter().find(|b| b.has_claimable() && b.try_join()).map(Arc::clone);
+                match joined {
+                    Some(b) => break b,
+                    None => q = shared.work_cv.wait(q).unwrap(),
+                }
+            }
+        };
+        batch.run_claimed();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The thin free-function layer the rest of the repo calls.
+// ---------------------------------------------------------------------------
+
+/// Apply `f` to every item, running up to `jobs` applications at once on
+/// the process-wide [`Pool`], and return the results **in input order**.
 ///
 /// `jobs <= 1` (after clamping to the item count) degenerates to a plain
-/// sequential map on the caller's thread — no threads are spawned, so
-/// `jobs = 1` is byte-for-byte the sequential pipeline. Panics in `f`
-/// propagate to the caller (the scope join re-raises them).
+/// sequential map on the caller's thread — no threads are spawned and
+/// the pool is not touched, so `jobs = 1` is byte-for-byte the
+/// sequential pipeline. Panics in `f` propagate to the caller.
 pub fn par_map<T, U, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<U>
 where
     T: Send,
     U: Send,
     F: Fn(T) -> U + Sync,
 {
-    let jobs = jobs.max(1).min(items.len());
-    if jobs <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-
-    // Work-stealing by index: items are parked in Option slots, workers
-    // claim the next index atomically, and results carry their index so
-    // input order survives arbitrary completion order.
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let next = AtomicUsize::new(0);
-    let done: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(slots.len()));
-
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= slots.len() {
-                    break;
-                }
-                let item = slots[i].lock().unwrap().take().expect("slot claimed once");
-                let out = f(item);
-                done.lock().unwrap().push((i, out));
-            });
-        }
-    });
-
-    let mut tagged = done.into_inner().unwrap();
-    tagged.sort_by_key(|(i, _)| *i);
-    debug_assert_eq!(tagged.len(), slots.len());
-    tagged.into_iter().map(|(_, u)| u).collect()
+    Pool::global().map(items, jobs, f)
 }
 
 /// Fallible [`par_map`]: the full fleet still runs to completion, then
@@ -94,7 +437,8 @@ where
     par_map(items, jobs, f).into_iter().collect()
 }
 
-/// Run two independent closures concurrently and return both results.
+/// Run two independent closures concurrently on the process-wide
+/// [`Pool`] and return both results.
 ///
 /// Used for stage-level overlap in the pipeline, where the dependency
 /// graph is a small static fork, not a homogeneous fleet. With
@@ -106,17 +450,7 @@ where
     FA: FnOnce() -> A + Send,
     FB: FnOnce() -> B + Send,
 {
-    if jobs <= 1 {
-        let a = fa();
-        let b = fb();
-        return (a, b);
-    }
-    std::thread::scope(|scope| {
-        let hb = scope.spawn(fb);
-        let a = fa();
-        let b = hb.join().expect("joined task panicked");
-        (a, b)
-    })
+    Pool::global().join(jobs, fa, fb)
 }
 
 #[cfg(test)]
@@ -178,5 +512,81 @@ mod tests {
     fn effective_jobs_precedence() {
         assert_eq!(effective_jobs(3), 3);
         assert!(effective_jobs(0) >= 1);
+    }
+
+    #[test]
+    fn jobs_env_parsing_accepts_integers_and_flags_garbage() {
+        assert_eq!(parse_jobs_env("4"), Ok(Some(4)));
+        assert_eq!(parse_jobs_env(" 12 "), Ok(Some(12)));
+        assert_eq!(parse_jobs_env("0"), Ok(None), "0 means auto");
+        assert_eq!(parse_jobs_env(""), Ok(None), "empty means unset");
+        assert_eq!(parse_jobs_env("   "), Ok(None));
+        assert_eq!(parse_jobs_env("abc"), Err(()), "garbage is malformed, not auto");
+        assert_eq!(parse_jobs_env("-2"), Err(()), "negative is malformed");
+        assert_eq!(parse_jobs_env("1e3"), Err(()), "scientific notation is malformed");
+        assert_eq!(parse_jobs_env("4.0"), Err(()));
+        assert_eq!(parse_jobs_env("0x10"), Err(()));
+    }
+
+    #[test]
+    fn sequential_path_spawns_no_pool_workers() {
+        let pool = Pool::new();
+        let out = pool.map((0..32).collect::<Vec<_>>(), 1, |x| x + 1);
+        assert_eq!(out.len(), 32);
+        let (a, b) = pool.join(1, || 1, || 2);
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(pool.workers(), 0, "jobs=1 must not create helper threads");
+    }
+
+    #[test]
+    fn pool_workers_are_reused_across_batches() {
+        let pool = Pool::new();
+        for round in 0..5 {
+            let out = pool.map((0..40).collect::<Vec<_>>(), 4, |x| x * x);
+            assert_eq!(out, (0..40).map(|x| x * x).collect::<Vec<_>>(), "round {round}");
+        }
+        assert!(
+            pool.workers() <= 3,
+            "pool must reuse its {} helpers, not respawn per batch",
+            pool.workers()
+        );
+    }
+
+    #[test]
+    fn nested_fan_out_shares_the_pool_without_deadlock() {
+        let pool = Pool::new();
+        let out = pool.map((0..6u64).collect::<Vec<_>>(), 3, |x| {
+            // Inner fan-out from inside a pool task: the global-pool
+            // free functions nest the same way in the sweep layer.
+            let inner = Pool::global().map((0..5u64).collect::<Vec<_>>(), 2, move |y| x * 10 + y);
+            inner.into_iter().sum::<u64>()
+        });
+        let expect: Vec<u64> = (0..6u64).map(|x| (0..5u64).map(|y| x * 10 + y).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn deeply_nested_self_pool_fan_out_makes_progress() {
+        // Nested submission to the *same* pool: the submitter always
+        // participates, so progress never requires a free helper.
+        let pool = Arc::new(Pool::new());
+        let p2 = Arc::clone(&pool);
+        let out = pool.map(vec![1u64, 2, 3], 2, move |x| {
+            p2.map(vec![10u64, 20], 2, move |y| x + y).into_iter().sum::<u64>()
+        });
+        assert_eq!(out, vec![32, 34, 36]);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_submitter() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map(vec![1, 2, 3, 4], 2, |x| {
+                if x == 3 {
+                    panic!("boom {x}");
+                }
+                x
+            })
+        });
+        assert!(caught.is_err(), "task panic must re-raise on the caller");
     }
 }

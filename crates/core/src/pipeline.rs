@@ -30,7 +30,7 @@ use gpu_sim::{CostModel, Ns};
 use instrument::{identify_sync_function, Discovery};
 
 use crate::analysis::{analyze, Analysis, AnalysisConfig};
-use crate::par::effective_jobs;
+use crate::par::{effective_jobs, join};
 use crate::records::{Stage1Result, Stage2Result, Stage3Result, Stage4Result};
 use crate::stages::{
     merge_stage3, run_stage1, run_stage2, run_stage3, run_stage3_hash, run_stage3_sync, run_stage4,
@@ -101,49 +101,57 @@ pub struct FfmReport {
 impl FfmReport {
     /// Total data-collection cost relative to one baseline run.
     pub fn collection_overhead_factor(&self) -> f64 {
-        if self.stage1.exec_time_ns == 0 {
-            0.0
-        } else {
-            self.collection_total_ns as f64 / self.stage1.exec_time_ns as f64
-        }
+        overhead_factor(self.collection_total_ns, self.stage1.exec_time_ns)
+    }
+}
+
+/// Slowdown of `exec_ns` relative to the `base_ns` baseline.
+///
+/// The single zero-baseline rule for the whole crate: a zero baseline
+/// yields factor `0.0` (an empty run has no meaningful slowdown), used
+/// by both [`StageStats`] and [`FfmReport::collection_overhead_factor`]
+/// so the two can never disagree again.
+pub fn overhead_factor(exec_ns: Ns, base_ns: Ns) -> f64 {
+    if base_ns == 0 {
+        0.0
+    } else {
+        exec_ns as f64 / base_ns as f64
     }
 }
 
 /// Run the full feed-forward pipeline against an application.
 pub fn run_ffm(app: &dyn GpuApp, cfg: &FfmConfig) -> CudaResult<FfmReport> {
-    let (discovery, stage1, stage2, stage3, stage4) = if effective_jobs(cfg.jobs) > 1 {
-        collect_parallel(app, cfg)?
-    } else {
-        collect_sequential(app, cfg)?
-    };
-    let analysis = analyze(&stage1, &stage2, &stage3, &stage4, &cfg.analysis);
+    let jobs = effective_jobs(cfg.jobs);
+    let (discovery, stage1, stage2, stage3, stage4) =
+        if jobs > 1 { collect_parallel(app, cfg, jobs)? } else { collect_sequential(app, cfg)? };
+    let analysis = analyze(&stage1, &stage2, &stage3, &stage4, &cfg.analysis, jobs);
 
-    let base = stage1.exec_time_ns.max(1) as f64;
+    let base = stage1.exec_time_ns;
     let stages = vec![
         StageStats {
             name: "stage1-baseline",
             exec_ns: stage1.exec_time_ns,
-            overhead_factor: stage1.exec_time_ns as f64 / base,
+            overhead_factor: overhead_factor(stage1.exec_time_ns, base),
         },
         StageStats {
             name: "stage2-detailed-tracing",
             exec_ns: stage2.exec_time_ns,
-            overhead_factor: stage2.exec_time_ns as f64 / base,
+            overhead_factor: overhead_factor(stage2.exec_time_ns, base),
         },
         StageStats {
             name: "stage3a-memory-tracing",
             exec_ns: stage3.exec_time_sync_ns,
-            overhead_factor: stage3.exec_time_sync_ns as f64 / base,
+            overhead_factor: overhead_factor(stage3.exec_time_sync_ns, base),
         },
         StageStats {
             name: "stage3b-data-hashing",
             exec_ns: stage3.exec_time_hash_ns,
-            overhead_factor: stage3.exec_time_hash_ns as f64 / base,
+            overhead_factor: overhead_factor(stage3.exec_time_hash_ns, base),
         },
         StageStats {
             name: "stage4-sync-use",
             exec_ns: stage4.exec_time_ns,
-            overhead_factor: stage4.exec_time_ns as f64 / base,
+            overhead_factor: overhead_factor(stage4.exec_time_ns, base),
         },
     ];
     let collection_total_ns = stages.iter().map(|s| s.exec_ns).sum();
@@ -175,41 +183,88 @@ fn collect_sequential(app: &dyn GpuApp, cfg: &FfmConfig) -> CudaResult<Collected
     Ok((discovery, stage1, stage2, stage3, stage4))
 }
 
-/// The concurrent layout from the module docs. Error reporting matches
-/// the sequential path: when several stages fail, the error of the
-/// earliest stage in classic order is the one returned.
-fn collect_parallel(app: &dyn GpuApp, cfg: &FfmConfig) -> CudaResult<Collected> {
+/// The concurrent layout from the module docs, scheduled on the shared
+/// worker pool via [`crate::par::join`] so stage-level fan-out and any
+/// outer fleet fan-out (sweeps, regenerators) draw from one bounded set
+/// of threads. Error reporting matches the sequential path: when several
+/// stages fail, the error of the earliest stage in classic order is the
+/// one returned.
+fn collect_parallel(app: &dyn GpuApp, cfg: &FfmConfig, jobs: usize) -> CudaResult<Collected> {
     // Discovery probes a throwaway context and never touches the app, so
     // it overlaps with the baseline run.
-    let (discovery, stage1) = std::thread::scope(|scope| {
-        let disco = scope.spawn(|| identify_sync_function(cfg.cost.clone()));
-        let stage1 = run_stage1(app, &cfg.cost, &cfg.driver);
-        (disco.join().expect("discovery thread panicked"), stage1)
-    });
+    let (stage1, discovery) = join(
+        jobs,
+        || run_stage1(app, &cfg.cost, &cfg.driver),
+        || identify_sync_function(cfg.cost.clone()),
+    );
     let discovery = discovery?;
     let stage1 = stage1?;
 
     // Fork: stage 2 and the hashing run are leaves; the memory-tracing
-    // run feeds stage 4, so that chain stays on the current thread.
-    let (stage2, sync, hash, stage4) = std::thread::scope(|scope| {
-        let h2 = scope.spawn(|| run_stage2(app, &cfg.cost, &cfg.driver, &stage1));
-        let h3b = scope.spawn(|| run_stage3_hash(app, &cfg.cost, &cfg.driver, &stage1));
-        let sync = run_stage3_sync(app, &cfg.cost, &cfg.driver, &stage1);
-        let stage4 = match &sync {
-            Ok(s3a) => Some(run_stage4(app, &cfg.cost, &cfg.driver, &stage1, s3a)),
-            Err(_) => None,
-        };
-        (
-            h2.join().expect("stage 2 thread panicked"),
-            sync,
-            h3b.join().expect("stage 3b thread panicked"),
-            stage4,
-        )
-    });
+    // run feeds stage 4, so that chain stays on the submitting side.
+    let ((sync, stage4), (stage2, hash)) = join(
+        jobs,
+        || {
+            let sync = run_stage3_sync(app, &cfg.cost, &cfg.driver, &stage1);
+            let stage4 = match &sync {
+                Ok(s3a) => Some(run_stage4(app, &cfg.cost, &cfg.driver, &stage1, s3a)),
+                Err(_) => None,
+            };
+            (sync, stage4)
+        },
+        || {
+            join(
+                jobs,
+                || run_stage2(app, &cfg.cost, &cfg.driver, &stage1),
+                || run_stage3_hash(app, &cfg.cost, &cfg.driver, &stage1),
+            )
+        },
+    );
     let stage2 = stage2?;
     let sync = sync?;
     let hash = hash?;
     let stage3 = merge_stage3(sync, hash);
     let stage4 = stage4.expect("stage 4 ran because stage 3a succeeded")?;
     Ok((discovery, stage1, stage2, stage3, stage4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_factor_zero_baseline_is_zero() {
+        assert_eq!(overhead_factor(0, 0), 0.0);
+        assert_eq!(overhead_factor(12_345, 0), 0.0);
+    }
+
+    #[test]
+    fn overhead_factor_is_a_plain_ratio_otherwise() {
+        assert_eq!(overhead_factor(0, 100), 0.0);
+        assert_eq!(overhead_factor(100, 100), 1.0);
+        assert_eq!(overhead_factor(850, 100), 8.5);
+    }
+
+    #[test]
+    fn report_and_stage_stats_agree_on_zero_baseline() {
+        // Both halves of the old disagreement (0.0 vs `.max(1)`) now go
+        // through `overhead_factor`; an app that does nothing has a
+        // zero-length baseline and must yield 0.0 factors everywhere.
+        struct Idle;
+        impl GpuApp for Idle {
+            fn name(&self) -> &'static str {
+                "idle"
+            }
+            fn run(&self, _cuda: &mut cuda_driver::Cuda) -> CudaResult<()> {
+                Ok(())
+            }
+        }
+        let report =
+            run_ffm(&Idle, &FfmConfig { jobs: 1, ..FfmConfig::default() }).expect("pipeline runs");
+        assert_eq!(report.stage1.exec_time_ns, 0);
+        assert_eq!(report.collection_overhead_factor(), 0.0);
+        for s in &report.stages {
+            assert_eq!(s.overhead_factor, 0.0);
+        }
+    }
 }

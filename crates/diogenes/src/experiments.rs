@@ -2,7 +2,7 @@
 //! bench binaries and the integration tests).
 
 use cuda_driver::{uninstrumented_exec_time, ApiFn, CudaResult, GpuApp};
-use ffm_core::{effective_jobs, try_par_map};
+use ffm_core::run_fleet;
 use gpu_sim::{CostModel, Ns};
 use profilers::{run_hpctoolkit, run_nvprof, HpctoolkitConfig, NvprofConfig};
 
@@ -146,7 +146,7 @@ pub fn table1_rows(
     cost: &CostModel,
     jobs: usize,
 ) -> CudaResult<Vec<(Table1Row, DiogenesResult)>> {
-    try_par_map(subjects, effective_jobs(jobs), |s| table1_row(&s, cost))
+    run_fleet(subjects, jobs, |s| table1_row(&s, cost))
 }
 
 /// One operation row of Table 2.
@@ -223,7 +223,7 @@ pub fn table2_all(
     cost: &CostModel,
     jobs: usize,
 ) -> CudaResult<Vec<Table2>> {
-    try_par_map(subjects, effective_jobs(jobs), |s| table2_for(s.broken.as_ref(), cost))
+    run_fleet(subjects, jobs, |s| table2_for(s.broken.as_ref(), cost))
 }
 
 /// Keep only rows the paper's Table 2 would show (something reported by
@@ -250,9 +250,7 @@ pub fn overhead_factor(app: &dyn GpuApp) -> CudaResult<f64> {
 /// time (`0` = auto): one complete Diogenes result per subject, in
 /// subject order, for the §5.3 per-stage overhead table.
 pub fn overhead_reports(subjects: Vec<Subject>, jobs: usize) -> CudaResult<Vec<DiogenesResult>> {
-    try_par_map(subjects, effective_jobs(jobs), |s| {
-        run_diogenes(s.broken.as_ref(), DiogenesConfig::new())
-    })
+    run_fleet(subjects, jobs, |s| run_diogenes(s.broken.as_ref(), DiogenesConfig::new()))
 }
 
 /// [`cupti_sync_gap`] across a subject fleet, `jobs` at a time
@@ -263,7 +261,7 @@ pub fn cupti_gaps(
     cost: &CostModel,
     jobs: usize,
 ) -> CudaResult<Vec<(String, (u64, u64))>> {
-    try_par_map(subjects, effective_jobs(jobs), |s| {
+    run_fleet(subjects, jobs, |s| {
         let name = s.broken.name().to_string();
         cupti_sync_gap(s.broken.as_ref(), cost).map(|gap| (name, gap))
     })

@@ -25,6 +25,7 @@ pub mod autofix;
 pub mod cli;
 pub mod experiments;
 pub mod seqfam;
+pub mod sweep;
 pub mod tool;
 pub mod traceviz;
 
@@ -34,8 +35,9 @@ pub use cli::{
     resolve_jobs,
 };
 pub use seqfam::{
-    best_subsequence, family_subsequence_benefit, merge_sequences, FamilyEntry, SequenceFamily,
-    SubsequenceChoice,
+    best_subsequence, family_subsequence_benefit, family_subsequence_benefit_indexed,
+    merge_sequences, FamilyEntry, SequenceFamily, SubsequenceChoice,
 };
+pub use sweep::{build_spec, default_axes, default_out_path, parse_axis_arg, run_sweep_cli};
 pub use tool::{run_diogenes, DiogenesConfig, DiogenesResult};
 pub use traceviz::chrome_trace;

@@ -51,15 +51,130 @@ fn usage() -> ! {
     eprintln!(
         "usage: diogenes <als|cuibm|amg|gaussian|pipelined> [--scale test|paper] \
          [--view overview|sequence|fold|compare] [--fold <apiName>] [--seq N] \
-         [--sub FROM TO] [--autoseq] [--autofix] [--json <path>] [--jobs N]"
+         [--sub FROM TO] [--autoseq] [--autofix] [--json <path>] [--jobs N]\n\
+         \x20      diogenes sweep <app> [--scale test|paper] [--axis field=v1,v2,...]... \
+         [--paired] [--jobs N] [--out <path>] [--list-fields]"
     );
     std::process::exit(2);
+}
+
+/// `diogenes sweep <app> ...` — replay the pipeline over a configuration
+/// grid and write the matrix to `results/SWEEP_<app>.json`.
+fn sweep_main(args: &[String]) -> ! {
+    use diogenes::{build_spec, default_out_path, parse_axis_arg, run_sweep_cli};
+
+    if args.iter().any(|a| a == "--list-fields") {
+        for f in ffm_core::SWEEPABLE_FIELDS {
+            println!("{f}");
+        }
+        std::process::exit(0);
+    }
+    if args.is_empty() {
+        usage();
+    }
+    let app_name = args[0].clone();
+    let mut scale_paper = false;
+    let mut axes = Vec::new();
+    let mut paired = false;
+    let mut jobs_flag: Option<usize> = None;
+    let mut out_path: Option<String> = None;
+
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale_paper = args.get(i).map(|s| s == "paper").unwrap_or_else(|| usage());
+            }
+            "--axis" => {
+                i += 1;
+                let arg = args.get(i).cloned().unwrap_or_else(|| usage());
+                match parse_axis_arg(&arg) {
+                    Ok(a) => axes.push(a),
+                    Err(e) => {
+                        eprintln!("diogenes sweep: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--paired" => paired = true,
+            "--jobs" => {
+                i += 1;
+                jobs_flag =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let Some(app) = make_app(&app_name, scale_paper) else { usage() };
+    let (jobs, jobs_origin) = resolve_jobs(jobs_flag);
+    let spec = build_spec(axes, paired, jobs);
+    let cell_count = match spec.expand() {
+        Ok(points) => points.len(),
+        Err(e) => {
+            eprintln!("diogenes sweep: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "diogenes sweep: {} cells over {} ({}) [{jobs} jobs, {jobs_origin}]...",
+        cell_count,
+        app.name(),
+        app.workload()
+    );
+    let (matrix, doc) = match run_sweep_cli(app.as_ref(), &spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("diogenes sweep: {e}");
+            std::process::exit(1);
+        }
+    };
+    for (label, idx) in [
+        ("max benefit", matrix.summary.max_benefit),
+        ("min benefit", matrix.summary.min_benefit),
+        ("max overhead", matrix.summary.max_overhead),
+        ("min overhead", matrix.summary.min_overhead),
+    ] {
+        if let Some(i) = idx {
+            let c = &matrix.cells[i];
+            let assignment: Vec<String> =
+                c.assignment.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            eprintln!(
+                "  {label}: cell {i} [{}] benefit {:.3}ms ({:.2}%), overhead {:.1}x",
+                assignment.join(", "),
+                c.total_benefit_ns as f64 / 1e6,
+                c.benefit_pct,
+                c.collection_overhead_factor
+            );
+        }
+    }
+    let path = out_path.unwrap_or_else(|| default_out_path(matrix.app_name));
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    if let Err(e) = std::fs::write(&path, doc) {
+        eprintln!("diogenes sweep: failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("diogenes sweep: matrix written to {path}");
+    std::process::exit(0);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
+    }
+    if args[0] == "sweep" {
+        sweep_main(&args[1..]);
     }
     let app_name = args[0].clone();
     let mut scale_paper = false;

@@ -7,7 +7,7 @@
 //! sequences whose (API, call-site) entry pattern is identical.
 
 use cuda_driver::ApiFn;
-use ffm_core::{Analysis, Problem, Sequence};
+use ffm_core::{Analysis, GraphIndex, Problem, Sequence};
 use gpu_sim::{fnv1a_64, Ns, SourceLoc};
 
 /// One displayed operation of a family (paper Fig. 6 line). A call whose
@@ -126,23 +126,35 @@ pub fn family_subsequence_benefit(
     from: usize,
     to: usize,
 ) -> Option<Ns> {
+    family_subsequence_benefit_indexed(analysis, &analysis.graph.index(), family, from, to)
+}
+
+/// [`family_subsequence_benefit`] against a prebuilt [`GraphIndex`], so
+/// range searches ([`best_subsequence`]) pay the O(n) index build once.
+/// Problems outside the chosen display range are excluded via a node
+/// mask on the carry-forward estimator — no graph clone per query.
+pub fn family_subsequence_benefit_indexed(
+    analysis: &Analysis,
+    ix: &GraphIndex,
+    family: &SequenceFamily,
+    from: usize,
+    to: usize,
+) -> Option<Ns> {
     let first = family.entries.iter().find(|e| e.index == from)?;
     let last = family.entries.iter().find(|e| e.index == to)?;
     if last.first_node < first.first_node {
         return None;
     }
-    // Mask problems outside the chosen display range, then evaluate with
-    // carry-forward over the representative span.
-    let mut g = analysis.graph.clone();
     let lo = first.first_node;
     let hi = last.last_node;
     let seq = &family.representative;
-    for e in &seq.entries {
-        if e.node < lo || e.node > hi {
-            g.nodes[e.node].problem = Problem::None;
-        }
-    }
-    let one = ffm_core::carry_forward_benefit(&g, lo, seq.end);
+    // Only the representative's own entries outside [lo, hi] lose their
+    // problem flag — nodes from other sequences are untouched, exactly
+    // as the old clone-and-clear path behaved.
+    let cleared: std::collections::HashSet<usize> =
+        seq.entries.iter().map(|e| e.node).filter(|&n| n < lo || n > hi).collect();
+    let one =
+        ffm_core::carry_forward_masked(&analysis.graph, ix, lo, seq.end, |n| !cleared.contains(&n));
     Some(one * family.occurrences as Ns)
 }
 
@@ -187,6 +199,35 @@ mod tests {
             .map(|s| s.benefit_ns)
             .sum();
         assert_eq!(f.total_benefit_ns, per_seq);
+    }
+
+    #[test]
+    fn masked_family_benefit_equals_clone_based_path() {
+        // Regression pin: the node-mask estimator must reproduce the old
+        // clone-the-graph-and-clear-problems path bit for bit.
+        let r = als_result();
+        let f = &r.families[0];
+        let a = &r.report.analysis;
+        for (from, to) in [(1, f.entries.len()), (10, f.entries.len()), (5, 12), (3, 3), (9, 2)] {
+            let got = family_subsequence_benefit(a, f, from, to);
+            let reference = (|| {
+                let first = f.entries.iter().find(|e| e.index == from)?;
+                let last = f.entries.iter().find(|e| e.index == to)?;
+                if last.first_node < first.first_node {
+                    return None;
+                }
+                let (lo, hi) = (first.first_node, last.last_node);
+                let mut g = a.graph.clone();
+                for e in &f.representative.entries {
+                    if e.node < lo || e.node > hi {
+                        g.nodes[e.node].problem = Problem::None;
+                    }
+                }
+                let one = ffm_core::carry_forward_benefit(&g, lo, f.representative.end);
+                Some(one * f.occurrences as Ns)
+            })();
+            assert_eq!(got, reference, "range {from}..{to}");
+        }
     }
 
     #[test]
@@ -240,10 +281,14 @@ pub fn best_subsequence(
     if n == 0 {
         return None;
     }
+    // One index for the whole O(n²) range search.
+    let ix = analysis.graph.index();
     let mut best: Option<SubsequenceChoice> = None;
     for from in 1..=n {
         for to in from..=n {
-            let Some(benefit_ns) = family_subsequence_benefit(analysis, family, from, to) else {
+            let Some(benefit_ns) =
+                family_subsequence_benefit_indexed(analysis, &ix, family, from, to)
+            else {
                 continue;
             };
             let sites_to_edit = family

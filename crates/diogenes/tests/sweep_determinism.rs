@@ -1,0 +1,43 @@
+//! Regression: a sweep matrix — and its serialized JSON — must be
+//! byte-identical at every job count. Each grid cell is a complete
+//! isolated virtual-time simulation, the fleet preserves cell order, and
+//! the JSON document carries no job-count or wall-clock data, so any
+//! divergence between `jobs = 1` and `jobs = N` is a scheduling leak
+//! somewhere in the pool.
+
+use diogenes_apps::{AlsConfig, CumfAls};
+use ffm_core::{run_sweep, sweep_to_json, FfmConfig, SweepSpec};
+
+fn sweep_json(jobs: usize) -> String {
+    let mut cfg = AlsConfig::test_scale();
+    cfg.iters = 3;
+    let app = CumfAls::new(cfg);
+    // The acceptance grid: ≥ 3×3 over a cost-model knob × a driver knob.
+    let spec = SweepSpec::new(FfmConfig::default())
+        .axis("cost.free_base_ns", vec![1_000, 2_000, 4_000])
+        .axis("driver.unified_memset_penalty", vec![1, 30, 60])
+        .with_jobs(jobs);
+    let matrix = run_sweep(&app, &spec).expect("sweep runs");
+    assert_eq!(matrix.cells.len(), 9);
+    sweep_to_json(&matrix).to_string_pretty()
+}
+
+#[test]
+fn sweep_matrix_is_byte_identical_across_job_counts() {
+    let sequential = sweep_json(1);
+    for jobs in [2, 4] {
+        assert_eq!(sweep_json(jobs), sequential, "jobs=1 vs jobs={jobs} sweep JSON differ");
+    }
+}
+
+#[test]
+fn sweep_cells_vary_with_the_axes() {
+    // The grid must actually probe different configurations: the free
+    // cost axis changes the baseline execution time, so cells can't all
+    // be clones of one run.
+    let doc = sweep_json(1);
+    let matrix: Vec<&str> = doc.lines().filter(|l| l.contains("baseline_exec_ns")).collect();
+    assert_eq!(matrix.len(), 9);
+    let distinct: std::collections::HashSet<&str> = matrix.iter().copied().collect();
+    assert!(distinct.len() > 1, "all cells reported the same baseline:\n{doc}");
+}

@@ -91,7 +91,7 @@ fn main() {
     println!("  {} first-use gaps measured", s4.first_use_ns.len());
 
     println!("stage 5: analysis...\n");
-    let a = analyze(&s1, &s2, &s3, &s4, &AnalysisConfig::default());
+    let a = analyze(&s1, &s2, &s3, &s4, &AnalysisConfig::default(), 1);
     for p in a.problems.iter().take(5) {
         println!(
             "  {} at {} [{}] -> {:.3} ms",

@@ -24,6 +24,10 @@ cargo test -q
 echo "== full workspace tests =="
 cargo test -q --workspace
 
+echo "== sweep determinism (jobs=1 vs jobs=N bit-identical SWEEP json) =="
+cargo test -q -p diogenes --test sweep_determinism
+cargo test -q -p diogenes --test sequential_no_threads
+
 echo "== property tests (extern-testing feature) =="
 cargo test -q --workspace --features extern-testing
 
