@@ -99,6 +99,7 @@ fn main() {
 
     let doc = Json::obj([
         ("bench", Json::Str("pipeline-parallelism".to_string())),
+        ("meta", diogenes_bench::bench_meta(jobs, "pascal_like")),
         ("cores", Json::Int(cores as i128)),
         ("parallel_jobs", Json::Int(jobs as i128)),
         ("iterations", Json::Int(ITERS as i128)),

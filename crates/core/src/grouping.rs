@@ -246,6 +246,7 @@ pub fn carry_forward_masked(
 /// spawns nothing — grouping no longer consults the environment behind
 /// the configuration's back.
 pub fn find_sequences(graph: &ExecGraph, jobs: usize) -> Vec<Sequence> {
+    let _span = crate::telemetry::span("find_sequences");
     // Pass 1 (sequential, O(n)): discover the maximal runs.
     let mut runs: Vec<(usize, usize)> = Vec::new();
     let mut idx = 0;
@@ -298,6 +299,7 @@ pub fn find_sequences(graph: &ExecGraph, jobs: usize) -> Vec<Sequence> {
     };
     // Dispatch overhead dwarfs per-run evaluation on small graphs; only
     // fan out when there is real work to split.
+    crate::telemetry::counter_add("grouping.candidate_runs", runs.len() as u64);
     let jobs = if runs.len() >= 64 { jobs.max(1) } else { 1 };
     let mut sequences: Vec<Sequence> =
         par_map(runs, jobs, evaluate).into_iter().flatten().collect();

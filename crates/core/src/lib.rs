@@ -63,12 +63,14 @@ pub mod export;
 pub mod graph;
 pub mod grouping;
 pub mod json;
+pub mod log;
 pub mod par;
 pub mod pipeline;
 pub mod problem;
 pub mod records;
 pub mod stages;
 pub mod sweep;
+pub mod telemetry;
 
 pub use analysis::{analyze, Analysis, AnalysisConfig, ProblemOp};
 pub use benefit::{expected_benefit, BenefitOptions, BenefitReport, NodeBenefit};
@@ -90,4 +92,8 @@ pub use records::{
 pub use sweep::{
     run_fleet, run_sweep, set_field, sweep_to_json, Axis, AxisLayout, SweepCell, SweepMatrix,
     SweepPoint, SweepSpec, SweepSummary, SWEEPABLE_FIELDS,
+};
+pub use telemetry::{
+    chrome_duration_event, chrome_metadata_event, snapshot_to_json, spans_well_formed,
+    TelemetrySnapshot,
 };

@@ -1,0 +1,154 @@
+//! Leveled diagnostics, one discipline for the whole workspace.
+//!
+//! Before this module, diagnostics were ad-hoc `eprintln!` calls (the
+//! malformed-`DIOGENES_JOBS` warning in [`crate::par`], CLI error
+//! paths). Telemetry (`--profile`) made a shared output discipline
+//! necessary: diagnostic chatter and machine-readable artifacts must not
+//! interleave unpredictably. This facade routes everything through one
+//! level gate read from `DIOGENES_LOG` (`error|warn|info|debug`,
+//! default `warn`), so users can silence or amplify the tool uniformly.
+//!
+//! Messages go to stderr; stdout remains reserved for reports (the
+//! `--json` contract). Progress banners the CLI always prints (run
+//! headers, sweep progress) are product UX, not diagnostics, and stay
+//! plain `eprintln!`.
+
+use std::sync::OnceLock;
+
+/// Diagnostic severity, ordered so that `level <= max_level()` is the
+/// emission test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Environment variable selecting the maximum emitted level.
+pub const LOG_ENV: &str = "DIOGENES_LOG";
+
+/// Parse a `DIOGENES_LOG` value. Unknown strings fall back to the
+/// default (`Warn`) rather than erroring — a diagnostics knob must never
+/// make the tool itself fail.
+pub fn parse_level(s: &str) -> Option<Level> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "error" => Some(Level::Error),
+        "warn" | "warning" => Some(Level::Warn),
+        "info" => Some(Level::Info),
+        "debug" => Some(Level::Debug),
+        _ => None,
+    }
+}
+
+/// The active maximum level: `DIOGENES_LOG` read once per process,
+/// default `Warn`.
+pub fn max_level() -> Level {
+    static MAX: OnceLock<Level> = OnceLock::new();
+    *MAX.get_or_init(|| {
+        std::env::var(LOG_ENV).ok().and_then(|v| parse_level(&v)).unwrap_or(Level::Warn)
+    })
+}
+
+/// Whether a message at `level` would be emitted.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level <= max_level()
+}
+
+/// Emit a formatted message (macro backend — call the `log_*!` macros
+/// instead so format arguments are only evaluated when the level is on).
+pub fn emit(level: Level, args: std::fmt::Arguments<'_>) {
+    if enabled(level) {
+        eprintln!("diogenes [{}] {}", level.as_str(), args);
+    }
+}
+
+/// Log at [`Level::Error`]: the operation failed and the user must act.
+#[macro_export]
+macro_rules! log_error {
+    ($($arg:tt)*) => {
+        $crate::log::emit($crate::log::Level::Error, format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Warn`] (the default gate): suspicious but recovered.
+#[macro_export]
+macro_rules! log_warn {
+    ($($arg:tt)*) => {
+        $crate::log::emit($crate::log::Level::Warn, format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Info`]: notable lifecycle events, off by default.
+#[macro_export]
+macro_rules! log_info {
+    ($($arg:tt)*) => {
+        $crate::log::emit($crate::log::Level::Info, format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Debug`]: high-volume tracing aid, off by default.
+#[macro_export]
+macro_rules! log_debug {
+    ($($arg:tt)*) => {
+        $crate::log::emit($crate::log::Level::Debug, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_error_lowest() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn parse_accepts_known_levels_case_insensitively() {
+        assert_eq!(parse_level("error"), Some(Level::Error));
+        assert_eq!(parse_level("WARN"), Some(Level::Warn));
+        assert_eq!(parse_level("warning"), Some(Level::Warn));
+        assert_eq!(parse_level(" Info "), Some(Level::Info));
+        assert_eq!(parse_level("debug"), Some(Level::Debug));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_levels() {
+        assert_eq!(parse_level(""), None);
+        assert_eq!(parse_level("verbose"), None);
+        assert_eq!(parse_level("2"), None);
+    }
+
+    #[test]
+    fn default_gate_passes_warn_and_error_only() {
+        // max_level() reads the env once per process; tests cannot set it
+        // reliably, but the default (no DIOGENES_LOG in the test env, or
+        // any valid setting) must always pass errors.
+        assert!(enabled(Level::Error));
+    }
+
+    #[test]
+    fn macros_expand_and_run() {
+        // Smoke: the macros must compile against the facade and not
+        // panic; their output is gated stderr chatter.
+        log_error!("e {}", 1);
+        log_warn!("w {}", 2);
+        log_info!("i {}", 3);
+        log_debug!("d {}", 4);
+    }
+}

@@ -29,6 +29,9 @@
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::telemetry;
 
 /// Environment variable overriding the worker count for every fleet-level
 /// `par_map` in the repo (`0` or unset = one worker per available core).
@@ -74,8 +77,8 @@ pub fn effective_jobs(requested: usize) -> usize {
             Err(()) => {
                 static WARNED: std::sync::Once = std::sync::Once::new();
                 WARNED.call_once(|| {
-                    eprintln!(
-                        "diogenes: ignoring malformed {JOBS_ENV}={raw:?} \
+                    crate::log_warn!(
+                        "ignoring malformed {JOBS_ENV}={raw:?} \
                          (expected a non-negative integer); using auto worker count"
                     );
                 });
@@ -138,17 +141,27 @@ impl Batch {
     }
 
     /// Claim and run indices until none remain. Runs on the submitter
-    /// and on any helper that joined the batch.
-    fn run_claimed(&self) {
+    /// (`helper = false`) and on any helper that joined the batch
+    /// (`helper = true`); the distinction feeds the stolen-vs-self-run
+    /// task counters.
+    fn run_claimed(&self, helper: bool) {
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.count {
                 return;
             }
+            telemetry::counter_add(
+                if helper { "pool.tasks_helper" } else { "pool.tasks_submitter" },
+                1,
+            );
             // SAFETY: `i < count`, so the submitter is still blocked in
             // `finish` and the closure borrow is live (see `TaskPtr`).
             let task = unsafe { &*self.task.0 };
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(i))) {
+            let outcome = {
+                let _task_span = telemetry::span("pool.task");
+                catch_unwind(AssertUnwindSafe(|| task(i)))
+            };
+            if let Err(payload) = outcome {
                 let mut slot = self.panic.lock().unwrap();
                 if slot.is_none() {
                     *slot = Some(payload);
@@ -229,7 +242,7 @@ impl Drop for ActiveBatch<'_> {
     /// `finish` still blocks until helpers are out of the task closure —
     /// otherwise unwinding would free a borrow a helper may be reading.
     fn drop(&mut self) {
-        self.batch.run_claimed();
+        self.batch.run_claimed(false);
         self.batch.wait_done();
         let mut q = self.pool.shared.queue.lock().unwrap();
         q.batches.retain(|b| !Arc::ptr_eq(b, &self.batch));
@@ -300,6 +313,9 @@ impl Pool {
         {
             let mut q = self.shared.queue.lock().unwrap();
             q.batches.push(Arc::clone(&batch));
+            telemetry::counter_add("pool.batches_submitted", 1);
+            telemetry::record("pool.batch_size", count as u64);
+            telemetry::record("pool.queue_depth", q.batches.len() as u64);
             self.work_cv_notify();
         }
         ActiveBatch { pool: self, batch }
@@ -395,11 +411,24 @@ fn worker_loop(shared: Arc<PoolShared>) {
                     q.batches.iter().find(|b| b.has_claimable() && b.try_join()).map(Arc::clone);
                 match joined {
                     Some(b) => break b,
-                    None => q = shared.work_cv.wait(q).unwrap(),
+                    None => {
+                        let parked = telemetry::enabled().then(Instant::now);
+                        q = shared.work_cv.wait(q).unwrap();
+                        if let Some(t0) = parked {
+                            telemetry::counter_add(
+                                "pool.worker_idle_ns",
+                                t0.elapsed().as_nanos() as u64,
+                            );
+                        }
+                    }
                 }
             }
         };
-        batch.run_claimed();
+        let running = telemetry::enabled().then(Instant::now);
+        batch.run_claimed(true);
+        if let Some(t0) = running {
+            telemetry::counter_add("pool.worker_busy_ns", t0.elapsed().as_nanos() as u64);
+        }
     }
 }
 

@@ -33,8 +33,9 @@ use crate::analysis::{analyze, Analysis, AnalysisConfig};
 use crate::par::{effective_jobs, join};
 use crate::records::{Stage1Result, Stage2Result, Stage3Result, Stage4Result};
 use crate::stages::{
-    merge_stage3, run_stage1, run_stage2, run_stage3, run_stage3_hash, run_stage3_sync, run_stage4,
+    merge_stage3, run_stage1, run_stage2, run_stage3_hash, run_stage3_sync, run_stage4,
 };
+use crate::telemetry;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -121,10 +122,15 @@ pub fn overhead_factor(exec_ns: Ns, base_ns: Ns) -> f64 {
 
 /// Run the full feed-forward pipeline against an application.
 pub fn run_ffm(app: &dyn GpuApp, cfg: &FfmConfig) -> CudaResult<FfmReport> {
+    let _run_span = telemetry::span_detail("run_ffm", || app.name().to_string());
     let jobs = effective_jobs(cfg.jobs);
     let (discovery, stage1, stage2, stage3, stage4) =
         if jobs > 1 { collect_parallel(app, cfg, jobs)? } else { collect_sequential(app, cfg)? };
-    let analysis = analyze(&stage1, &stage2, &stage3, &stage4, &cfg.analysis, jobs);
+    let analysis = {
+        let _s = telemetry::span("stage5-analysis");
+        analyze(&stage1, &stage2, &stage3, &stage4, &cfg.analysis, jobs)
+    };
+    record_collection_metrics(&stage2, &stage3, &stage4, &analysis);
 
     let base = stage1.exec_time_ns;
     let stages = vec![
@@ -172,14 +178,59 @@ pub fn run_ffm(app: &dyn GpuApp, cfg: &FfmConfig) -> CudaResult<FfmReport> {
 
 type Collected = (Discovery, Stage1Result, Stage2Result, Stage3Result, Stage4Result);
 
+/// Record what collection found into the telemetry metrics registry.
+/// Read-only over the results — telemetry observes the pipeline, it
+/// never feeds anything back into it.
+fn record_collection_metrics(
+    stage2: &Stage2Result,
+    stage3: &Stage3Result,
+    stage4: &Stage4Result,
+    analysis: &Analysis,
+) {
+    if !telemetry::enabled() {
+        return;
+    }
+    telemetry::counter_add("stage2.traced_calls", stage2.calls.len() as u64);
+    telemetry::counter_add("stage3.digest_bytes", stage3.hashed_bytes);
+    telemetry::counter_add("stage3.duplicate_transfers", stage3.duplicates.len() as u64);
+    telemetry::counter_add("stage4.first_use_gaps", stage4.first_use_ns.len() as u64);
+    telemetry::counter_add("graph.nodes", analysis.graph.nodes.len() as u64);
+    telemetry::counter_add("analysis.problems", analysis.problems.len() as u64);
+    telemetry::counter_add("analysis.sequences", analysis.sequences.len() as u64);
+}
+
 /// The classic stage order, one run after another on the caller's thread.
 fn collect_sequential(app: &dyn GpuApp, cfg: &FfmConfig) -> CudaResult<Collected> {
     // Pre-stage: find the internal sync function (throwaway context).
-    let discovery = identify_sync_function(cfg.cost.clone())?;
-    let stage1 = run_stage1(app, &cfg.cost, &cfg.driver)?;
-    let stage2 = run_stage2(app, &cfg.cost, &cfg.driver, &stage1)?;
-    let stage3 = run_stage3(app, &cfg.cost, &cfg.driver, &stage1)?;
-    let stage4 = run_stage4(app, &cfg.cost, &cfg.driver, &stage1, &stage3)?;
+    let discovery = {
+        let _s = telemetry::span("discovery");
+        identify_sync_function(cfg.cost.clone())?
+    };
+    let stage1 = {
+        let _s = telemetry::span("stage1-baseline");
+        run_stage1(app, &cfg.cost, &cfg.driver)?
+    };
+    let stage2 = {
+        let _s = telemetry::span("stage2-detailed-tracing");
+        run_stage2(app, &cfg.cost, &cfg.driver, &stage1)?
+    };
+    // Inlined `run_stage3` (sync + hash + merge) so the two halves carry
+    // the same span names as the parallel layout.
+    let stage3 = {
+        let sync = {
+            let _s = telemetry::span("stage3a-memory-tracing");
+            run_stage3_sync(app, &cfg.cost, &cfg.driver, &stage1)?
+        };
+        let hash = {
+            let _s = telemetry::span("stage3b-data-hashing");
+            run_stage3_hash(app, &cfg.cost, &cfg.driver, &stage1)?
+        };
+        merge_stage3(sync, hash)
+    };
+    let stage4 = {
+        let _s = telemetry::span("stage4-sync-use");
+        run_stage4(app, &cfg.cost, &cfg.driver, &stage1, &stage3)?
+    };
     Ok((discovery, stage1, stage2, stage3, stage4))
 }
 
@@ -191,11 +242,19 @@ fn collect_sequential(app: &dyn GpuApp, cfg: &FfmConfig) -> CudaResult<Collected
 /// one returned.
 fn collect_parallel(app: &dyn GpuApp, cfg: &FfmConfig, jobs: usize) -> CudaResult<Collected> {
     // Discovery probes a throwaway context and never touches the app, so
-    // it overlaps with the baseline run.
+    // it overlaps with the baseline run. Spans open inside the join
+    // closures, so each lands on whichever thread (caller or pool
+    // worker) actually ran the work.
     let (stage1, discovery) = join(
         jobs,
-        || run_stage1(app, &cfg.cost, &cfg.driver),
-        || identify_sync_function(cfg.cost.clone()),
+        || {
+            let _s = telemetry::span("stage1-baseline");
+            run_stage1(app, &cfg.cost, &cfg.driver)
+        },
+        || {
+            let _s = telemetry::span("discovery");
+            identify_sync_function(cfg.cost.clone())
+        },
     );
     let discovery = discovery?;
     let stage1 = stage1?;
@@ -205,9 +264,15 @@ fn collect_parallel(app: &dyn GpuApp, cfg: &FfmConfig, jobs: usize) -> CudaResul
     let ((sync, stage4), (stage2, hash)) = join(
         jobs,
         || {
-            let sync = run_stage3_sync(app, &cfg.cost, &cfg.driver, &stage1);
+            let sync = {
+                let _s = telemetry::span("stage3a-memory-tracing");
+                run_stage3_sync(app, &cfg.cost, &cfg.driver, &stage1)
+            };
             let stage4 = match &sync {
-                Ok(s3a) => Some(run_stage4(app, &cfg.cost, &cfg.driver, &stage1, s3a)),
+                Ok(s3a) => {
+                    let _s = telemetry::span("stage4-sync-use");
+                    Some(run_stage4(app, &cfg.cost, &cfg.driver, &stage1, s3a))
+                }
                 Err(_) => None,
             };
             (sync, stage4)
@@ -215,8 +280,14 @@ fn collect_parallel(app: &dyn GpuApp, cfg: &FfmConfig, jobs: usize) -> CudaResul
         || {
             join(
                 jobs,
-                || run_stage2(app, &cfg.cost, &cfg.driver, &stage1),
-                || run_stage3_hash(app, &cfg.cost, &cfg.driver, &stage1),
+                || {
+                    let _s = telemetry::span("stage2-detailed-tracing");
+                    run_stage2(app, &cfg.cost, &cfg.driver, &stage1)
+                },
+                || {
+                    let _s = telemetry::span("stage3b-data-hashing");
+                    run_stage3_hash(app, &cfg.cost, &cfg.driver, &stage1)
+                },
             )
         },
     );

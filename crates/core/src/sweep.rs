@@ -30,6 +30,7 @@ use gpu_sim::Ns;
 use crate::json::Json;
 use crate::par::{effective_jobs, try_par_map};
 use crate::pipeline::{run_ffm, FfmConfig, FfmReport};
+use crate::telemetry;
 
 /// One sweep dimension: a config field path and the values it takes.
 #[derive(Debug, Clone)]
@@ -270,14 +271,21 @@ where
 /// are reported as `Err(String)`; the first failing cell's
 /// [`cuda_driver::CudaError`] is rendered into the same error string.
 pub fn run_sweep(app: &dyn GpuApp, spec: &SweepSpec) -> Result<SweepMatrix, String> {
+    let _sweep_span = telemetry::span_detail("run_sweep", || app.name().to_string());
     let points = spec.expand()?;
     let jobs = effective_jobs(spec.jobs);
-    let cells = run_fleet(points, jobs, |p: SweepPoint| -> CudaResult<SweepCell> {
+    let indexed: Vec<(usize, SweepPoint)> = points.into_iter().enumerate().collect();
+    let cells = run_fleet(indexed, jobs, |(i, p): (usize, SweepPoint)| -> CudaResult<SweepCell> {
+        let _cell_span = telemetry::span_detail("sweep.cell", || {
+            let axes: Vec<String> = p.assignment.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("#{i} {}", axes.join(","))
+        });
         // Each cell's pipeline inherits the sweep's resolved worker
         // budget; nested fan-out shares the same pool, and `jobs = 1`
         // keeps everything on this thread.
         let cfg = FfmConfig { jobs, ..p.cfg };
         let report = run_ffm(app, &cfg)?;
+        telemetry::counter_add("sweep.cells_completed", 1);
         Ok(SweepCell::from_report(p.assignment, &report))
     })
     .map_err(|e| format!("sweep cell failed: {e}"))?;

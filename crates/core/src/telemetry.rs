@@ -1,0 +1,799 @@
+//! Self-measurement: the tool watching itself the way it watches apps.
+//!
+//! The paper's premise is *honest* measurement — Diogenes reports its own
+//! collection overhead (§6, Fig. 8) so users can trust the benefit
+//! estimates. [`crate::pipeline::StageStats::overhead_factor`] reproduces
+//! that at stage granularity, but nothing below the stage level was
+//! visible once `run_ffm` became a concurrent stage DAG on a shared
+//! worker pool. This module is the layer that explains where *pipeline*
+//! time goes: hierarchical spans, a metrics registry of counters and
+//! value histograms, and exporters that render the tool's own execution
+//! as a Chrome trace (one track per `ffm-pool-N` worker) plus a summary
+//! document (`results/TELEMETRY_<app>.json`, written by `--profile`).
+//!
+//! ## Jobs-invariance by construction
+//!
+//! Telemetry must never be able to change a report. Three properties
+//! guarantee it:
+//!
+//! 1. **No data flows back.** Spans and metrics are write-only from the
+//!    pipeline's perspective; nothing in `run_ffm`/`run_sweep` reads the
+//!    sink. Reports are bit-identical with profiling on or off, at every
+//!    `--jobs` value (pinned by `crates/diogenes/tests`).
+//! 2. **No-op fast path.** When disabled (the default), every entry
+//!    point is one relaxed atomic load and an early return — no
+//!    allocation, no locks, no clock reads — so the hot paths in
+//!    `par.rs` / `pipeline.rs` cost nothing on tier-1 runs.
+//! 3. **Lock-sharded, thread-local-buffered sink.** Each thread owns a
+//!    private shard (registered once, uncontended mutex) and buffers
+//!    span events in a plain `Vec` that is flushed when the outermost
+//!    span closes, so recording never serializes worker threads against
+//!    each other.
+//!
+//! Wall-clock timestamps make telemetry output inherently
+//! non-deterministic — which is exactly why it lives in separate
+//! artifacts and never inside `FfmReport` / `SweepMatrix` JSON.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Synthetic pid for the tool-self trace (the simulated app's traceviz
+/// export also uses pid 1; the two documents are separate files, so the
+/// ids never collide in one viewer session).
+pub const SELF_TRACE_PID: u32 = 1;
+
+/// Flush the thread-local event buffer into the shard at this size even
+/// if a span is still open (bounds buffer growth under deep fan-out).
+const FLUSH_AT: usize = 128;
+
+// ---------------------------------------------------------------------------
+// Enable flag — the no-op fast path.
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether telemetry collection is active. One relaxed load; every other
+/// entry point checks this first, so a disabled process pays nothing.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn collection on or off process-wide (the CLI's `--profile` flag).
+/// Spans opened while enabled still record on drop after a disable.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// The sink: per-thread shards registered in a global list.
+// ---------------------------------------------------------------------------
+
+/// One recorded span: a named interval on one thread's track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Static span name (`"stage2-detailed-tracing"`, `"sweep.cell"`, …).
+    pub name: &'static str,
+    /// Optional per-instance label, built only while enabled.
+    pub detail: Option<String>,
+    /// Nanoseconds since the process telemetry epoch.
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    /// Nesting depth at entry (0 = top level on this thread).
+    pub depth: u32,
+}
+
+impl SpanEvent {
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+/// A value histogram with power-of-two buckets plus exact count / sum /
+/// min / max. Merging two histograms is bucket-wise addition, so the
+/// result is independent of worker count and merge order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// `buckets[i]` counts values in `[2^(i-1), 2^i)`; bucket 0 holds 0.
+    pub buckets: [u64; 64],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; 64] }
+    }
+}
+
+impl Hist {
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros() as usize).min(63)
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        // Saturating: commutative and associative over unsigned values,
+        // so shard merge order still cannot change the result.
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Bucket-wise merge: commutative and associative, so shard order
+    /// cannot influence the result.
+    pub fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One thread's shard of the sink. Only the owning thread writes; the
+/// drainer locks briefly to take the accumulated data, so the mutexes
+/// are uncontended in steady state.
+struct ThreadShard {
+    thread: String,
+    track: u32,
+    events: Mutex<Vec<SpanEvent>>,
+    counters: Mutex<HashMap<&'static str, u64>>,
+    hists: Mutex<HashMap<&'static str, Hist>>,
+}
+
+struct Registry {
+    epoch: Instant,
+    shards: Mutex<Vec<Arc<ThreadShard>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry { epoch: Instant::now(), shards: Mutex::new(Vec::new()) })
+}
+
+fn now_ns() -> u64 {
+    registry().epoch.elapsed().as_nanos() as u64
+}
+
+/// Thread-local half: the shard handle plus the span buffer and depth.
+struct Local {
+    shard: Arc<ThreadShard>,
+    buf: Vec<SpanEvent>,
+    depth: u32,
+}
+
+impl Local {
+    fn register() -> Local {
+        let reg = registry();
+        let mut shards = reg.shards.lock().unwrap();
+        let track = shards.len() as u32;
+        let thread = std::thread::current()
+            .name()
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| format!("thread-{track}"));
+        let shard = Arc::new(ThreadShard {
+            thread,
+            track,
+            events: Mutex::new(Vec::new()),
+            counters: Mutex::new(HashMap::new()),
+            hists: Mutex::new(HashMap::new()),
+        });
+        shards.push(Arc::clone(&shard));
+        Local { shard, buf: Vec::new(), depth: 0 }
+    }
+
+    fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            self.shard.events.lock().unwrap().append(&mut self.buf);
+        }
+    }
+}
+
+impl Drop for Local {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Local>> = const { RefCell::new(None) };
+}
+
+fn with_local<R>(f: impl FnOnce(&mut Local) -> R) -> Option<R> {
+    LOCAL
+        .try_with(|cell| {
+            let mut opt = cell.borrow_mut();
+            f(opt.get_or_insert_with(Local::register))
+        })
+        .ok()
+}
+
+// ---------------------------------------------------------------------------
+// Spans.
+// ---------------------------------------------------------------------------
+
+/// An open span; records a [`SpanEvent`] on drop. A disabled process gets
+/// an inert guard (no allocation, no clock read).
+#[must_use = "a span records on drop; binding it to `_` closes it immediately"]
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    detail: Option<String>,
+    start_ns: u64,
+}
+
+/// Open a span named `name` on the current thread's track.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { active: None };
+    }
+    open_span(name, None)
+}
+
+/// Open a span with a per-instance label; `detail` is only invoked while
+/// telemetry is enabled, so label formatting is free on the no-op path.
+#[inline]
+pub fn span_detail(name: &'static str, detail: impl FnOnce() -> String) -> Span {
+    if !enabled() {
+        return Span { active: None };
+    }
+    open_span(name, Some(detail()))
+}
+
+fn open_span(name: &'static str, detail: Option<String>) -> Span {
+    with_local(|l| l.depth += 1);
+    Span { active: Some(ActiveSpan { name, detail, start_ns: now_ns() }) }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else { return };
+        let end = now_ns();
+        with_local(move |l| {
+            l.depth = l.depth.saturating_sub(1);
+            l.buf.push(SpanEvent {
+                name: a.name,
+                detail: a.detail,
+                start_ns: a.start_ns,
+                dur_ns: end.saturating_sub(a.start_ns),
+                depth: l.depth,
+            });
+            // Flushing at depth 0 keeps parked pool workers' shards
+            // complete: a worker is only ever idle between tasks, i.e.
+            // with no span open.
+            if l.depth == 0 || l.buf.len() >= FLUSH_AT {
+                l.flush();
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+// ---------------------------------------------------------------------------
+
+/// Add `n` to the named counter on this thread's shard. Counters from
+/// all shards are summed at [`drain`] time (addition commutes, so the
+/// merged value is worker-count independent).
+#[inline]
+pub fn counter_add(name: &'static str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    with_local(|l| *l.shard.counters.lock().unwrap().entry(name).or_insert(0) += n);
+}
+
+/// Record a value into the named histogram on this thread's shard.
+/// Values are durations in nanoseconds for `*_ns` metrics and plain
+/// magnitudes otherwise (queue depth, batch size).
+#[inline]
+pub fn record(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    with_local(|l| l.shard.hists.lock().unwrap().entry(name).or_default().record(value));
+}
+
+// ---------------------------------------------------------------------------
+// Drain + snapshot.
+// ---------------------------------------------------------------------------
+
+/// One thread's drained events.
+#[derive(Debug, Clone)]
+pub struct TrackSnapshot {
+    pub thread: String,
+    pub track: u32,
+    pub events: Vec<SpanEvent>,
+}
+
+impl TrackSnapshot {
+    /// Time covered by top-level spans on this track — the "busy" time
+    /// the worker-utilization summary reports.
+    pub fn busy_ns(&self) -> u64 {
+        self.events.iter().filter(|e| e.depth == 0).map(|e| e.dur_ns).sum()
+    }
+}
+
+/// Everything collected since the last drain, with per-thread shards
+/// merged into order-independent totals.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    /// Per-thread span tracks, in registration order.
+    pub tracks: Vec<TrackSnapshot>,
+    /// Counters summed across shards.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Histograms merged bucket-wise across shards.
+    pub hists: BTreeMap<&'static str, Hist>,
+}
+
+/// Aggregate of all spans sharing a name, across tracks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanAggregate {
+    pub name: &'static str,
+    pub count: u64,
+    pub total_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+}
+
+impl TelemetrySnapshot {
+    /// Per-name span rollup, sorted by name for deterministic output.
+    pub fn span_aggregates(&self) -> Vec<SpanAggregate> {
+        let mut by_name: BTreeMap<&'static str, SpanAggregate> = BTreeMap::new();
+        for t in &self.tracks {
+            for e in &t.events {
+                let agg = by_name.entry(e.name).or_insert(SpanAggregate {
+                    name: e.name,
+                    count: 0,
+                    total_ns: 0,
+                    min_ns: u64::MAX,
+                    max_ns: 0,
+                });
+                agg.count += 1;
+                agg.total_ns += e.dur_ns;
+                agg.min_ns = agg.min_ns.min(e.dur_ns);
+                agg.max_ns = agg.max_ns.max(e.dur_ns);
+            }
+        }
+        by_name.into_values().collect()
+    }
+}
+
+/// Take everything recorded so far and reset the sink. Shards stay
+/// registered (their threads keep writing into the next snapshot); the
+/// caller's local buffer is flushed first so its own spans are included.
+pub fn drain() -> TelemetrySnapshot {
+    with_local(|l| l.flush());
+    let shards: Vec<Arc<ThreadShard>> = registry().shards.lock().unwrap().clone();
+    let mut snap = TelemetrySnapshot::default();
+    for shard in shards {
+        let events = std::mem::take(&mut *shard.events.lock().unwrap());
+        if !events.is_empty() {
+            snap.tracks.push(TrackSnapshot {
+                thread: shard.thread.clone(),
+                track: shard.track,
+                events,
+            });
+        }
+        for (name, v) in std::mem::take(&mut *shard.counters.lock().unwrap()) {
+            *snap.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, h) in std::mem::take(&mut *shard.hists.lock().unwrap()) {
+            snap.hists.entry(name).or_default().merge(&h);
+        }
+    }
+    snap.tracks.sort_by_key(|t| t.track);
+    snap
+}
+
+// ---------------------------------------------------------------------------
+// Well-formedness (used by the telemetry test suite).
+// ---------------------------------------------------------------------------
+
+/// Check that one track's spans form a proper hierarchy: every exit
+/// matches an enter (guaranteed structurally by the RAII guard, verified
+/// here from the recorded data), spans never partially overlap, and the
+/// recorded depth matches the nesting implied by the intervals.
+pub fn spans_well_formed(events: &[SpanEvent]) -> Result<(), String> {
+    let mut order: Vec<&SpanEvent> = events.iter().collect();
+    order.sort_by_key(|e| (e.start_ns, std::cmp::Reverse(e.end_ns()), e.depth));
+    let mut stack: Vec<u64> = Vec::new();
+    for e in &order {
+        while let Some(&top_end) = stack.last() {
+            if top_end <= e.start_ns {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(&top_end) = stack.last() {
+            if e.end_ns() > top_end {
+                return Err(format!(
+                    "span {:?} [{}, {}) partially overlaps its enclosing span ending at {}",
+                    e.name,
+                    e.start_ns,
+                    e.end_ns(),
+                    top_end
+                ));
+            }
+        }
+        if e.depth as usize != stack.len() {
+            return Err(format!(
+                "span {:?} recorded depth {} but interval nesting implies {}",
+                e.name,
+                e.depth,
+                stack.len()
+            ));
+        }
+        stack.push(e.end_ns());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event encoding (shared with `diogenes::traceviz`).
+// ---------------------------------------------------------------------------
+
+use crate::json::Json;
+
+/// One complete (`ph:"X"`) trace event in Chrome trace-event JSON.
+/// `chrome://tracing`, Perfetto and Speedscope all read this shape; the
+/// simulated-app exporter and the tool-self exporter share it so the
+/// same viewers open both.
+pub fn chrome_duration_event(
+    name: String,
+    cat: &str,
+    pid: u32,
+    tid: u32,
+    ts_us: f64,
+    dur_us: f64,
+) -> Json {
+    Json::obj([
+        ("name", name.into()),
+        ("cat", cat.into()),
+        ("ph", "X".into()),
+        ("pid", Json::Int(pid as i128)),
+        ("tid", Json::Int(tid as i128)),
+        ("ts", Json::Float(ts_us)),
+        ("dur", Json::Float(dur_us)),
+    ])
+}
+
+/// A metadata (`ph:"M"`) event labeling a process or thread track, so
+/// viewers show `ffm-pool-2` instead of a raw tid integer. `what` is
+/// `"process_name"` or `"thread_name"`.
+pub fn chrome_metadata_event(what: &str, pid: u32, tid: u32, label: &str) -> Json {
+    Json::obj([
+        ("name", what.into()),
+        ("ph", "M".into()),
+        ("pid", Json::Int(pid as i128)),
+        ("tid", Json::Int(tid as i128)),
+        ("args", Json::obj([("name", label.into())])),
+    ])
+}
+
+/// The tool's own execution as Chrome trace events: one track per
+/// recorded thread (`main`, `ffm-pool-N`, …), labeled with metadata
+/// events.
+pub fn self_trace_events(snap: &TelemetrySnapshot) -> Vec<Json> {
+    let mut events =
+        vec![chrome_metadata_event("process_name", SELF_TRACE_PID, 0, "diogenes-self")];
+    for t in &snap.tracks {
+        events.push(chrome_metadata_event("thread_name", SELF_TRACE_PID, t.track, &t.thread));
+        for e in &t.events {
+            let name = match &e.detail {
+                Some(d) => format!("{} [{}]", e.name, d),
+                None => e.name.to_string(),
+            };
+            events.push(chrome_duration_event(
+                name,
+                "tool",
+                SELF_TRACE_PID,
+                t.track,
+                e.start_ns as f64 / 1_000.0,
+                (e.dur_ns.max(1)) as f64 / 1_000.0,
+            ));
+        }
+    }
+    events
+}
+
+/// Render a snapshot as the `results/TELEMETRY_<app>.json` document:
+/// span rollups, merged metrics, per-worker utilization, and the full
+/// tool-self Chrome trace under the standard `traceEvents` key (so the
+/// artifact itself opens in Perfetto).
+pub fn snapshot_to_json(app: &str, workload: &str, jobs: usize, snap: &TelemetrySnapshot) -> Json {
+    let spans = snap
+        .span_aggregates()
+        .into_iter()
+        .map(|a| {
+            Json::obj([
+                ("name", a.name.into()),
+                ("count", Json::Int(a.count as i128)),
+                ("total_ns", Json::Int(a.total_ns as i128)),
+                ("min_ns", Json::Int(a.min_ns as i128)),
+                ("max_ns", Json::Int(a.max_ns as i128)),
+            ])
+        })
+        .collect();
+    let counters =
+        snap.counters.iter().map(|(k, v)| (k.to_string(), Json::Int(*v as i128))).collect();
+    let hists = snap
+        .hists
+        .iter()
+        .map(|(k, h)| {
+            let buckets: Vec<Json> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| {
+                    let lo = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
+                    Json::arr([Json::Int(lo as i128), Json::Int(c as i128)])
+                })
+                .collect();
+            (
+                k.to_string(),
+                Json::obj([
+                    ("count", Json::Int(h.count as i128)),
+                    ("sum", Json::Int(h.sum as i128)),
+                    ("min", Json::Int(if h.count == 0 { 0 } else { h.min as i128 })),
+                    ("max", Json::Int(h.max as i128)),
+                    ("mean", Json::Float(h.mean())),
+                    ("buckets", Json::Arr(buckets)),
+                ]),
+            )
+        })
+        .collect();
+    let workers = snap
+        .tracks
+        .iter()
+        .map(|t| {
+            Json::obj([
+                ("thread", Json::Str(t.thread.clone())),
+                ("spans", Json::Int(t.events.len() as i128)),
+                ("busy_ns", Json::Int(t.busy_ns() as i128)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("telemetry", "diogenes-self".into()),
+        ("app", app.into()),
+        ("workload", workload.into()),
+        ("jobs", Json::Int(jobs as i128)),
+        ("spans", Json::Arr(spans)),
+        ("counters", Json::Obj(counters)),
+        ("histograms", Json::Obj(hists)),
+        ("workers", Json::Arr(workers)),
+        ("traceEvents", Json::Arr(self_trace_events(snap))),
+        ("displayTimeUnit", "ns".into()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Telemetry tests share one process-global sink, so they serialize
+    /// on this lock and assert "contains", never "equals" (other test
+    /// modules may run concurrently while the flag is on).
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_paths_record_nothing_and_allocate_nothing() {
+        let _g = test_lock();
+        set_enabled(false);
+        let s = span("never");
+        assert!(s.active.is_none(), "disabled span must be inert");
+        drop(s);
+        counter_add("never.counter", 7);
+        record("never.hist", 7);
+        let snap = drain();
+        assert!(!snap.counters.contains_key("never.counter"));
+        assert!(!snap.hists.contains_key("never.hist"));
+        assert!(snap.tracks.iter().all(|t| t.events.iter().all(|e| e.name != "never")));
+    }
+
+    #[test]
+    fn spans_counters_and_hists_round_trip() {
+        let _g = test_lock();
+        set_enabled(true);
+        {
+            let _outer = span_detail("tele.outer", || "label".to_string());
+            let _inner = span("tele.inner");
+            counter_add("tele.count", 2);
+            counter_add("tele.count", 3);
+            record("tele.hist", 10);
+            record("tele.hist", 1000);
+        }
+        set_enabled(false);
+        let snap = drain();
+        assert_eq!(snap.counters["tele.count"], 5);
+        let h = &snap.hists["tele.hist"];
+        assert_eq!((h.count, h.sum, h.min, h.max), (2, 1010, 10, 1000));
+        let me: Vec<&SpanEvent> = snap
+            .tracks
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| e.name.starts_with("tele."))
+            .collect();
+        assert_eq!(me.len(), 2);
+        let outer = me.iter().find(|e| e.name == "tele.outer").unwrap();
+        let inner = me.iter().find(|e| e.name == "tele.inner").unwrap();
+        assert_eq!(outer.detail.as_deref(), Some("label"));
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.end_ns() <= outer.end_ns());
+        let aggs = snap.span_aggregates();
+        let oa = aggs.iter().find(|a| a.name == "tele.outer").unwrap();
+        assert_eq!((oa.count, oa.total_ns), (1, outer.dur_ns));
+    }
+
+    #[test]
+    fn worker_threads_get_their_own_tracks() {
+        let _g = test_lock();
+        set_enabled(true);
+        std::thread::Builder::new()
+            .name("tele-worker".to_string())
+            .spawn(|| {
+                let _s = span("tele.on_worker");
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        set_enabled(false);
+        let snap = drain();
+        let track = snap
+            .tracks
+            .iter()
+            .find(|t| t.events.iter().any(|e| e.name == "tele.on_worker"))
+            .expect("worker span recorded");
+        assert_eq!(track.thread, "tele-worker");
+        spans_well_formed(&track.events).unwrap();
+    }
+
+    #[test]
+    fn hist_merge_is_order_independent() {
+        let values_a = [0u64, 1, 5, 1023, 1024, u64::MAX];
+        let values_b = [3u64, 3, 3, 1 << 40];
+        let mut a = Hist::default();
+        let mut b = Hist::default();
+        for v in values_a {
+            a.record(v);
+        }
+        for v in values_b {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must commute");
+        // And both equal recording everything into one histogram.
+        let mut one = Hist::default();
+        for v in values_a.iter().chain(values_b.iter()) {
+            one.record(*v);
+        }
+        assert_eq!(ab, one, "merge must equal single-shard recording");
+    }
+
+    #[test]
+    fn hist_buckets_are_power_of_two_ranges() {
+        let mut h = Hist::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        assert_eq!(h.buckets[0], 1, "zero bucket");
+        assert_eq!(h.buckets[1], 1, "[1,2)");
+        assert_eq!(h.buckets[2], 2, "[2,4)");
+        assert_eq!(h.buckets[3], 1, "[4,8)");
+    }
+
+    #[test]
+    fn nesting_validator_accepts_proper_hierarchies() {
+        let ev = |name, start, dur, depth| SpanEvent {
+            name,
+            detail: None,
+            start_ns: start,
+            dur_ns: dur,
+            depth,
+        };
+        // [a [b] [c]] [d]
+        let good =
+            vec![ev("a", 0, 100, 0), ev("b", 10, 20, 1), ev("c", 40, 30, 1), ev("d", 120, 10, 0)];
+        spans_well_formed(&good).unwrap();
+        assert!(spans_well_formed(&[]).is_ok());
+    }
+
+    #[test]
+    fn nesting_validator_rejects_partial_overlap_and_bad_depth() {
+        let ev = |name, start, dur, depth| SpanEvent {
+            name,
+            detail: None,
+            start_ns: start,
+            dur_ns: dur,
+            depth,
+        };
+        let overlap = vec![ev("a", 0, 50, 0), ev("b", 25, 50, 1)];
+        assert!(spans_well_formed(&overlap).is_err(), "partial overlap must be rejected");
+        let bad_depth = vec![ev("a", 0, 100, 0), ev("b", 10, 20, 2)];
+        assert!(spans_well_formed(&bad_depth).is_err(), "depth mismatch must be rejected");
+    }
+
+    #[test]
+    fn chrome_events_have_viewer_required_fields() {
+        let x = chrome_duration_event("work".to_string(), "tool", 1, 3, 1.5, 2.0);
+        let s = x.to_string_compact();
+        assert!(s.contains("\"ph\":\"X\""), "{s}");
+        assert!(s.contains("\"tid\":3"), "{s}");
+        let m = chrome_metadata_event("thread_name", 1, 3, "ffm-pool-3");
+        let s = m.to_string_compact();
+        assert!(s.contains("\"ph\":\"M\""), "{s}");
+        assert!(s.contains("\"args\":{\"name\":\"ffm-pool-3\"}"), "{s}");
+    }
+
+    #[test]
+    fn snapshot_json_contains_all_sections() {
+        let snap = TelemetrySnapshot {
+            tracks: vec![TrackSnapshot {
+                thread: "main".to_string(),
+                track: 0,
+                events: vec![SpanEvent {
+                    name: "run_ffm",
+                    detail: Some("als".to_string()),
+                    start_ns: 5,
+                    dur_ns: 100,
+                    depth: 0,
+                }],
+            }],
+            counters: [("graph.nodes", 42u64)].into_iter().collect(),
+            hists: {
+                let mut h = Hist::default();
+                h.record(7);
+                [("pool.batch_size", h)].into_iter().collect()
+            },
+        };
+        let doc = snapshot_to_json("als", "w", 4, &snap).to_string_pretty();
+        for key in [
+            "\"app\"",
+            "\"spans\"",
+            "\"counters\"",
+            "\"histograms\"",
+            "\"workers\"",
+            "\"traceEvents\"",
+            "run_ffm",
+            "graph.nodes",
+            "pool.batch_size",
+            "\"ph\": \"M\"",
+        ] {
+            assert!(doc.contains(key), "missing {key} in:\n{doc}");
+        }
+    }
+}

@@ -13,6 +13,14 @@
 //! else the core count; `1` = classic sequential order). The report is
 //! bit-identical at every setting.
 //!
+//! `--profile` turns the tool's self-measurement layer on
+//! (`ffm_core::telemetry`) and writes `results/TELEMETRY_<app>.json`:
+//! per-stage spans, pool worker-utilization metrics, and a Chrome trace
+//! of the tool's own execution (`traceEvents`, openable in Perfetto).
+//! Reports stay byte-identical with profiling on or off. Diagnostics
+//! verbosity is controlled by `DIOGENES_LOG=error|warn|info|debug`
+//! (default `warn`).
+//!
 //! `--autoseq` runs the automated subsequence selection (benefit weighed
 //! against fixing complexity); `--autofix` derives a fix policy from the
 //! analysis, re-runs the application under the interposition shim, and
@@ -28,8 +36,25 @@ use diogenes::{
     render_sequence, render_subsequence, resolve_jobs, run_diogenes, AutofixConfig, DiogenesConfig,
 };
 use diogenes_apps::*;
-use ffm_core::report_to_json;
+use ffm_core::{log_error, report_to_json, telemetry};
 use gpu_sim::CostModel;
+
+/// Stop collecting, drain the sink, and write the self-measurement
+/// summary (spans, metrics, worker utilization, tool-self Chrome trace)
+/// to `results/TELEMETRY_<app>.json`.
+fn write_telemetry(app_name: &str, workload: &str, jobs: usize) {
+    telemetry::set_enabled(false);
+    let snap = telemetry::drain();
+    let doc = ffm_core::snapshot_to_json(app_name, workload, jobs, &snap).to_string_pretty();
+    let path = format!("results/TELEMETRY_{app_name}.json");
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, doc) {
+        Ok(()) => eprintln!("diogenes: telemetry written to {path}"),
+        Err(e) => log_error!("failed to write {path}: {e}"),
+    }
+}
 
 fn make_app(name: &str, paper: bool) -> Option<Box<dyn GpuApp>> {
     Some(match (name, paper) {
@@ -51,9 +76,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: diogenes <als|cuibm|amg|gaussian|pipelined> [--scale test|paper] \
          [--view overview|sequence|fold|compare] [--fold <apiName>] [--seq N] \
-         [--sub FROM TO] [--autoseq] [--autofix] [--json <path>] [--jobs N]\n\
+         [--sub FROM TO] [--autoseq] [--autofix] [--json <path>] [--jobs N] [--profile]\n\
          \x20      diogenes sweep <app> [--scale test|paper] [--axis field=v1,v2,...]... \
-         [--paired] [--jobs N] [--out <path>] [--list-fields]"
+         [--paired] [--jobs N] [--out <path>] [--profile] [--list-fields]"
     );
     std::process::exit(2);
 }
@@ -78,6 +103,7 @@ fn sweep_main(args: &[String]) -> ! {
     let mut paired = false;
     let mut jobs_flag: Option<usize> = None;
     let mut out_path: Option<String> = None;
+    let mut profile = false;
 
     let mut i = 1;
     while i < args.len() {
@@ -92,12 +118,13 @@ fn sweep_main(args: &[String]) -> ! {
                 match parse_axis_arg(&arg) {
                     Ok(a) => axes.push(a),
                     Err(e) => {
-                        eprintln!("diogenes sweep: {e}");
+                        log_error!("sweep: {e}");
                         std::process::exit(2);
                     }
                 }
             }
             "--paired" => paired = true,
+            "--profile" => profile = true,
             "--jobs" => {
                 i += 1;
                 jobs_flag =
@@ -118,7 +145,7 @@ fn sweep_main(args: &[String]) -> ! {
     let cell_count = match spec.expand() {
         Ok(points) => points.len(),
         Err(e) => {
-            eprintln!("diogenes sweep: {e}");
+            log_error!("sweep: {e}");
             std::process::exit(2);
         }
     };
@@ -128,13 +155,17 @@ fn sweep_main(args: &[String]) -> ! {
         app.name(),
         app.workload()
     );
+    telemetry::set_enabled(profile);
     let (matrix, doc) = match run_sweep_cli(app.as_ref(), &spec) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("diogenes sweep: {e}");
+            log_error!("sweep: {e}");
             std::process::exit(1);
         }
     };
+    if profile {
+        write_telemetry(app.name(), &app.workload(), jobs);
+    }
     for (label, idx) in [
         ("max benefit", matrix.summary.max_benefit),
         ("min benefit", matrix.summary.min_benefit),
@@ -161,7 +192,7 @@ fn sweep_main(args: &[String]) -> ! {
         }
     }
     if let Err(e) = std::fs::write(&path, doc) {
-        eprintln!("diogenes sweep: failed to write {path}: {e}");
+        log_error!("sweep: failed to write {path}: {e}");
         std::process::exit(1);
     }
     eprintln!("diogenes sweep: matrix written to {path}");
@@ -186,6 +217,7 @@ fn main() {
     let mut autoseq = false;
     let mut autofix = false;
     let mut jobs_flag: Option<usize> = None;
+    let mut profile = false;
 
     let mut i = 1;
     while i < args.len() {
@@ -226,6 +258,7 @@ fn main() {
             }
             "--autoseq" => autoseq = true,
             "--autofix" => autofix = true,
+            "--profile" => profile = true,
             _ => usage(),
         }
         i += 1;
@@ -272,13 +305,17 @@ fn main() {
         app.name(),
         app.workload()
     );
+    telemetry::set_enabled(profile);
     let result = match run_diogenes(app.as_ref(), DiogenesConfig::new().with_jobs(jobs)) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("diogenes: application failed: {e}");
+            log_error!("application failed: {e}");
             std::process::exit(1);
         }
     };
+    if profile {
+        write_telemetry(app.name(), &app.workload(), jobs);
+    }
     eprintln!(
         "diogenes: collection took {:.1}x the baseline run ({} problems found)\n",
         result.report.collection_overhead_factor(),
@@ -297,7 +334,7 @@ fn main() {
         "fold" => match ApiFn::from_name(&fold_api) {
             Some(api) => print!("{}", render_fold_expansion(&result, api)),
             None => {
-                eprintln!("unknown API function {fold_api}");
+                log_error!("unknown API function {fold_api}");
                 std::process::exit(2);
             }
         },
@@ -341,14 +378,14 @@ autofix: patching {} call sites...",
                     outcome.stats.total()
                 );
             }
-            Err(e) => eprintln!("autofix failed: {e}"),
+            Err(e) => log_error!("autofix failed: {e}"),
         }
     }
 
     if let Some(path) = json_path {
         let doc = report_to_json(&result.report).to_string_pretty();
         if let Err(e) = std::fs::write(&path, doc) {
-            eprintln!("diogenes: failed to write {path}: {e}");
+            log_error!("failed to write {path}: {e}");
             std::process::exit(1);
         }
         eprintln!("\ndiogenes: JSON exported to {path}");

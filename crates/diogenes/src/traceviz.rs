@@ -9,24 +9,28 @@
 //! glance.
 
 use cuda_driver::Cuda;
-use ffm_core::Json;
+use ffm_core::{chrome_duration_event, chrome_metadata_event, Json};
 use gpu_sim::{CpuEventKind, EngineClass};
 
+/// Pid for the simulated application's tracks.
+const APP_PID: u32 = 1;
+
 fn event(name: String, cat: &str, pid: u32, tid: u32, start_us: f64, dur_us: f64) -> Json {
-    Json::obj([
-        ("name", name.into()),
-        ("cat", cat.into()),
-        ("ph", "X".into()),
-        ("pid", Json::Int(pid as i128)),
-        ("tid", Json::Int(tid as i128)),
-        ("ts", Json::Float(start_us)),
-        ("dur", Json::Float(dur_us)),
-    ])
+    // The event encoding is shared with the tool-self-trace exporter in
+    // `ffm_core::telemetry`, so both documents open in the same viewers.
+    chrome_duration_event(name, cat, pid, tid, start_us, dur_us)
 }
 
 /// Serialize a finished context's run as a Chrome trace document.
 pub fn chrome_trace(cuda: &Cuda) -> Json {
-    let mut events = Vec::new();
+    // Metadata events first: name the process and the three tracks so
+    // Perfetto shows labels instead of raw pid/tid integers.
+    let mut events = vec![
+        chrome_metadata_event("process_name", APP_PID, 0, "simulated-app"),
+        chrome_metadata_event("thread_name", APP_PID, 0, "host"),
+        chrome_metadata_event("thread_name", APP_PID, 1, "gpu-compute"),
+        chrome_metadata_event("thread_name", APP_PID, 2, "gpu-copy"),
+    ];
     // Track 0: the host thread.
     for e in cuda.machine.timeline.events() {
         let name = match &e.kind {
@@ -46,7 +50,7 @@ pub fn chrome_trace(cuda: &Cuda) -> Json {
         events.push(event(
             name,
             cat,
-            1,
+            APP_PID,
             0,
             e.span.start as f64 / 1_000.0,
             e.span.duration().max(1) as f64 / 1_000.0,
@@ -61,7 +65,7 @@ pub fn chrome_trace(cuda: &Cuda) -> Json {
         events.push(event(
             format!("{} [s{}]", op.kind.label(), op.stream.0),
             "gpu",
-            1,
+            APP_PID,
             tid,
             op.start_ns as f64 / 1_000.0,
             op.duration().max(1) as f64 / 1_000.0,
@@ -105,6 +109,17 @@ mod tests {
         assert!(doc.contains("copy:HtoD:4096B"));
         assert!(doc.contains("\"ph\":\"X\""));
         assert!(doc.contains("gpu_busy_ns"));
+    }
+
+    #[test]
+    fn tracks_are_labeled_with_metadata_events() {
+        let mut cuda = Cuda::new(CostModel::pascal_like());
+        cuda.machine.cpu_work(10, "labeled");
+        let doc = chrome_trace(&cuda).to_string_compact();
+        assert!(doc.contains("\"ph\":\"M\""), "{doc}");
+        for label in ["simulated-app", "host", "gpu-compute", "gpu-copy"] {
+            assert!(doc.contains(&format!("{{\"name\":\"{label}\"}}")), "missing {label}: {doc}");
+        }
     }
 
     #[test]

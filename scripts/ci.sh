@@ -28,6 +28,29 @@ echo "== sweep determinism (jobs=1 vs jobs=N bit-identical SWEEP json) =="
 cargo test -q -p diogenes --test sweep_determinism
 cargo test -q -p diogenes --test sequential_no_threads
 
+echo "== telemetry determinism (profiling on/off bit-identical reports) =="
+cargo test -q -p diogenes --test telemetry_determinism
+
+echo "== telemetry smoke (--profile writes a valid self-trace) =="
+cargo build --release -p diogenes
+./target/release/diogenes als --profile --jobs 4 > /dev/null
+python3 - <<'EOF'
+import json
+d = json.load(open('results/TELEMETRY_cumf_als.json'))
+spans = {s['name'] for s in d['spans']}
+expected = {'run_ffm', 'stage1-baseline', 'stage2-detailed-tracing',
+            'stage3a-memory-tracing', 'stage3b-data-hashing',
+            'stage4-sync-use', 'stage5-analysis'}
+missing = expected - spans
+assert not missing, f'missing stage spans: {missing}'
+phs = {e['ph'] for e in d['traceEvents']}
+assert {'M', 'X'} <= phs, f'trace needs metadata + duration events, got {phs}'
+assert any(w['thread'].startswith('ffm-pool-') for w in d['workers']), \
+    f"no pool-worker track: {[w['thread'] for w in d['workers']]}"
+print(f"telemetry smoke ok: {len(d['traceEvents'])} trace events, "
+      f"{len(d['workers'])} worker tracks, {len(d['counters'])} counters")
+EOF
+
 echo "== property tests (extern-testing feature) =="
 cargo test -q --workspace --features extern-testing
 
