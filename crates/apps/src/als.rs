@@ -121,6 +121,29 @@ impl GpuApp for CumfAls {
         )
     }
 
+    fn input_digest(&self) -> u64 {
+        // The workload string omits most of the config (kernel costs,
+        // chunk/scratch sizes, fixes), so digest every field that shapes
+        // the driver-call sequence. The ratings matrix is generated from
+        // fixed parameters plus `chunk_bytes`, so it is covered too.
+        let c = &self.cfg;
+        cuda_driver::digest_fields(
+            self.name(),
+            &[
+                ("iters", c.iters as u64),
+                ("chunk_bytes", c.chunk_bytes as u64),
+                ("batch_kernel_ns", c.batch_kernel_ns),
+                ("churn_work_ns", c.churn_work_ns),
+                ("batch2_ns", c.batch2_ns),
+                ("assemble_ns", c.assemble_ns),
+                ("scratch_bytes", c.scratch_bytes),
+                ("fix.hoist_alloc_free", c.fixes.hoist_alloc_free as u64),
+                ("fix.upload_once", c.fixes.upload_once as u64),
+                ("fix.remove_device_syncs", c.fixes.remove_device_syncs as u64),
+            ],
+        )
+    }
+
     fn run(&self, cuda: &mut Cuda) -> CudaResult<()> {
         let cfg = &self.cfg;
         let f = cfg.fixes;
@@ -329,6 +352,29 @@ mod tests {
         CumfAls::new(cfg).run(&mut cuda).unwrap();
         // 5 uploads/iter x 3 iters + 1 rmse DtoH/iter x 3 + final = 19
         assert_eq!(spy.borrow().0, 19);
+    }
+
+    /// The workload string under-describes the config (it only names the
+    /// matrix shape and iteration count), so the default
+    /// name+workload digest would collide for configs that differ in,
+    /// say, kernel cost — and a caching layer would serve one config's
+    /// artifacts for the other. The override must separate them.
+    #[test]
+    fn input_digest_separates_configs_the_workload_string_conflates() {
+        let base = CumfAls::new(AlsConfig::test_scale());
+        let tweaked = CumfAls::new(AlsConfig {
+            batch_kernel_ns: AlsConfig::test_scale().batch_kernel_ns + 1,
+            ..AlsConfig::test_scale()
+        });
+        assert_eq!(base.workload(), tweaked.workload(), "precondition: same workload text");
+        assert_ne!(base.input_digest(), tweaked.input_digest());
+
+        let fixed = CumfAls::new(AlsConfig { fixes: AlsFixes::all(), ..AlsConfig::test_scale() });
+        assert_eq!(base.workload(), fixed.workload());
+        assert_ne!(base.input_digest(), fixed.input_digest());
+
+        // And it stays stable for equal configs.
+        assert_eq!(base.input_digest(), CumfAls::new(AlsConfig::test_scale()).input_digest());
     }
 
     #[test]

@@ -88,6 +88,24 @@ impl GpuApp for Amg {
         )
     }
 
+    fn input_digest(&self) -> u64 {
+        // The workload string omits the timing knobs and the fix flag;
+        // digest every field that shapes the driver-call sequence.
+        let c = &self.cfg;
+        cuda_driver::digest_fields(
+            self.name(),
+            &[
+                ("matrix.n", c.matrix.n as u64),
+                ("matrix.levels", c.matrix.levels as u64),
+                ("matrix.cycles", c.matrix.cycles as u64),
+                ("spmv_ns", c.spmv_ns),
+                ("host_work_ns", c.host_work_ns),
+                ("setup_work_ns", c.setup_work_ns),
+                ("fix.host_memset", c.fixes.host_memset as u64),
+            ],
+        )
+    }
+
     fn run(&self, cuda: &mut Cuda) -> CudaResult<()> {
         let cfg = &self.cfg;
         let m = &cfg.matrix;

@@ -86,6 +86,23 @@ impl GpuApp for Gaussian {
         format!("dense {}x{} elimination", self.cfg.n, self.cfg.n)
     }
 
+    fn input_digest(&self) -> u64 {
+        // The workload string only carries `n`; digest every field that
+        // shapes the driver-call sequence (the dense system is generated
+        // from `n` plus a fixed seed, so it is covered too).
+        let c = &self.cfg;
+        cuda_driver::digest_fields(
+            self.name(),
+            &[
+                ("n", c.n as u64),
+                ("fan1_ns", c.fan1_ns),
+                ("fan2_ns", c.fan2_ns),
+                ("host_ns", c.host_ns),
+                ("fix.remove_thread_sync", c.fixes.remove_thread_sync as u64),
+            ],
+        )
+    }
+
     fn run(&self, cuda: &mut Cuda) -> CudaResult<()> {
         let cfg = &self.cfg;
         let l = |line| SourceLoc::new("gaussian.cu", line);

@@ -60,6 +60,21 @@ impl GpuApp for Pipelined {
         format!("{} chunks x {} KiB, double buffered", self.cfg.chunks, self.cfg.chunk_bytes / 1024)
     }
 
+    fn input_digest(&self) -> u64 {
+        // The workload string omits the timing knobs (and rounds
+        // chunk_bytes to KiB); digest every field.
+        let c = &self.cfg;
+        cuda_driver::digest_fields(
+            self.name(),
+            &[
+                ("chunks", c.chunks as u64),
+                ("chunk_bytes", c.chunk_bytes),
+                ("kernel_ns", c.kernel_ns),
+                ("prep_ns", c.prep_ns),
+            ],
+        )
+    }
+
     fn run(&self, cuda: &mut Cuda) -> CudaResult<()> {
         let cfg = &self.cfg;
         let l = |line| SourceLoc::new("pipeline.cu", line);

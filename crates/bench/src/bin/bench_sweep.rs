@@ -1,18 +1,27 @@
 //! Wall-clock timing harness for the configuration-sweep subsystem.
 //!
-//! Times the same 3×3 cost/driver sweep at `jobs = 1` (fully sequential
-//! on the main thread) and `jobs = auto` (fleet × stage DAG sharing the
-//! persistent worker pool) and writes `results/BENCH_sweep.json`, plus a
-//! cross-check that both job counts produced byte-identical matrices.
+//! Three measurements, written to `results/BENCH_sweep.json`:
+//!
+//! 1. **Parallelism**: the 3×3 cost/driver sweep at `jobs = 1` vs
+//!    `jobs = auto`, with a byte-identity cross-check.
+//! 2. **Memoization**: a grid where two thirds of the cells share their
+//!    (cost, driver) config — only the analysis threshold varies — run
+//!    uncached, against a cold store, and against a warm store, plus
+//!    the store's hit rate. Warm must beat cold; all three documents
+//!    must be byte-identical.
 //!
 //! On a 1-core machine the parallel numbers are expected to be slightly
 //! worse than sequential (pool handoff with nothing to overlap); the
-//! speedup claim only applies at >= 4 cores.
+//! speedup claim only applies at >= 4 cores. The cache claims hold at
+//! any core count.
 
 use std::time::Instant;
 
 use diogenes_apps::{AlsConfig, CumfAls};
-use ffm_core::{effective_jobs, run_sweep, sweep_to_json, FfmConfig, Json, SweepSpec};
+use ffm_core::{
+    effective_jobs, run_sweep, run_sweep_with_store, sweep_to_json, ArtifactStore, FfmConfig, Json,
+    SweepSpec,
+};
 
 const ITERS: usize = 5;
 
@@ -29,10 +38,22 @@ fn time_median(mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// The parallelism grid: every cell has a distinct (cost, driver)
+/// config, so there is nothing to memoize — pure scheduling comparison.
 fn spec(jobs: usize) -> SweepSpec {
     SweepSpec::new(FfmConfig::default())
         .axis("cost.free_base_ns", vec![1_000, 2_000, 4_000])
         .axis("driver.unified_memset_penalty", vec![1, 30, 60])
+        .with_jobs(jobs)
+}
+
+/// The memoization grid: 3 distinct (cost, driver) configs × 3 analysis
+/// thresholds = 9 cells of which 6 can reuse another cell's
+/// discovery-through-stage-4 artifacts.
+fn cache_spec(jobs: usize) -> SweepSpec {
+    SweepSpec::new(FfmConfig::default())
+        .axis("cost.free_base_ns", vec![1_000, 2_000, 4_000])
+        .axis("analysis.misplaced_threshold_ns", vec![10_000, 50_000, 100_000])
         .with_jobs(jobs)
 }
 
@@ -46,7 +67,7 @@ fn main() {
     let app = CumfAls::new(cfg);
 
     let run = |jobs: usize| {
-        let m = run_sweep(&app, &spec(jobs)).expect("sweep runs");
+        let m = run_sweep(&app, &spec(jobs).no_cache()).expect("sweep runs");
         sweep_to_json(&m).to_string_pretty()
     };
 
@@ -68,6 +89,47 @@ fn main() {
         seq_s / par_s
     );
 
+    // ---- memoization: no-cache vs cold store vs warm store -------------
+    //
+    // Sequential (jobs = 1) so cells never race to compute one shared
+    // artifact: the hit counts — and therefore the timings — measure the
+    // store, not the scheduler.
+    let no_cache_doc = {
+        let m = run_sweep(&app, &cache_spec(1).no_cache()).expect("uncached sweep");
+        sweep_to_json(&m).to_string_pretty()
+    };
+    let warm_store = ArtifactStore::in_memory();
+    let cold = run_sweep_with_store(&app, &cache_spec(1), Some(&warm_store)).expect("cold sweep");
+    let cold_doc = sweep_to_json(&cold).to_string_pretty();
+    let warm = run_sweep_with_store(&app, &cache_spec(1), Some(&warm_store)).expect("warm sweep");
+    let warm_doc = sweep_to_json(&warm).to_string_pretty();
+    let cache_identical = no_cache_doc == cold_doc && cold_doc == warm_doc;
+    assert!(cache_identical, "cache modes must not change the document");
+
+    let no_cache_s = time_median(|| {
+        run_sweep(&app, &cache_spec(1).no_cache()).expect("uncached sweep");
+    });
+    let cold_s = time_median(|| {
+        let store = ArtifactStore::in_memory();
+        run_sweep_with_store(&app, &cache_spec(1), Some(&store)).expect("cold sweep");
+    });
+    let warm_s = time_median(|| {
+        run_sweep_with_store(&app, &cache_spec(1), Some(&warm_store)).expect("warm sweep");
+    });
+
+    // Hit rate of one cold sweep on its own fresh store (the steady-state
+    // within-sweep sharing figure, independent of the timing loops).
+    let stat_store = ArtifactStore::in_memory();
+    run_sweep_with_store(&app, &cache_spec(1), Some(&stat_store)).expect("stats sweep");
+    let stats = stat_store.stats();
+    eprintln!(
+        "  sweep_3x3_cache           no-cache {no_cache_s:.4}s  cold {cold_s:.4}s  \
+         warm {warm_s:.4}s  warm-speedup {:.2}x  hit-rate {:.0}%",
+        no_cache_s / warm_s,
+        stats.hit_rate() * 100.0
+    );
+    assert!(warm_s < no_cache_s, "warm cache must beat no cache: {warm_s} vs {no_cache_s}");
+
     let doc = Json::obj([
         ("bench", Json::Str("sweep".to_string())),
         ("meta", diogenes_bench::bench_meta(jobs, "pascal_like")),
@@ -78,6 +140,14 @@ fn main() {
         ("parallel_s", Json::Float(par_s)),
         ("speedup", Json::Float(seq_s / par_s)),
         ("matrices_identical", Json::Bool(identical)),
+        ("cache_no_cache_s", Json::Float(no_cache_s)),
+        ("cache_cold_s", Json::Float(cold_s)),
+        ("cache_warm_s", Json::Float(warm_s)),
+        ("cache_warm_speedup", Json::Float(no_cache_s / warm_s)),
+        ("cache_hits", Json::Int(stats.hits() as i128)),
+        ("cache_misses", Json::Int(stats.misses as i128)),
+        ("cache_hit_rate", Json::Float(stats.hit_rate())),
+        ("cache_matrices_identical", Json::Bool(cache_identical)),
     ]);
     std::fs::create_dir_all("results").expect("results dir");
     let path = "results/BENCH_sweep.json";

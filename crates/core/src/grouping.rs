@@ -235,43 +235,95 @@ pub fn carry_forward_masked(
     total
 }
 
+/// Is this node a *necessary* synchronization that terminates a run?
+/// (A `CWait` with no problem, or a misplaced one — it must still
+/// happen.)
+fn is_terminator(n: &crate::graph::Node) -> bool {
+    n.ntype == NType::CWait && matches!(n.problem, Problem::None | Problem::MisplacedSync)
+}
+
+/// Does this node start a run? Every problem except `MisplacedSync`
+/// qualifies (a misplaced sync is still necessary, so it cannot open a
+/// removable run — it can only appear inside one).
+fn is_starter(n: &crate::graph::Node) -> bool {
+    !matches!(n.problem, Problem::None | Problem::MisplacedSync)
+}
+
+/// Block size for the chunked terminator scan. Big enough that per-task
+/// dispatch cost is noise against scanning the block, small enough that
+/// a multi-million-node graph splits into plenty of tasks.
+const SCAN_CHUNK: usize = 8192;
+
+/// Enumerate candidate runs `(start, end)`: terminators split the node
+/// array into segments, and each segment containing at least one
+/// starter yields exactly one maximal run — from its first starter to
+/// the terminator (exclusive) or the end of the program.
+///
+/// This is the sharded reformulation of the old single-pass scan (and
+/// provably equivalent to it: the old scan skipped non-starters, opened
+/// a run at the first starter, extended it to the next terminator, then
+/// resumed *at* that terminator — i.e. one run per terminator-delimited
+/// segment). Both the terminator scan and the per-segment starter
+/// search are embarrassingly parallel reads of the immutable graph, so
+/// both shard over the pool; results are concatenated in index order,
+/// making the run list byte-identical at every `jobs` value.
+fn candidate_runs(graph: &ExecGraph, jobs: usize) -> Vec<(usize, usize)> {
+    let n = graph.nodes.len();
+
+    // Shard 1: find every terminator index, in order.
+    let terminators: Vec<usize> = if jobs > 1 && n >= 2 * SCAN_CHUNK {
+        let chunks: Vec<usize> = (0..n.div_ceil(SCAN_CHUNK)).collect();
+        par_map(chunks, jobs, |c| {
+            let lo = c * SCAN_CHUNK;
+            let hi = (lo + SCAN_CHUNK).min(n);
+            (lo..hi).filter(|&i| is_terminator(&graph.nodes[i])).collect::<Vec<usize>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    } else {
+        (0..n).filter(|&i| is_terminator(&graph.nodes[i])).collect()
+    };
+
+    // Segments between terminators (terminators themselves excluded).
+    let mut segments: Vec<(usize, usize)> = Vec::with_capacity(terminators.len() + 1);
+    let mut lo = 0;
+    for &t in &terminators {
+        if t > lo {
+            segments.push((lo, t));
+        }
+        lo = t + 1;
+    }
+    if lo < n {
+        segments.push((lo, n));
+    }
+
+    // Shard 2: first starter per segment. Dispatch overhead dwarfs the
+    // scan for a handful of segments; only fan out with real work.
+    let seg_jobs = if segments.len() >= 64 { jobs } else { 1 };
+    par_map(segments, seg_jobs, |(s_lo, s_hi): (usize, usize)| {
+        (s_lo..s_hi).find(|&i| is_starter(&graph.nodes[i])).map(|start| (start, s_hi))
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 /// Find maximal sequences: runs beginning at a problematic node and
 /// ending at the first *necessary* synchronization (a `CWait` with no
 /// problem, or a misplaced one — it must still happen).
 ///
 /// `jobs` is the *resolved* worker budget handed down from the pipeline
-/// configuration (`FfmConfig::jobs` via `effective_jobs`): sequence
-/// scoring fans out on the shared pool only when the caller granted more
-/// than one worker, so `jobs = 1` runs the plain sequential loop and
+/// configuration (`FfmConfig::jobs` via `effective_jobs`): both the
+/// candidate-window enumeration ([`candidate_runs`]) and sequence
+/// scoring fan out on the shared pool only when the caller granted more
+/// than one worker, so `jobs = 1` runs plain sequential loops and
 /// spawns nothing — grouping no longer consults the environment behind
 /// the configuration's back.
 pub fn find_sequences(graph: &ExecGraph, jobs: usize) -> Vec<Sequence> {
     let _span = crate::telemetry::span("find_sequences");
-    // Pass 1 (sequential, O(n)): discover the maximal runs.
-    let mut runs: Vec<(usize, usize)> = Vec::new();
-    let mut idx = 0;
-    let n = graph.nodes.len();
-    while idx < n {
-        if graph.nodes[idx].problem == Problem::None
-            || graph.nodes[idx].problem == Problem::MisplacedSync
-        {
-            idx += 1;
-            continue;
-        }
-        let start = idx;
-        let mut end = idx;
-        while end < n {
-            let node = &graph.nodes[end];
-            let terminates = node.ntype == NType::CWait
-                && matches!(node.problem, Problem::None | Problem::MisplacedSync);
-            if terminates {
-                break;
-            }
-            end += 1;
-        }
-        runs.push((start, end));
-        idx = end.max(idx + 1);
-    }
+    // Pass 1: discover the maximal runs (sharded over the pool).
+    let runs = candidate_runs(graph, jobs.max(1));
 
     // Pass 2: evaluate every run against one shared index. Runs are
     // independent reads of the immutable graph, so the fleet fans out
@@ -562,6 +614,93 @@ mod tests {
         let seq = find_sequences(&g, 1);
         assert!(seq.len() >= 64, "graph must exercise the fan-out path");
         for jobs in [2, 4, 16] {
+            let par = find_sequences(&g, jobs);
+            assert_eq!(seq.len(), par.len(), "jobs={jobs}");
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!((a.start, a.end, a.benefit_ns), (b.start, b.end, b.benefit_ns));
+            }
+        }
+    }
+
+    /// The retired single-pass scan, kept verbatim as the reference
+    /// implementation for the sharded enumeration.
+    fn reference_runs(graph: &ExecGraph) -> Vec<(usize, usize)> {
+        let mut runs: Vec<(usize, usize)> = Vec::new();
+        let mut idx = 0;
+        let n = graph.nodes.len();
+        while idx < n {
+            if graph.nodes[idx].problem == Problem::None
+                || graph.nodes[idx].problem == Problem::MisplacedSync
+            {
+                idx += 1;
+                continue;
+            }
+            let start = idx;
+            let mut end = idx;
+            while end < n {
+                let node = &graph.nodes[end];
+                let terminates = node.ntype == NType::CWait
+                    && matches!(node.problem, Problem::None | Problem::MisplacedSync);
+                if terminates {
+                    break;
+                }
+                end += 1;
+            }
+            runs.push((start, end));
+            idx = end.max(idx + 1);
+        }
+        runs
+    }
+
+    /// Deterministic pseudo-random graph: a mix of starters, terminators,
+    /// misplaced syncs and plain work in every adjacency pattern.
+    fn scrambled_graph(len: usize, seed: u64) -> ExecGraph {
+        use NType::*;
+        let mut state = seed | 1;
+        let mut next = || {
+            // xorshift64
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let nodes: Vec<Node> = (0..len)
+            .map(|i| {
+                let (ntype, problem) = match next() % 6 {
+                    0 => (CWait, Problem::UnnecessarySync),
+                    1 => (CWait, Problem::None),          // terminator
+                    2 => (CWait, Problem::MisplacedSync), // terminator
+                    3 => (CLaunch, Problem::UnnecessaryTransfer),
+                    4 => (CWork, Problem::None),
+                    _ => (CWork, Problem::MisplacedSync), // skip, not a terminator
+                };
+                node(ntype, 5 + (next() % 20), problem, i as u64, 0, ApiFn::CudaFree, 1)
+            })
+            .collect();
+        let exec = nodes.iter().map(|n| n.duration).sum();
+        ExecGraph { nodes, exec_time_ns: exec, baseline_exec_ns: exec }
+    }
+
+    /// The sharded enumeration must reproduce the retired sequential
+    /// scan exactly, at every job count — including graphs large enough
+    /// to cross the chunked-terminator-scan threshold.
+    #[test]
+    fn candidate_enumeration_matches_reference_scan() {
+        for (len, seed) in [(0, 1), (1, 2), (97, 3), (500, 4), (2 * SCAN_CHUNK + 129, 5)] {
+            let g = scrambled_graph(len, seed);
+            let expect = reference_runs(&g);
+            for jobs in [1, 2, 4, 16] {
+                assert_eq!(candidate_runs(&g, jobs), expect, "len={len} seed={seed} jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn find_sequences_jobs_invariant_on_chunked_scan_path() {
+        let g = scrambled_graph(2 * SCAN_CHUNK + 777, 9);
+        let seq = find_sequences(&g, 1);
+        assert!(!seq.is_empty());
+        for jobs in [2, 8] {
             let par = find_sequences(&g, jobs);
             assert_eq!(seq.len(), par.len(), "jobs={jobs}");
             for (a, b) in seq.iter().zip(&par) {

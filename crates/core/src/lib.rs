@@ -59,6 +59,7 @@
 
 pub mod analysis;
 pub mod benefit;
+pub mod engine;
 pub mod export;
 pub mod graph;
 pub mod grouping;
@@ -69,11 +70,13 @@ pub mod pipeline;
 pub mod problem;
 pub mod records;
 pub mod stages;
+pub mod store;
 pub mod sweep;
 pub mod telemetry;
 
 pub use analysis::{analyze, Analysis, AnalysisConfig, ProblemOp};
 pub use benefit::{expected_benefit, BenefitOptions, BenefitReport, NodeBenefit};
+pub use engine::{declared_fields, deps, plan_keys, run_stages, stage_key, EngineOut, StageId};
 pub use export::{analysis_to_json, report_to_json};
 pub use graph::{ExecGraph, GraphIndex, NType, Node};
 pub use grouping::{
@@ -83,15 +86,22 @@ pub use grouping::{
 };
 pub use json::Json;
 pub use par::{effective_jobs, join, par_map, try_par_map, Pool, JOBS_ENV};
-pub use pipeline::{overhead_factor, run_ffm, FfmConfig, FfmReport, StageStats};
+pub use pipeline::{
+    overhead_factor, run_ffm, run_ffm_with_store, FfmConfig, FfmReport, StageStats,
+};
 pub use problem::{classify, ClassifyConfig, Problem};
 pub use records::{
     DuplicateTransfer, OpInstance, ProtectedAccess, Stage1Result, Stage2Result, Stage3Result,
     Stage4Result, TracedCall, TransferRec,
 };
+pub use store::{
+    build_tag, clear_cache, scan_cache, Artifact, ArtifactKind, ArtifactStore, CacheReport,
+    KeyHasher, StageKey, StoreStats, SCHEMA_VERSION,
+};
 pub use sweep::{
-    run_fleet, run_sweep, set_field, sweep_to_json, Axis, AxisLayout, SweepCell, SweepMatrix,
-    SweepPoint, SweepSpec, SweepSummary, SWEEPABLE_FIELDS,
+    get_field, merge_sweep_docs, run_fleet, run_sweep, run_sweep_with_store, set_field,
+    sweep_to_json, Axis, AxisLayout, CacheMode, Shard, SweepCell, SweepMatrix, SweepPoint,
+    SweepSpec, SweepSummary, SWEEPABLE_FIELDS,
 };
 pub use telemetry::{
     chrome_duration_event, chrome_metadata_event, snapshot_to_json, spans_well_formed,

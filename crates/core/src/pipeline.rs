@@ -5,7 +5,7 @@
 //! complete feed-forward sequence with no interaction between stages
 //! (paper §3: "no user interaction is required between stages").
 //!
-//! ## Parallel stage execution
+//! ## The stage DAG
 //!
 //! "Feed-forward" constrains *what each stage instruments* — stage N's
 //! probe set is computed from stage N-1's output — but several runs have
@@ -19,22 +19,32 @@
 //!             └──> stage 3b (hash)
 //! ```
 //!
-//! Stage 4 deliberately starts as soon as stage 3a lands — it consumes
-//! only the first-use sites, which the hashing run never produces. With
+//! The DAG lives in [`crate::engine`]: each step is a named
+//! [`crate::engine::StageId`] with declared dependencies and a declared
+//! config-field input set, and its output is a content-addressed
+//! [`crate::store::Artifact`]. [`run_ffm`] executes the DAG with no
+//! store; [`run_ffm_with_store`] threads an
+//! [`ArtifactStore`] through, so repeated runs
+//! (sweep cells sharing upstream config, shard processes sharing a disk
+//! cache) reuse stage outputs instead of recomputing them. Stage 4
+//! deliberately starts as soon as stage 3a lands — it consumes only the
+//! first-use sites, which the hashing run never produces. With
 //! [`FfmConfig::jobs`] ≤ 1 the stages run in the classic sequential
 //! order; either way the report is bit-identical, because every run is a
-//! complete isolated execution whose virtual clock starts at zero.
+//! complete isolated execution whose virtual clock starts at zero, and
+//! cached artifacts are bit-identical to freshly computed ones.
+
+use std::sync::Arc;
 
 use cuda_driver::{CudaResult, DriverConfig, GpuApp};
 use gpu_sim::{CostModel, Ns};
-use instrument::{identify_sync_function, Discovery};
+use instrument::Discovery;
 
-use crate::analysis::{analyze, Analysis, AnalysisConfig};
-use crate::par::{effective_jobs, join};
+use crate::analysis::{Analysis, AnalysisConfig};
+use crate::engine::run_stages;
+use crate::par::effective_jobs;
 use crate::records::{Stage1Result, Stage2Result, Stage3Result, Stage4Result};
-use crate::stages::{
-    merge_stage3, run_stage1, run_stage2, run_stage3_hash, run_stage3_sync, run_stage4,
-};
+use crate::store::ArtifactStore;
 use crate::telemetry;
 
 /// Pipeline configuration.
@@ -46,7 +56,8 @@ pub struct FfmConfig {
     /// Worker threads for concurrent stage execution. `0` (the default)
     /// resolves via [`crate::par::effective_jobs`]: the `DIOGENES_JOBS`
     /// environment variable if set, else the machine's core count. `1`
-    /// forces the sequential stage order.
+    /// forces the sequential stage order. Never part of an artifact key —
+    /// reports are identical at every job count.
     pub jobs: usize,
 }
 
@@ -79,19 +90,21 @@ pub struct StageStats {
     pub overhead_factor: f64,
 }
 
-/// Everything `run_ffm` produces.
+/// Everything `run_ffm` produces. Stage payloads are `Arc`-shared with
+/// the artifact store, so a cache-served report costs pointer copies,
+/// not deep clones; `&report.stage1` etc. deref exactly as before.
 #[derive(Debug)]
 pub struct FfmReport {
     pub app_name: &'static str,
     pub workload: String,
     /// Result of the sync-function discovery probe.
-    pub discovery: Discovery,
-    pub stage1: Stage1Result,
-    pub stage2: Stage2Result,
-    pub stage3: Stage3Result,
-    pub stage4: Stage4Result,
+    pub discovery: Arc<Discovery>,
+    pub stage1: Arc<Stage1Result>,
+    pub stage2: Arc<Stage2Result>,
+    pub stage3: Arc<Stage3Result>,
+    pub stage4: Arc<Stage4Result>,
     /// The stage 5 analysis.
-    pub analysis: Analysis,
+    pub analysis: Arc<Analysis>,
     /// Per-stage timings.
     pub stages: Vec<StageStats>,
     /// Total virtual time spent collecting data (all runs summed) — the
@@ -120,44 +133,53 @@ pub fn overhead_factor(exec_ns: Ns, base_ns: Ns) -> f64 {
     }
 }
 
-/// Run the full feed-forward pipeline against an application.
+/// Run the full feed-forward pipeline against an application, with no
+/// artifact reuse (every stage executes).
 pub fn run_ffm(app: &dyn GpuApp, cfg: &FfmConfig) -> CudaResult<FfmReport> {
+    run_ffm_with_store(app, cfg, None)
+}
+
+/// Run the pipeline, consulting `store` before executing each stage and
+/// recording fresh outputs into it. Stage timings in the report describe
+/// the runs that *produced* the artifacts — a cache-served stage reports
+/// the same virtual-time numbers as the run that computed it, which is
+/// exactly what keeps reports byte-identical across cold and warm caches.
+pub fn run_ffm_with_store(
+    app: &dyn GpuApp,
+    cfg: &FfmConfig,
+    store: Option<&ArtifactStore>,
+) -> CudaResult<FfmReport> {
     let _run_span = telemetry::span_detail("run_ffm", || app.name().to_string());
     let jobs = effective_jobs(cfg.jobs);
-    let (discovery, stage1, stage2, stage3, stage4) =
-        if jobs > 1 { collect_parallel(app, cfg, jobs)? } else { collect_sequential(app, cfg)? };
-    let analysis = {
-        let _s = telemetry::span("stage5-analysis");
-        analyze(&stage1, &stage2, &stage3, &stage4, &cfg.analysis, jobs)
-    };
-    record_collection_metrics(&stage2, &stage3, &stage4, &analysis);
+    let out = run_stages(app, cfg, jobs, store)?;
+    record_collection_metrics(&out.stage2, &out.stage3, &out.stage4, &out.analysis);
 
-    let base = stage1.exec_time_ns;
+    let base = out.stage1.exec_time_ns;
     let stages = vec![
         StageStats {
             name: "stage1-baseline",
-            exec_ns: stage1.exec_time_ns,
-            overhead_factor: overhead_factor(stage1.exec_time_ns, base),
+            exec_ns: out.stage1.exec_time_ns,
+            overhead_factor: overhead_factor(out.stage1.exec_time_ns, base),
         },
         StageStats {
             name: "stage2-detailed-tracing",
-            exec_ns: stage2.exec_time_ns,
-            overhead_factor: overhead_factor(stage2.exec_time_ns, base),
+            exec_ns: out.stage2.exec_time_ns,
+            overhead_factor: overhead_factor(out.stage2.exec_time_ns, base),
         },
         StageStats {
             name: "stage3a-memory-tracing",
-            exec_ns: stage3.exec_time_sync_ns,
-            overhead_factor: overhead_factor(stage3.exec_time_sync_ns, base),
+            exec_ns: out.stage3.exec_time_sync_ns,
+            overhead_factor: overhead_factor(out.stage3.exec_time_sync_ns, base),
         },
         StageStats {
             name: "stage3b-data-hashing",
-            exec_ns: stage3.exec_time_hash_ns,
-            overhead_factor: overhead_factor(stage3.exec_time_hash_ns, base),
+            exec_ns: out.stage3.exec_time_hash_ns,
+            overhead_factor: overhead_factor(out.stage3.exec_time_hash_ns, base),
         },
         StageStats {
             name: "stage4-sync-use",
-            exec_ns: stage4.exec_time_ns,
-            overhead_factor: overhead_factor(stage4.exec_time_ns, base),
+            exec_ns: out.stage4.exec_time_ns,
+            overhead_factor: overhead_factor(out.stage4.exec_time_ns, base),
         },
     ];
     let collection_total_ns = stages.iter().map(|s| s.exec_ns).sum();
@@ -165,18 +187,16 @@ pub fn run_ffm(app: &dyn GpuApp, cfg: &FfmConfig) -> CudaResult<FfmReport> {
     Ok(FfmReport {
         app_name: app.name(),
         workload: app.workload(),
-        discovery,
-        stage1,
-        stage2,
-        stage3,
-        stage4,
-        analysis,
+        discovery: out.discovery,
+        stage1: out.stage1,
+        stage2: out.stage2,
+        stage3: out.stage3,
+        stage4: out.stage4,
+        analysis: out.analysis,
         stages,
         collection_total_ns,
     })
 }
-
-type Collected = (Discovery, Stage1Result, Stage2Result, Stage3Result, Stage4Result);
 
 /// Record what collection found into the telemetry metrics registry.
 /// Read-only over the results — telemetry observes the pipeline, it
@@ -197,106 +217,6 @@ fn record_collection_metrics(
     telemetry::counter_add("graph.nodes", analysis.graph.nodes.len() as u64);
     telemetry::counter_add("analysis.problems", analysis.problems.len() as u64);
     telemetry::counter_add("analysis.sequences", analysis.sequences.len() as u64);
-}
-
-/// The classic stage order, one run after another on the caller's thread.
-fn collect_sequential(app: &dyn GpuApp, cfg: &FfmConfig) -> CudaResult<Collected> {
-    // Pre-stage: find the internal sync function (throwaway context).
-    let discovery = {
-        let _s = telemetry::span("discovery");
-        identify_sync_function(cfg.cost.clone())?
-    };
-    let stage1 = {
-        let _s = telemetry::span("stage1-baseline");
-        run_stage1(app, &cfg.cost, &cfg.driver)?
-    };
-    let stage2 = {
-        let _s = telemetry::span("stage2-detailed-tracing");
-        run_stage2(app, &cfg.cost, &cfg.driver, &stage1)?
-    };
-    // Inlined `run_stage3` (sync + hash + merge) so the two halves carry
-    // the same span names as the parallel layout.
-    let stage3 = {
-        let sync = {
-            let _s = telemetry::span("stage3a-memory-tracing");
-            run_stage3_sync(app, &cfg.cost, &cfg.driver, &stage1)?
-        };
-        let hash = {
-            let _s = telemetry::span("stage3b-data-hashing");
-            run_stage3_hash(app, &cfg.cost, &cfg.driver, &stage1)?
-        };
-        merge_stage3(sync, hash)
-    };
-    let stage4 = {
-        let _s = telemetry::span("stage4-sync-use");
-        run_stage4(app, &cfg.cost, &cfg.driver, &stage1, &stage3)?
-    };
-    Ok((discovery, stage1, stage2, stage3, stage4))
-}
-
-/// The concurrent layout from the module docs, scheduled on the shared
-/// worker pool via [`crate::par::join`] so stage-level fan-out and any
-/// outer fleet fan-out (sweeps, regenerators) draw from one bounded set
-/// of threads. Error reporting matches the sequential path: when several
-/// stages fail, the error of the earliest stage in classic order is the
-/// one returned.
-fn collect_parallel(app: &dyn GpuApp, cfg: &FfmConfig, jobs: usize) -> CudaResult<Collected> {
-    // Discovery probes a throwaway context and never touches the app, so
-    // it overlaps with the baseline run. Spans open inside the join
-    // closures, so each lands on whichever thread (caller or pool
-    // worker) actually ran the work.
-    let (stage1, discovery) = join(
-        jobs,
-        || {
-            let _s = telemetry::span("stage1-baseline");
-            run_stage1(app, &cfg.cost, &cfg.driver)
-        },
-        || {
-            let _s = telemetry::span("discovery");
-            identify_sync_function(cfg.cost.clone())
-        },
-    );
-    let discovery = discovery?;
-    let stage1 = stage1?;
-
-    // Fork: stage 2 and the hashing run are leaves; the memory-tracing
-    // run feeds stage 4, so that chain stays on the submitting side.
-    let ((sync, stage4), (stage2, hash)) = join(
-        jobs,
-        || {
-            let sync = {
-                let _s = telemetry::span("stage3a-memory-tracing");
-                run_stage3_sync(app, &cfg.cost, &cfg.driver, &stage1)
-            };
-            let stage4 = match &sync {
-                Ok(s3a) => {
-                    let _s = telemetry::span("stage4-sync-use");
-                    Some(run_stage4(app, &cfg.cost, &cfg.driver, &stage1, s3a))
-                }
-                Err(_) => None,
-            };
-            (sync, stage4)
-        },
-        || {
-            join(
-                jobs,
-                || {
-                    let _s = telemetry::span("stage2-detailed-tracing");
-                    run_stage2(app, &cfg.cost, &cfg.driver, &stage1)
-                },
-                || {
-                    let _s = telemetry::span("stage3b-data-hashing");
-                    run_stage3_hash(app, &cfg.cost, &cfg.driver, &stage1)
-                },
-            )
-        },
-    );
-    let stage2 = stage2?;
-    let sync = sync?;
-    let hash = hash?;
-    let stage3 = merge_stage3(sync, hash);
-    let stage4 = stage4.expect("stage 4 ran because stage 3a succeeded")?;
-    Ok((discovery, stage1, stage2, stage3, stage4))
 }
 
 #[cfg(test)]

@@ -1,0 +1,1270 @@
+//! Content-addressed artifact store for pipeline stage outputs.
+//!
+//! Each stage of the FFM pipeline produces an [`Artifact`] keyed by a
+//! [`StageKey`]: a stable 128-bit digest of everything the stage's output
+//! depends on — the stage name, a schema version, the application's input
+//! digest, the declared config fields the stage reads, and the keys of
+//! its upstream artifacts (see `engine::stage_key` for the keying rules).
+//! Two sweep cells whose keys collide *by construction* would compute the
+//! same bytes, so the store can hand the second cell the first cell's
+//! result.
+//!
+//! The store has two layers:
+//!
+//! - an in-memory map (always on), shared across the cells of one sweep;
+//! - an optional on-disk layer under `results/cache/`, so separate
+//!   processes (e.g. `--shard k/n` workers) and repeated runs share work.
+//!
+//! Disk entries are versioned: every file carries a magic, the codec
+//! [`SCHEMA_VERSION`], and a build tag derived from the running binary,
+//! so an old cache can never poison a new binary's reports — mismatched
+//! entries read as misses and `clear_cache` can purge them.
+
+use std::collections::{HashMap, HashSet};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use cuda_driver::{ApiFn, InternalFn};
+use gpu_sim::{Digest, Direction, Frame, SourceLoc, StackTrace, WaitReason};
+use instrument::Discovery;
+
+use crate::analysis::Analysis;
+use crate::records::{
+    DuplicateTransfer, OpInstance, ProtectedAccess, Stage1Result, Stage2Result, Stage3Result,
+    Stage4Result, TracedCall, TransferRec,
+};
+
+/// Bump whenever the binary codec or the keying rules change; old disk
+/// entries become stale and are ignored.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// File magic for on-disk artifacts ("DIOGenes ARTifact v1").
+const MAGIC: &[u8; 8] = b"DIOGART1";
+
+/// Extension for on-disk artifacts; cache hygiene only ever touches
+/// `*.art` files.
+const EXT: &str = "art";
+
+// ---------------------------------------------------------------------------
+// Keys
+// ---------------------------------------------------------------------------
+
+/// Content-address of a stage output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StageKey(pub u128);
+
+impl StageKey {
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+/// 128-bit FNV-style hasher used to build [`StageKey`]s.
+///
+/// Two independent 64-bit FNV-1a lanes with distinct offset bases; the
+/// second lane additionally whitens each byte so the lanes cannot cancel.
+/// Not cryptographic — collision resistance here only has to beat
+/// accidental config collisions, and any collision is between configs the
+/// operator chose, not adversarial input.
+pub struct KeyHasher {
+    a: u64,
+    b: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl KeyHasher {
+    /// Start a key with a domain-separating label (e.g. the stage name).
+    pub fn new(label: &str) -> Self {
+        let mut h = KeyHasher { a: FNV_OFFSET, b: FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15 };
+        h.push_bytes(label.as_bytes());
+        h.push_u32(SCHEMA_VERSION);
+        h
+    }
+
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a ^= byte as u64;
+            self.a = self.a.wrapping_mul(FNV_PRIME);
+            self.b ^= (byte ^ 0xa5) as u64;
+            self.b = self.b.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    pub fn push_u32(&mut self, v: u32) {
+        self.push_bytes(&v.to_le_bytes());
+    }
+
+    pub fn push_u64(&mut self, v: u64) {
+        self.push_bytes(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed so `("ab","c")` and `("a","bc")` hash differently.
+    pub fn push_str(&mut self, s: &str) {
+        self.push_u64(s.len() as u64);
+        self.push_bytes(s.as_bytes());
+    }
+
+    /// Fold an upstream stage key into this one.
+    pub fn push_key(&mut self, key: StageKey) {
+        self.push_bytes(&key.0.to_le_bytes());
+    }
+
+    pub fn finish(&self) -> StageKey {
+        StageKey(((self.a as u128) << 64) | self.b as u128)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Artifacts
+// ---------------------------------------------------------------------------
+
+/// A memoized stage output. Payloads are `Arc`-shared so a cache hit
+/// costs a pointer copy, not a deep clone.
+#[derive(Debug, Clone)]
+pub enum Artifact {
+    Discovery(Arc<Discovery>),
+    Stage1(Arc<Stage1Result>),
+    Stage2(Arc<Stage2Result>),
+    Stage3(Arc<Stage3Result>),
+    Stage4(Arc<Stage4Result>),
+    /// Analysis results are memory-only: they are cheap to recompute
+    /// relative to their serialized size and sit at the bottom of the DAG.
+    Analysis(Arc<Analysis>),
+}
+
+/// Discriminant used for disk filenames and header tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    Discovery,
+    Stage1,
+    Stage2,
+    Stage3,
+    Stage4,
+    Analysis,
+}
+
+impl ArtifactKind {
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ArtifactKind::Discovery => "discovery",
+            ArtifactKind::Stage1 => "stage1",
+            ArtifactKind::Stage2 => "stage2",
+            ArtifactKind::Stage3 => "stage3",
+            ArtifactKind::Stage4 => "stage4",
+            ArtifactKind::Analysis => "analysis",
+        }
+    }
+
+    fn byte(&self) -> u8 {
+        match self {
+            ArtifactKind::Discovery => 0,
+            ArtifactKind::Stage1 => 1,
+            ArtifactKind::Stage2 => 2,
+            ArtifactKind::Stage3 => 3,
+            ArtifactKind::Stage4 => 4,
+            ArtifactKind::Analysis => 5,
+        }
+    }
+}
+
+impl Artifact {
+    pub fn kind(&self) -> ArtifactKind {
+        match self {
+            Artifact::Discovery(_) => ArtifactKind::Discovery,
+            Artifact::Stage1(_) => ArtifactKind::Stage1,
+            Artifact::Stage2(_) => ArtifactKind::Stage2,
+            Artifact::Stage3(_) => ArtifactKind::Stage3,
+            Artifact::Stage4(_) => ArtifactKind::Stage4,
+            Artifact::Analysis(_) => ArtifactKind::Analysis,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Store
+// ---------------------------------------------------------------------------
+
+/// Cache hit/miss counters, snapshot via [`ArtifactStore::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    pub mem_hits: u64,
+    pub disk_hits: u64,
+    pub misses: u64,
+    pub puts: u64,
+}
+
+impl StoreStats {
+    pub fn hits(&self) -> u64 {
+        self.mem_hits + self.disk_hits
+    }
+
+    /// Hit rate over all lookups; 0.0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+}
+
+/// Memoizes stage outputs by [`StageKey`].
+pub struct ArtifactStore {
+    mem: Mutex<HashMap<StageKey, Artifact>>,
+    disk: Option<PathBuf>,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    puts: AtomicU64,
+}
+
+impl ArtifactStore {
+    /// Memory-only store (one process, one sweep).
+    pub fn in_memory() -> Self {
+        ArtifactStore {
+            mem: Mutex::new(HashMap::new()),
+            disk: None,
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+        }
+    }
+
+    /// Store backed by a directory (created on first write). Shard
+    /// processes pointed at the same directory share work.
+    pub fn with_disk(dir: impl Into<PathBuf>) -> Self {
+        let mut s = ArtifactStore::in_memory();
+        s.disk = Some(dir.into());
+        s
+    }
+
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk.as_deref()
+    }
+
+    /// Look up an artifact. Checks memory first, then disk (promoting a
+    /// disk hit into memory). A corrupt or version-mismatched disk entry
+    /// reads as a miss.
+    pub fn get(&self, key: StageKey, kind: ArtifactKind) -> Option<Artifact> {
+        if let Some(a) = self.mem.lock().unwrap().get(&key) {
+            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(a.clone());
+        }
+        if let Some(dir) = &self.disk {
+            if let Some(a) = read_entry(&entry_path(dir, key, kind), kind) {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.mem.lock().unwrap().insert(key, a.clone());
+                return Some(a);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Insert an artifact. Writes through to disk (atomically, so racing
+    /// shard processes are safe) except for memory-only kinds.
+    pub fn put(&self, key: StageKey, artifact: Artifact) {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        if let Some(dir) = &self.disk {
+            if let Some(payload) = encode_payload(&artifact) {
+                let path = entry_path(dir, key, artifact.kind());
+                if let Err(e) = write_entry(&path, artifact.kind(), &payload) {
+                    crate::log_warn!("cache write failed for {}: {e}", path.display());
+                }
+            }
+        }
+        self.mem.lock().unwrap().insert(key, artifact);
+    }
+
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn entry_path(dir: &Path, key: StageKey, kind: ArtifactKind) -> PathBuf {
+    dir.join(format!("{}-{}.{EXT}", kind.tag(), key.hex()))
+}
+
+/// Tag identifying the producing binary, folded into every disk entry's
+/// header. Derived from a digest of the executable image, so a rebuilt
+/// binary (whose stage semantics may have changed in ways the schema
+/// version does not capture) never trusts an old cache.
+pub fn build_tag() -> u64 {
+    static TAG: OnceLock<u64> = OnceLock::new();
+    *TAG.get_or_init(|| {
+        std::env::current_exe()
+            .ok()
+            .and_then(|p| std::fs::read(p).ok())
+            .map(|bytes| Digest::of(&bytes).0 as u64)
+            .unwrap_or(0)
+    })
+}
+
+fn header(kind: ArtifactKind) -> Vec<u8> {
+    let mut h = Vec::with_capacity(21);
+    h.extend_from_slice(MAGIC);
+    h.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
+    h.extend_from_slice(&build_tag().to_le_bytes());
+    h.push(kind.byte());
+    h
+}
+
+const HEADER_LEN: usize = 8 + 4 + 8 + 1;
+
+fn write_entry(path: &Path, kind: ArtifactKind, payload: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().expect("entry path has a parent");
+    std::fs::create_dir_all(dir)?;
+    // Write to a unique temp file then rename: concurrent shard processes
+    // may race on the same key, and rename makes the last writer win with
+    // no torn reads.
+    let tmp = dir.join(format!(
+        ".tmp-{}-{}",
+        std::process::id(),
+        path.file_name().unwrap_or_default().to_string_lossy()
+    ));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&header(kind))?;
+        f.write_all(payload)?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+fn read_entry(path: &Path, kind: ArtifactKind) -> Option<Artifact> {
+    let bytes = std::fs::read(path).ok()?;
+    if !entry_header_is_current(&bytes) || bytes[HEADER_LEN - 1] != kind.byte() {
+        return None;
+    }
+    decode_payload(kind, &bytes[HEADER_LEN..]).ok()
+}
+
+fn entry_header_is_current(bytes: &[u8]) -> bool {
+    bytes.len() >= HEADER_LEN
+        && &bytes[..8] == MAGIC
+        && bytes[8..12] == SCHEMA_VERSION.to_le_bytes()
+        && bytes[12..20] == build_tag().to_le_bytes()
+}
+
+// ---------------------------------------------------------------------------
+// Cache hygiene
+// ---------------------------------------------------------------------------
+
+/// What `diogenes cache` reports: current vs stale entries in a cache
+/// directory. Stale = written by a different schema version or binary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheReport {
+    pub entries: usize,
+    pub bytes: u64,
+    pub stale_entries: usize,
+    pub stale_bytes: u64,
+}
+
+fn cache_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    if !dir.exists() {
+        return Ok(files);
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_file() && path.extension().and_then(|e| e.to_str()) == Some(EXT) {
+            files.push(path);
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Inventory a cache directory without modifying it. A missing directory
+/// reads as empty. Only `*.art` files are considered.
+pub fn scan_cache(dir: &Path) -> std::io::Result<CacheReport> {
+    let mut report = CacheReport::default();
+    for path in cache_files(dir)? {
+        let len = std::fs::metadata(&path)?.len();
+        // Reading just the header would do, but entries are small and a
+        // full read keeps this simple.
+        let current = std::fs::read(&path).map(|b| entry_header_is_current(&b)).unwrap_or(false);
+        report.entries += 1;
+        report.bytes += len;
+        if !current {
+            report.stale_entries += 1;
+            report.stale_bytes += len;
+        }
+    }
+    Ok(report)
+}
+
+/// Delete cache entries; returns what was removed. With `stale_only`,
+/// keeps entries the current binary can still read.
+pub fn clear_cache(dir: &Path, stale_only: bool) -> std::io::Result<CacheReport> {
+    let mut removed = CacheReport::default();
+    for path in cache_files(dir)? {
+        let len = std::fs::metadata(&path)?.len();
+        let current = std::fs::read(&path).map(|b| entry_header_is_current(&b)).unwrap_or(false);
+        if stale_only && current {
+            continue;
+        }
+        std::fs::remove_file(&path)?;
+        removed.entries += 1;
+        removed.bytes += len;
+        if !current {
+            removed.stale_entries += 1;
+            removed.stale_bytes += len;
+        }
+    }
+    Ok(removed)
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------------------
+//
+// Hand-rolled little-endian codec (the workspace is std-only, no serde).
+// Unordered collections are sorted on encode so the bytes are a function
+// of the value, not of hash-map iteration order; decoded sets/maps are
+// only ever consumed via membership tests and keyed lookups downstream
+// (`problem::classify`), so re-hashing on decode cannot change reports.
+
+fn encode_payload(artifact: &Artifact) -> Option<Vec<u8>> {
+    let mut e = Enc(Vec::new());
+    match artifact {
+        Artifact::Discovery(d) => enc_discovery(&mut e, d),
+        Artifact::Stage1(s) => enc_stage1(&mut e, s),
+        Artifact::Stage2(s) => enc_stage2(&mut e, s),
+        Artifact::Stage3(s) => enc_stage3(&mut e, s),
+        Artifact::Stage4(s) => enc_stage4(&mut e, s),
+        Artifact::Analysis(_) => return None, // memory-only
+    }
+    Some(e.0)
+}
+
+fn decode_payload(kind: ArtifactKind, bytes: &[u8]) -> Result<Artifact, String> {
+    let mut d = Dec { bytes, pos: 0 };
+    let artifact = match kind {
+        ArtifactKind::Discovery => Artifact::Discovery(Arc::new(dec_discovery(&mut d)?)),
+        ArtifactKind::Stage1 => Artifact::Stage1(Arc::new(dec_stage1(&mut d)?)),
+        ArtifactKind::Stage2 => Artifact::Stage2(Arc::new(dec_stage2(&mut d)?)),
+        ArtifactKind::Stage3 => Artifact::Stage3(Arc::new(dec_stage3(&mut d)?)),
+        ArtifactKind::Stage4 => Artifact::Stage4(Arc::new(dec_stage4(&mut d)?)),
+        ArtifactKind::Analysis => return Err("analysis artifacts are memory-only".to_string()),
+    };
+    if d.pos != d.bytes.len() {
+        return Err(format!("{} trailing bytes in artifact", d.bytes.len() - d.pos));
+    }
+    Ok(artifact)
+}
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u128(&mut self, v: u128) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn opt<T>(&mut self, v: &Option<T>, f: impl FnOnce(&mut Self, &T)) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                f(self, x);
+            }
+        }
+    }
+}
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Dec<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        let end = end.ok_or_else(|| format!("artifact truncated at byte {}", self.pos))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn bool(&mut self) -> Result<bool, String> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(format!("bad bool byte {b:#04x}")),
+        }
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn u128(&mut self) -> Result<u128, String> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+    fn len(&mut self) -> Result<usize, String> {
+        let n = self.u64()?;
+        // Any valid length is bounded by the remaining bytes (every
+        // element costs at least one byte), which caps allocations on
+        // corrupt input.
+        let n = usize::try_from(n).map_err(|_| "length overflow".to_string())?;
+        if n > self.bytes.len() - self.pos {
+            return Err(format!("implausible collection length {n}"));
+        }
+        Ok(n)
+    }
+    fn str(&mut self) -> Result<String, String> {
+        let n = self.len()?;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| "invalid utf-8 in artifact".to_string())
+    }
+    fn opt<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, String>,
+    ) -> Result<Option<T>, String> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(f(self)?)),
+            b => Err(format!("bad option tag {b:#04x}")),
+        }
+    }
+}
+
+/// `SourceLoc.file` is `&'static str`; decoded names are interned (leaked
+/// once per distinct name, ever) so artifacts loaded from disk satisfy the
+/// same lifetime. Simulated apps have a handful of file names, so the
+/// leak is bounded and tiny.
+fn intern(s: String) -> &'static str {
+    static INTERNED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let set = INTERNED.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut set = set.lock().unwrap();
+    if let Some(&existing) = set.get(s.as_str()) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+fn internal_fn_index(f: InternalFn) -> u8 {
+    InternalFn::all().iter().position(|&g| g == f).expect("InternalFn::all is exhaustive") as u8
+}
+
+fn internal_fn_from_index(i: u8) -> Result<InternalFn, String> {
+    InternalFn::all().get(i as usize).copied().ok_or_else(|| format!("bad InternalFn index {i}"))
+}
+
+fn enc_api(e: &mut Enc, api: ApiFn) {
+    e.str(api.name());
+}
+
+fn dec_api(d: &mut Dec<'_>) -> Result<ApiFn, String> {
+    let name = d.str()?;
+    ApiFn::from_name(&name).ok_or_else(|| format!("unknown ApiFn '{name}'"))
+}
+
+fn enc_wait_reason(e: &mut Enc, r: WaitReason) {
+    e.u8(match r {
+        WaitReason::Explicit => 0,
+        WaitReason::Implicit => 1,
+        WaitReason::Conditional => 2,
+        WaitReason::Private => 3,
+    });
+}
+
+fn dec_wait_reason(d: &mut Dec<'_>) -> Result<WaitReason, String> {
+    Ok(match d.u8()? {
+        0 => WaitReason::Explicit,
+        1 => WaitReason::Implicit,
+        2 => WaitReason::Conditional,
+        3 => WaitReason::Private,
+        b => return Err(format!("bad WaitReason byte {b:#04x}")),
+    })
+}
+
+fn enc_direction(e: &mut Enc, dir: Direction) {
+    e.u8(match dir {
+        Direction::HtoD => 0,
+        Direction::DtoH => 1,
+        Direction::DtoD => 2,
+    });
+}
+
+fn dec_direction(d: &mut Dec<'_>) -> Result<Direction, String> {
+    Ok(match d.u8()? {
+        0 => Direction::HtoD,
+        1 => Direction::DtoH,
+        2 => Direction::DtoD,
+        b => return Err(format!("bad Direction byte {b:#04x}")),
+    })
+}
+
+fn enc_loc(e: &mut Enc, loc: &SourceLoc) {
+    e.str(loc.file);
+    e.u32(loc.line);
+}
+
+fn dec_loc(d: &mut Dec<'_>) -> Result<SourceLoc, String> {
+    let file = intern(d.str()?);
+    let line = d.u32()?;
+    Ok(SourceLoc { file, line })
+}
+
+fn enc_op(e: &mut Enc, op: &OpInstance) {
+    e.u64(op.sig);
+    e.u64(op.occ);
+}
+
+fn dec_op(d: &mut Dec<'_>) -> Result<OpInstance, String> {
+    Ok(OpInstance { sig: d.u64()?, occ: d.u64()? })
+}
+
+fn enc_stack(e: &mut Enc, stack: &StackTrace) {
+    e.u64(stack.frames.len() as u64);
+    for frame in &stack.frames {
+        e.str(&frame.function);
+        enc_loc(e, &frame.callsite);
+    }
+}
+
+fn dec_stack(d: &mut Dec<'_>) -> Result<StackTrace, String> {
+    let n = d.len()?;
+    let mut frames = Vec::with_capacity(n);
+    for _ in 0..n {
+        let function = d.str()?;
+        let callsite = dec_loc(d)?;
+        frames.push(Frame::new(function, callsite));
+    }
+    Ok(StackTrace { frames })
+}
+
+fn enc_discovery(e: &mut Enc, disc: &Discovery) {
+    e.u8(internal_fn_index(disc.sync_fn));
+    let mut waits: Vec<(InternalFn, u64)> = disc.waits.iter().map(|(&f, &ns)| (f, ns)).collect();
+    waits.sort();
+    e.u64(waits.len() as u64);
+    for (f, ns) in waits {
+        e.u8(internal_fn_index(f));
+        e.u64(ns);
+    }
+}
+
+fn dec_discovery(d: &mut Dec<'_>) -> Result<Discovery, String> {
+    let sync_fn = internal_fn_from_index(d.u8()?)?;
+    let n = d.len()?;
+    let mut waits = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let f = internal_fn_from_index(d.u8()?)?;
+        let ns = d.u64()?;
+        waits.insert(f, ns);
+    }
+    Ok(Discovery { sync_fn, waits })
+}
+
+fn enc_stage1(e: &mut Enc, s: &Stage1Result) {
+    e.u64(s.exec_time_ns);
+    e.u64(s.total_wait_ns);
+    e.u64(s.sync_hits);
+    let mut apis: Vec<(ApiFn, u64)> = s.sync_apis.iter().map(|(&a, &n)| (a, n)).collect();
+    apis.sort();
+    e.u64(apis.len() as u64);
+    for (api, hits) in apis {
+        enc_api(e, api);
+        e.u64(hits);
+    }
+}
+
+fn dec_stage1(d: &mut Dec<'_>) -> Result<Stage1Result, String> {
+    let exec_time_ns = d.u64()?;
+    let total_wait_ns = d.u64()?;
+    let sync_hits = d.u64()?;
+    let n = d.len()?;
+    let mut sync_apis = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let api = dec_api(d)?;
+        let hits = d.u64()?;
+        sync_apis.insert(api, hits);
+    }
+    Ok(Stage1Result { exec_time_ns, sync_apis, total_wait_ns, sync_hits })
+}
+
+fn enc_transfer(e: &mut Enc, t: &TransferRec) {
+    enc_direction(e, t.dir);
+    e.u64(t.bytes);
+    e.u64(t.host);
+    e.u64(t.dev);
+    e.bool(t.pinned);
+    e.bool(t.is_async);
+}
+
+fn dec_transfer(d: &mut Dec<'_>) -> Result<TransferRec, String> {
+    Ok(TransferRec {
+        dir: dec_direction(d)?,
+        bytes: d.u64()?,
+        host: d.u64()?,
+        dev: d.u64()?,
+        pinned: d.bool()?,
+        is_async: d.bool()?,
+    })
+}
+
+fn enc_call(e: &mut Enc, c: &TracedCall) {
+    e.u64(c.seq as u64);
+    enc_api(e, c.api);
+    enc_loc(e, &c.site);
+    enc_stack(e, &c.stack);
+    e.u64(c.sig);
+    e.u64(c.folded_sig);
+    e.u64(c.occ);
+    e.u64(c.enter_ns);
+    e.u64(c.exit_ns);
+    e.u64(c.wait_ns);
+    e.opt(&c.wait_reason, |e, &r| enc_wait_reason(e, r));
+    e.opt(&c.transfer, enc_transfer);
+    e.bool(c.is_launch);
+}
+
+fn dec_call(d: &mut Dec<'_>) -> Result<TracedCall, String> {
+    Ok(TracedCall {
+        seq: d.u64()? as usize,
+        api: dec_api(d)?,
+        site: dec_loc(d)?,
+        stack: dec_stack(d)?,
+        sig: d.u64()?,
+        folded_sig: d.u64()?,
+        occ: d.u64()?,
+        enter_ns: d.u64()?,
+        exit_ns: d.u64()?,
+        wait_ns: d.u64()?,
+        wait_reason: d.opt(dec_wait_reason)?,
+        transfer: d.opt(dec_transfer)?,
+        is_launch: d.bool()?,
+    })
+}
+
+fn enc_stage2(e: &mut Enc, s: &Stage2Result) {
+    e.u64(s.exec_time_ns);
+    e.u64(s.calls.len() as u64);
+    for c in &s.calls {
+        enc_call(e, c);
+    }
+}
+
+fn dec_stage2(d: &mut Dec<'_>) -> Result<Stage2Result, String> {
+    let exec_time_ns = d.u64()?;
+    let n = d.len()?;
+    let mut calls = Vec::with_capacity(n);
+    for _ in 0..n {
+        calls.push(dec_call(d)?);
+    }
+    Ok(Stage2Result { exec_time_ns, calls })
+}
+
+fn enc_op_set(e: &mut Enc, set: &HashSet<OpInstance>) {
+    let mut ops: Vec<OpInstance> = set.iter().copied().collect();
+    ops.sort();
+    e.u64(ops.len() as u64);
+    for op in &ops {
+        enc_op(e, op);
+    }
+}
+
+fn dec_op_set(d: &mut Dec<'_>) -> Result<HashSet<OpInstance>, String> {
+    let n = d.len()?;
+    let mut set = HashSet::with_capacity(n);
+    for _ in 0..n {
+        set.insert(dec_op(d)?);
+    }
+    Ok(set)
+}
+
+fn enc_stage3(e: &mut Enc, s: &Stage3Result) {
+    enc_op_set(e, &s.required_syncs);
+    enc_op_set(e, &s.observed_syncs);
+    e.u64(s.accesses.len() as u64);
+    for a in &s.accesses {
+        enc_op(e, &a.sync);
+        enc_loc(e, &a.access_site);
+        e.u64(a.rough_gap_ns);
+    }
+    e.u64(s.duplicates.len() as u64);
+    for dup in &s.duplicates {
+        enc_op(e, &dup.op);
+        enc_loc(e, &dup.site);
+        enc_loc(e, &dup.first_site);
+        e.u64(dup.bytes);
+        e.u128(dup.digest.0);
+    }
+    let mut sites: Vec<SourceLoc> = s.first_use_sites.iter().copied().collect();
+    sites.sort();
+    e.u64(sites.len() as u64);
+    for site in &sites {
+        enc_loc(e, site);
+    }
+    e.u64(s.hashed_bytes);
+    e.u64(s.exec_time_sync_ns);
+    e.u64(s.exec_time_hash_ns);
+    e.u64(s.exec_time_ns);
+}
+
+fn dec_stage3(d: &mut Dec<'_>) -> Result<Stage3Result, String> {
+    let required_syncs = dec_op_set(d)?;
+    let observed_syncs = dec_op_set(d)?;
+    let n = d.len()?;
+    let mut accesses = Vec::with_capacity(n);
+    for _ in 0..n {
+        accesses.push(ProtectedAccess {
+            sync: dec_op(d)?,
+            access_site: dec_loc(d)?,
+            rough_gap_ns: d.u64()?,
+        });
+    }
+    let n = d.len()?;
+    let mut duplicates = Vec::with_capacity(n);
+    for _ in 0..n {
+        duplicates.push(DuplicateTransfer {
+            op: dec_op(d)?,
+            site: dec_loc(d)?,
+            first_site: dec_loc(d)?,
+            bytes: d.u64()?,
+            digest: Digest(d.u128()?),
+        });
+    }
+    let n = d.len()?;
+    let mut first_use_sites = HashSet::with_capacity(n);
+    for _ in 0..n {
+        first_use_sites.insert(dec_loc(d)?);
+    }
+    Ok(Stage3Result {
+        required_syncs,
+        observed_syncs,
+        accesses,
+        duplicates,
+        first_use_sites,
+        hashed_bytes: d.u64()?,
+        exec_time_sync_ns: d.u64()?,
+        exec_time_hash_ns: d.u64()?,
+        exec_time_ns: d.u64()?,
+    })
+}
+
+fn enc_stage4(e: &mut Enc, s: &Stage4Result) {
+    let mut gaps: Vec<(OpInstance, u64)> = s.first_use_ns.iter().map(|(&k, &v)| (k, v)).collect();
+    gaps.sort();
+    e.u64(gaps.len() as u64);
+    for (op, ns) in &gaps {
+        enc_op(e, op);
+        e.u64(*ns);
+    }
+    e.u64(s.exec_time_ns);
+}
+
+fn dec_stage4(d: &mut Dec<'_>) -> Result<Stage4Result, String> {
+    let n = d.len()?;
+    let mut first_use_ns = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let op = dec_op(d)?;
+        let ns = d.u64()?;
+        first_use_ns.insert(op, ns);
+    }
+    Ok(Stage4Result { first_use_ns, exec_time_ns: d.u64()? })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "diogenes-store-test-{}-{}-{}",
+            std::process::id(),
+            tag,
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_loc(line: u32) -> SourceLoc {
+        SourceLoc::new("als.cpp", line)
+    }
+
+    fn sample_stage2() -> Stage2Result {
+        Stage2Result {
+            exec_time_ns: 123_456,
+            calls: vec![TracedCall {
+                seq: 0,
+                api: ApiFn::CudaMemcpy,
+                site: sample_loc(856),
+                stack: StackTrace {
+                    frames: vec![
+                        Frame::new("main", sample_loc(1)),
+                        Frame::new("thrust::copy<float>", sample_loc(856)),
+                    ],
+                },
+                sig: 0xdead_beef,
+                folded_sig: 0xfeed_face,
+                occ: 3,
+                enter_ns: 10,
+                exit_ns: 90,
+                wait_ns: 40,
+                wait_reason: Some(WaitReason::Implicit),
+                transfer: Some(TransferRec {
+                    dir: Direction::DtoH,
+                    bytes: 4096,
+                    host: 0x1000,
+                    dev: 0x2000,
+                    pinned: false,
+                    is_async: true,
+                }),
+                is_launch: false,
+            }],
+        }
+    }
+
+    fn sample_stage3() -> Stage3Result {
+        Stage3Result {
+            required_syncs: [OpInstance { sig: 1, occ: 0 }].into_iter().collect(),
+            observed_syncs: [OpInstance { sig: 1, occ: 0 }, OpInstance { sig: 2, occ: 1 }]
+                .into_iter()
+                .collect(),
+            accesses: vec![ProtectedAccess {
+                sync: OpInstance { sig: 1, occ: 0 },
+                access_site: sample_loc(901),
+                rough_gap_ns: 77,
+            }],
+            duplicates: vec![DuplicateTransfer {
+                op: OpInstance { sig: 9, occ: 2 },
+                site: sample_loc(10),
+                first_site: sample_loc(5),
+                bytes: 1 << 20,
+                digest: Digest(0x1234_5678_9abc_def0_1122_3344_5566_7788),
+            }],
+            first_use_sites: [sample_loc(901), sample_loc(905)].into_iter().collect(),
+            hashed_bytes: 1 << 21,
+            exec_time_sync_ns: 1000,
+            exec_time_hash_ns: 2000,
+            exec_time_ns: 3000,
+        }
+    }
+
+    fn roundtrip(artifact: Artifact) -> Artifact {
+        let kind = artifact.kind();
+        let payload = encode_payload(&artifact).expect("serializable kind");
+        decode_payload(kind, &payload).expect("decodes")
+    }
+
+    #[test]
+    fn discovery_roundtrips() {
+        let d = Discovery {
+            sync_fn: InternalFn::SyncWait,
+            waits: [(InternalFn::SyncWait, 500), (InternalFn::Enqueue, 0)].into_iter().collect(),
+        };
+        match roundtrip(Artifact::Discovery(Arc::new(d.clone()))) {
+            Artifact::Discovery(got) => {
+                assert_eq!(got.sync_fn, d.sync_fn);
+                assert_eq!(got.waits, d.waits);
+            }
+            other => panic!("wrong kind {:?}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn stage1_roundtrips() {
+        let s = Stage1Result {
+            exec_time_ns: 42,
+            sync_apis: [(ApiFn::CudaFree, 3), (ApiFn::CudaMemcpy, 7)].into_iter().collect(),
+            total_wait_ns: 99,
+            sync_hits: 10,
+        };
+        match roundtrip(Artifact::Stage1(Arc::new(s.clone()))) {
+            Artifact::Stage1(got) => {
+                assert_eq!(got.exec_time_ns, s.exec_time_ns);
+                assert_eq!(got.sync_apis, s.sync_apis);
+                assert_eq!(got.total_wait_ns, s.total_wait_ns);
+                assert_eq!(got.sync_hits, s.sync_hits);
+            }
+            other => panic!("wrong kind {:?}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn stage2_roundtrips_including_stacks() {
+        let s = sample_stage2();
+        match roundtrip(Artifact::Stage2(Arc::new(s.clone()))) {
+            Artifact::Stage2(got) => {
+                assert_eq!(got.exec_time_ns, s.exec_time_ns);
+                assert_eq!(got.calls.len(), s.calls.len());
+                let (a, b) = (&got.calls[0], &s.calls[0]);
+                assert_eq!(a.seq, b.seq);
+                assert_eq!(a.api, b.api);
+                assert_eq!(a.site, b.site);
+                assert_eq!(a.stack, b.stack);
+                assert_eq!(a.sig, b.sig);
+                assert_eq!(a.folded_sig, b.folded_sig);
+                assert_eq!(a.occ, b.occ);
+                assert_eq!((a.enter_ns, a.exit_ns, a.wait_ns), (b.enter_ns, b.exit_ns, b.wait_ns));
+                assert_eq!(a.wait_reason, b.wait_reason);
+                assert_eq!(a.transfer, b.transfer);
+                assert_eq!(a.is_launch, b.is_launch);
+                // Decoded file names intern to the same address space the
+                // rest of the pipeline uses for synthetic addresses.
+                assert_eq!(a.site.addr(), b.site.addr());
+            }
+            other => panic!("wrong kind {:?}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn stage3_roundtrips() {
+        let s = sample_stage3();
+        match roundtrip(Artifact::Stage3(Arc::new(s.clone()))) {
+            Artifact::Stage3(got) => {
+                assert_eq!(got.required_syncs, s.required_syncs);
+                assert_eq!(got.observed_syncs, s.observed_syncs);
+                assert_eq!(got.accesses.len(), 1);
+                assert_eq!(got.accesses[0].sync, s.accesses[0].sync);
+                assert_eq!(got.accesses[0].access_site, s.accesses[0].access_site);
+                assert_eq!(got.duplicates[0].digest, s.duplicates[0].digest);
+                assert_eq!(got.first_use_sites, s.first_use_sites);
+                assert_eq!(got.hashed_bytes, s.hashed_bytes);
+                assert_eq!(got.exec_time_ns, s.exec_time_ns);
+            }
+            other => panic!("wrong kind {:?}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn stage4_roundtrips() {
+        let mut s = Stage4Result::default();
+        s.first_use_ns.insert(OpInstance { sig: 5, occ: 0 }, 111);
+        s.first_use_ns.insert(OpInstance { sig: 5, occ: 1 }, 222);
+        s.exec_time_ns = 7;
+        match roundtrip(Artifact::Stage4(Arc::new(s.clone()))) {
+            Artifact::Stage4(got) => {
+                assert_eq!(got.first_use_ns, s.first_use_ns);
+                assert_eq!(got.exec_time_ns, s.exec_time_ns);
+            }
+            other => panic!("wrong kind {:?}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn encoding_is_independent_of_hash_iteration_order() {
+        // Build the same logical map twice with different insertion orders;
+        // the encoded bytes must match.
+        let mut a = Stage4Result::default();
+        let mut b = Stage4Result::default();
+        for i in 0..100u64 {
+            a.first_use_ns.insert(OpInstance { sig: i, occ: 0 }, i * 10);
+        }
+        for i in (0..100u64).rev() {
+            b.first_use_ns.insert(OpInstance { sig: i, occ: 0 }, i * 10);
+        }
+        let ea = encode_payload(&Artifact::Stage4(Arc::new(a))).unwrap();
+        let eb = encode_payload(&Artifact::Stage4(Arc::new(b))).unwrap();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn truncated_and_corrupt_payloads_are_rejected() {
+        let payload = encode_payload(&Artifact::Stage2(Arc::new(sample_stage2()))).unwrap();
+        assert!(decode_payload(ArtifactKind::Stage2, &payload[..payload.len() - 1]).is_err());
+        assert!(decode_payload(ArtifactKind::Stage2, &[]).is_err());
+        let mut extra = payload.clone();
+        extra.push(0);
+        assert!(decode_payload(ArtifactKind::Stage2, &extra).is_err(), "trailing bytes rejected");
+    }
+
+    #[test]
+    fn memory_store_hits_and_stats() {
+        let store = ArtifactStore::in_memory();
+        let key = StageKey(42);
+        assert!(store.get(key, ArtifactKind::Stage1).is_none());
+        store.put(
+            key,
+            Artifact::Stage1(Arc::new(Stage1Result {
+                exec_time_ns: 1,
+                sync_apis: HashMap::new(),
+                total_wait_ns: 0,
+                sync_hits: 0,
+            })),
+        );
+        assert!(store.get(key, ArtifactKind::Stage1).is_some());
+        let stats = store.stats();
+        assert_eq!(stats.mem_hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.puts, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disk_store_roundtrips_and_survives_memory_loss() {
+        let dir = temp_dir("disk");
+        let key = StageKey(7);
+        {
+            let store = ArtifactStore::with_disk(&dir);
+            store.put(key, Artifact::Stage3(Arc::new(sample_stage3())));
+        }
+        // Fresh store, same dir: memory is gone, disk must serve the hit.
+        let store = ArtifactStore::with_disk(&dir);
+        let got = store.get(key, ArtifactKind::Stage3).expect("disk hit");
+        match got {
+            Artifact::Stage3(s) => assert_eq!(s.exec_time_ns, 3000),
+            other => panic!("wrong kind {:?}", other.kind()),
+        }
+        assert_eq!(store.stats().disk_hits, 1);
+        // Second get is served from memory (promotion).
+        store.get(key, ArtifactKind::Stage3).expect("promoted");
+        assert_eq!(store.stats().mem_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn empty_analysis() -> Analysis {
+        Analysis {
+            graph: crate::graph::ExecGraph {
+                nodes: Vec::new(),
+                exec_time_ns: 0,
+                baseline_exec_ns: 0,
+            },
+            benefit: crate::benefit::BenefitReport {
+                per_node: Vec::new(),
+                total_ns: 0,
+                predicted_exec_ns: 0,
+            },
+            problems: Vec::new(),
+            single_point: Vec::new(),
+            api_folds: Vec::new(),
+            sequences: Vec::new(),
+            by_api: Vec::new(),
+            baseline_exec_ns: 0,
+        }
+    }
+
+    #[test]
+    fn analysis_artifacts_stay_out_of_the_disk_layer() {
+        let dir = temp_dir("analysis");
+        let store = ArtifactStore::with_disk(&dir);
+        store.put(StageKey(1), Artifact::Analysis(Arc::new(empty_analysis())));
+        assert_eq!(scan_cache(&dir).unwrap().entries, 0, "no disk entry for analysis");
+        assert!(store.get(StageKey(1), ArtifactKind::Analysis).is_some(), "memory hit works");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_entries_read_as_misses_and_are_clearable() {
+        let dir = temp_dir("stale");
+        let store = ArtifactStore::with_disk(&dir);
+        let key = StageKey(9);
+        store.put(
+            key,
+            Artifact::Stage1(Arc::new(Stage1Result {
+                exec_time_ns: 5,
+                sync_apis: HashMap::new(),
+                total_wait_ns: 0,
+                sync_hits: 0,
+            })),
+        );
+        // Corrupt the entry's build tag (bytes 12..20 of the header).
+        let path = entry_path(&dir, key, ArtifactKind::Stage1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[12] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let fresh = ArtifactStore::with_disk(&dir);
+        assert!(fresh.get(key, ArtifactKind::Stage1).is_none(), "stale entry is a miss");
+
+        let report = scan_cache(&dir).unwrap();
+        assert_eq!(report.entries, 1);
+        assert_eq!(report.stale_entries, 1);
+        assert!(report.bytes > 0);
+
+        // stale_only clear removes it; a current entry would survive.
+        let removed = clear_cache(&dir, true).unwrap();
+        assert_eq!(removed.entries, 1);
+        assert_eq!(scan_cache(&dir).unwrap().entries, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_all_removes_current_entries_too() {
+        let dir = temp_dir("clearall");
+        let store = ArtifactStore::with_disk(&dir);
+        store.put(StageKey(1), Artifact::Stage4(Arc::new(Stage4Result::default())));
+        store.put(StageKey(2), Artifact::Stage4(Arc::new(Stage4Result::default())));
+        assert_eq!(scan_cache(&dir).unwrap().entries, 2);
+        let removed = clear_cache(&dir, false).unwrap();
+        assert_eq!(removed.entries, 2);
+        assert_eq!(removed.stale_entries, 0);
+        assert_eq!(scan_cache(&dir).unwrap().entries, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_of_missing_dir_is_empty() {
+        let dir = temp_dir("missing");
+        let report = scan_cache(&dir).unwrap();
+        assert_eq!(report, CacheReport::default());
+    }
+
+    #[test]
+    fn key_hasher_separates_labels_fields_and_order() {
+        let mut a = KeyHasher::new("stage1");
+        a.push_u64(5);
+        let mut b = KeyHasher::new("stage2");
+        b.push_u64(5);
+        assert_ne!(a.finish(), b.finish(), "label is domain-separating");
+
+        let mut c = KeyHasher::new("x");
+        c.push_str("ab");
+        c.push_str("c");
+        let mut d = KeyHasher::new("x");
+        d.push_str("a");
+        d.push_str("bc");
+        assert_ne!(c.finish(), d.finish(), "length prefix prevents aliasing");
+
+        let mut e = KeyHasher::new("x");
+        e.push_u64(1);
+        e.push_u64(2);
+        let mut f = KeyHasher::new("x");
+        f.push_u64(2);
+        f.push_u64(1);
+        assert_ne!(e.finish(), f.finish(), "order matters");
+    }
+
+    #[test]
+    fn interner_dedups() {
+        let a = intern("some-file.cpp".to_string());
+        let b = intern("some-file.cpp".to_string());
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -24,12 +24,15 @@
 //! Values are plain `u64`; boolean fields take `0`/`1`. The full list
 //! is in [`SWEEPABLE_FIELDS`].
 
+use std::path::PathBuf;
+
 use cuda_driver::{CudaResult, GpuApp};
 use gpu_sim::Ns;
 
 use crate::json::Json;
 use crate::par::{effective_jobs, try_par_map};
-use crate::pipeline::{run_ffm, FfmConfig, FfmReport};
+use crate::pipeline::{run_ffm_with_store, FfmConfig, FfmReport};
+use crate::store::{ArtifactStore, StoreStats};
 use crate::telemetry;
 
 /// One sweep dimension: a config field path and the values it takes.
@@ -56,6 +59,56 @@ pub enum AxisLayout {
     Paired,
 }
 
+/// Where sweep-level stage artifacts live (see [`crate::ArtifactStore`]).
+///
+/// Cells that share upstream configuration reuse each other's stage
+/// outputs through the store; `Off` recomputes every stage of every
+/// cell from scratch. The mode never affects the produced
+/// [`SweepMatrix`] or its JSON — only how much work is repeated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheMode {
+    /// No memoization: every cell runs its full pipeline.
+    Off,
+    /// Artifacts are shared in memory for the duration of the sweep.
+    Memory,
+    /// Memory sharing plus a persistent on-disk layer under the given
+    /// directory, so a later sweep (or another shard of this one) can
+    /// start warm.
+    Disk(PathBuf),
+}
+
+/// One deterministic slice of a sweep grid, for distributing a sweep
+/// across processes or machines: shard `k` of `n` (1-based `k`) keeps
+/// exactly the cells whose global index `i` satisfies `i % n == k - 1`.
+///
+/// Round-robin assignment keeps each shard's workload representative of
+/// the whole grid (contiguous blocks would give one shard all the
+/// expensive corner of the space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// 1-based shard number, `1 ..= n`.
+    pub k: usize,
+    /// Total shard count, `>= 1`.
+    pub n: usize,
+}
+
+impl Shard {
+    pub fn new(k: usize, n: usize) -> Result<Self, String> {
+        if n == 0 {
+            return Err("shard count n must be >= 1".to_string());
+        }
+        if k == 0 || k > n {
+            return Err(format!("shard k must be in 1..={n}, got {k}"));
+        }
+        Ok(Self { k, n })
+    }
+
+    /// Does this shard own global cell index `i`?
+    pub fn contains(&self, i: usize) -> bool {
+        i % self.n == self.k - 1
+    }
+}
+
 /// A declarative sweep: base configuration plus axes.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
@@ -69,11 +122,22 @@ pub struct SweepSpec {
     /// `0` = auto via `DIOGENES_JOBS` / core count, `1` = fully
     /// sequential on the caller's thread.
     pub jobs: usize,
+    /// Stage-artifact memoization across cells.
+    pub cache: CacheMode,
+    /// Run only this slice of the grid (`None` = the whole grid).
+    pub shard: Option<Shard>,
 }
 
 impl SweepSpec {
     pub fn new(base: FfmConfig) -> Self {
-        Self { base, axes: Vec::new(), layout: AxisLayout::Cartesian, jobs: 0 }
+        Self {
+            base,
+            axes: Vec::new(),
+            layout: AxisLayout::Cartesian,
+            jobs: 0,
+            cache: CacheMode::Memory,
+            shard: None,
+        }
     }
 
     /// Add an axis (builder style).
@@ -91,6 +155,25 @@ impl SweepSpec {
     /// Worker-count override (0 = auto).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Disable stage-artifact memoization entirely.
+    pub fn no_cache(mut self) -> Self {
+        self.cache = CacheMode::Off;
+        self
+    }
+
+    /// Persist stage artifacts on disk under `dir` (and share them in
+    /// memory during the sweep).
+    pub fn disk_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache = CacheMode::Disk(dir.into());
+        self
+    }
+
+    /// Restrict the sweep to one round-robin slice of the grid.
+    pub fn with_shard(mut self, shard: Shard) -> Self {
+        self.shard = Some(shard);
         self
     }
 
@@ -170,6 +253,10 @@ pub struct SweepPoint {
 /// The measured outcome of one grid cell.
 #[derive(Debug, Clone)]
 pub struct SweepCell {
+    /// Global cell index in the full (unsharded) grid, in expansion
+    /// order. Shard documents carry it so merging can reassemble the
+    /// exact unsharded cell order.
+    pub index: usize,
     /// `(field path, value)` per axis, in axis order.
     pub assignment: Vec<(String, u64)>,
     /// Stage 1 baseline execution time under this configuration.
@@ -189,9 +276,10 @@ pub struct SweepCell {
 }
 
 impl SweepCell {
-    fn from_report(assignment: Vec<(String, u64)>, r: &FfmReport) -> Self {
+    fn from_report(index: usize, assignment: Vec<(String, u64)>, r: &FfmReport) -> Self {
         let a = &r.analysis;
         Self {
+            index,
             assignment,
             baseline_exec_ns: a.baseline_exec_ns,
             total_benefit_ns: a.total_benefit_ns(),
@@ -215,15 +303,29 @@ pub struct SweepSummary {
     pub max_overhead: Option<usize>,
 }
 
-/// The complete result of a sweep over one application.
+/// The complete result of a sweep over one application (or of one shard
+/// of it).
 #[derive(Debug)]
 pub struct SweepMatrix {
-    pub app_name: &'static str,
+    pub app_name: String,
     pub workload: String,
     pub axes: Vec<Axis>,
     pub layout: AxisLayout,
+    /// Size of the full unsharded grid. Equals `cells.len()` unless
+    /// this matrix is a shard.
+    pub total_cells: usize,
+    /// `Some` when this matrix holds only one slice of the grid.
+    pub shard: Option<Shard>,
+    /// Cells in global-index order (a shard's subsequence of it).
     pub cells: Vec<SweepCell>,
+    /// Argmin/argmax over `cells` — i.e. over the shard, when sharded.
+    /// Values are positions in `cells`, which for an unsharded run
+    /// coincide with global indices.
     pub summary: SweepSummary,
+    /// Artifact-store hit/miss counters for this sweep, when a cache
+    /// was active. Diagnostic only — never serialized into the sweep
+    /// document (it varies with cache temperature and job count).
+    pub cache_stats: Option<StoreStats>,
 }
 
 impl SweepMatrix {
@@ -267,14 +369,48 @@ where
 /// Execute a sweep: expand the spec, run every cell's full FFM pipeline
 /// on the shared pool, and tabulate the matrix.
 ///
-/// Spec errors (unknown field path, bad value, mismatched paired axes)
-/// are reported as `Err(String)`; the first failing cell's
-/// [`cuda_driver::CudaError`] is rendered into the same error string.
+/// Creates the artifact store named by [`SweepSpec::cache`] and
+/// delegates to [`run_sweep_with_store`]. Spec errors (unknown field
+/// path, bad value, mismatched paired axes, bad shard) are reported as
+/// `Err(String)`; the first failing cell's [`cuda_driver::CudaError`]
+/// is rendered into the same error string.
 pub fn run_sweep(app: &dyn GpuApp, spec: &SweepSpec) -> Result<SweepMatrix, String> {
+    match &spec.cache {
+        CacheMode::Off => run_sweep_with_store(app, spec, None),
+        CacheMode::Memory => {
+            let store = ArtifactStore::in_memory();
+            run_sweep_with_store(app, spec, Some(&store))
+        }
+        CacheMode::Disk(dir) => {
+            let store = ArtifactStore::with_disk(dir.clone());
+            run_sweep_with_store(app, spec, Some(&store))
+        }
+    }
+}
+
+/// [`run_sweep`] against a caller-provided artifact store (or none).
+///
+/// Exposed so benchmarks and tests can measure cold vs. warm behaviour
+/// against one store instance and read its counters afterwards.
+pub fn run_sweep_with_store(
+    app: &dyn GpuApp,
+    spec: &SweepSpec,
+    store: Option<&ArtifactStore>,
+) -> Result<SweepMatrix, String> {
     let _sweep_span = telemetry::span_detail("run_sweep", || app.name().to_string());
+    if let Some(s) = spec.shard {
+        // Re-validate: the struct is plain-old-data, so a hand-built
+        // (not `Shard::new`) value could smuggle in k > n.
+        Shard::new(s.k, s.n)?;
+    }
     let points = spec.expand()?;
+    let total_cells = points.len();
     let jobs = effective_jobs(spec.jobs);
-    let indexed: Vec<(usize, SweepPoint)> = points.into_iter().enumerate().collect();
+    let indexed: Vec<(usize, SweepPoint)> = points
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| spec.shard.is_none_or(|s| s.contains(*i)))
+        .collect();
     let cells = run_fleet(indexed, jobs, |(i, p): (usize, SweepPoint)| -> CudaResult<SweepCell> {
         let _cell_span = telemetry::span_detail("sweep.cell", || {
             let axes: Vec<String> = p.assignment.iter().map(|(k, v)| format!("{k}={v}")).collect();
@@ -284,19 +420,22 @@ pub fn run_sweep(app: &dyn GpuApp, spec: &SweepSpec) -> Result<SweepMatrix, Stri
         // budget; nested fan-out shares the same pool, and `jobs = 1`
         // keeps everything on this thread.
         let cfg = FfmConfig { jobs, ..p.cfg };
-        let report = run_ffm(app, &cfg)?;
+        let report = run_ffm_with_store(app, &cfg, store)?;
         telemetry::counter_add("sweep.cells_completed", 1);
-        Ok(SweepCell::from_report(p.assignment, &report))
+        Ok(SweepCell::from_report(i, p.assignment, &report))
     })
     .map_err(|e| format!("sweep cell failed: {e}"))?;
     let summary = SweepMatrix::summarize(&cells);
     Ok(SweepMatrix {
-        app_name: app.name(),
+        app_name: app.name().to_string(),
         workload: app.workload(),
         axes: spec.axes.clone(),
         layout: spec.layout,
+        total_cells,
+        shard: spec.shard,
         cells,
         summary,
+        cache_stats: store.map(|s| s.stats()),
     })
 }
 
@@ -312,6 +451,7 @@ pub fn sweep_to_json(m: &SweepMatrix) -> Json {
     };
     let cell_json = |c: &SweepCell| {
         Json::obj([
+            ("cell", Json::Int(c.index as i128)),
             (
                 "assignment",
                 Json::Obj(
@@ -329,8 +469,12 @@ pub fn sweep_to_json(m: &SweepMatrix) -> Json {
         ])
     };
     let opt = |i: Option<usize>| i.map(|i| Json::Int(i as i128)).unwrap_or(Json::Null);
+    let shard_json = match m.shard {
+        None => Json::Null,
+        Some(s) => Json::obj([("k", Json::Int(s.k as i128)), ("n", Json::Int(s.n as i128))]),
+    };
     Json::obj([
-        ("app", Json::Str(m.app_name.to_string())),
+        ("app", Json::Str(m.app_name.clone())),
         ("workload", Json::Str(m.workload.clone())),
         (
             "layout",
@@ -343,6 +487,8 @@ pub fn sweep_to_json(m: &SweepMatrix) -> Json {
             ),
         ),
         ("axes", Json::Arr(m.axes.iter().map(axis_json).collect())),
+        ("total_cells", Json::Int(m.total_cells as i128)),
+        ("shard", shard_json),
         ("cells", Json::Arr(m.cells.iter().map(cell_json).collect())),
         (
             "summary",
@@ -354,6 +500,148 @@ pub fn sweep_to_json(m: &SweepMatrix) -> Json {
             ]),
         ),
     ])
+}
+
+/// Merge shard documents (parsed `SWEEP_*.shard-K-of-N.json` files)
+/// back into the document an unsharded run would have produced —
+/// byte-identically, once rendered with the same writer.
+///
+/// Validates that every document describes the same sweep (app,
+/// workload, layout, axes, `total_cells`), that each is a shard
+/// artifact with a consistent `n`, no duplicated `k`, and that the
+/// union of cells covers every global index exactly once. The summary
+/// is recomputed over the merged cells; because JSON numbers round-trip
+/// exactly through [`Json`], the recomputed argmin/argmax matches what
+/// the unsharded run computed from the in-memory floats.
+pub fn merge_sweep_docs(docs: &[Json]) -> Result<Json, String> {
+    if docs.is_empty() {
+        return Err("no shard documents to merge".to_string());
+    }
+    let first = &docs[0];
+    for key in ["app", "workload", "layout", "axes", "total_cells"] {
+        if first.get(key).is_none() {
+            return Err(format!("shard document 0 is missing {key:?}"));
+        }
+        for (i, d) in docs.iter().enumerate().skip(1) {
+            if d.get(key) != first.get(key) {
+                return Err(format!("shard document {i} disagrees with document 0 on {key:?}"));
+            }
+        }
+    }
+    let total = first
+        .get("total_cells")
+        .and_then(Json::as_i128)
+        .filter(|&t| t >= 0)
+        .ok_or("total_cells is not a non-negative integer")? as usize;
+
+    let mut shard_n: Option<i128> = None;
+    let mut seen_k: Vec<i128> = Vec::new();
+    for (i, d) in docs.iter().enumerate() {
+        let shard = d.get("shard").ok_or(format!("shard document {i} is missing \"shard\""))?;
+        if matches!(shard, Json::Null) {
+            return Err(format!(
+                "document {i} is not a shard artifact (\"shard\" is null); \
+                 merging already-complete sweeps is not meaningful"
+            ));
+        }
+        let k = shard.get("k").and_then(Json::as_i128);
+        let n = shard.get("n").and_then(Json::as_i128);
+        let (Some(k), Some(n)) = (k, n) else {
+            return Err(format!("document {i} has a malformed \"shard\" object"));
+        };
+        match shard_n {
+            None => shard_n = Some(n),
+            Some(expect) if n != expect => {
+                return Err(format!(
+                    "document {i} is a shard of {n}, but earlier documents are shards of {expect}"
+                ));
+            }
+            _ => {}
+        }
+        if seen_k.contains(&k) {
+            return Err(format!("shard {k}/{n} appears more than once"));
+        }
+        seen_k.push(k);
+    }
+
+    // Gather cells from all shards and restore global order.
+    let mut cells: Vec<(usize, Json)> = Vec::with_capacity(total);
+    for (i, d) in docs.iter().enumerate() {
+        let arr = d
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or(format!("document {i} has no \"cells\" array"))?;
+        for cell in arr {
+            let idx = cell
+                .get("cell")
+                .and_then(Json::as_i128)
+                .filter(|&c| c >= 0)
+                .ok_or(format!("document {i} has a cell without a \"cell\" index"))?;
+            cells.push((idx as usize, cell.clone()));
+        }
+    }
+    cells.sort_by_key(|(i, _)| *i);
+    if cells.len() != total {
+        return Err(format!(
+            "merged shards hold {} cells but the grid has {total}; \
+             a shard is missing or extra",
+            cells.len()
+        ));
+    }
+    for (pos, (idx, _)) in cells.iter().enumerate() {
+        if *idx != pos {
+            return Err(format!(
+                "cell coverage is broken at global index {pos} (found index {idx}); \
+                 duplicate or missing shard cells"
+            ));
+        }
+    }
+    let cells: Vec<Json> = cells.into_iter().map(|(_, c)| c).collect();
+
+    // Recompute the summary over the full grid. Shard-local summaries
+    // are discarded: their argmins only saw a slice.
+    let int_of = |c: &Json, key: &str| -> Result<i128, String> {
+        c.get(key).and_then(Json::as_i128).ok_or(format!("cell is missing integer {key:?}"))
+    };
+    let float_of = |c: &Json, key: &str| -> Result<f64, String> {
+        c.get(key).and_then(Json::as_f64).ok_or(format!("cell is missing number {key:?}"))
+    };
+    let mut benefit: Vec<i128> = Vec::with_capacity(cells.len());
+    let mut overhead: Vec<f64> = Vec::with_capacity(cells.len());
+    for c in &cells {
+        benefit.push(int_of(c, "total_benefit_ns")?);
+        overhead.push(float_of(c, "collection_overhead_factor")?);
+    }
+    fn arg<T: PartialOrd + Copy>(xs: &[T], better: fn(T, T) -> bool) -> Json {
+        let mut best: Option<usize> = None;
+        for (i, &x) in xs.iter().enumerate() {
+            match best {
+                None => best = Some(i),
+                Some(b) if better(x, xs[b]) => best = Some(i),
+                _ => {}
+            }
+        }
+        best.map(|i| Json::Int(i as i128)).unwrap_or(Json::Null)
+    }
+
+    Ok(Json::obj([
+        ("app", first.get("app").unwrap().clone()),
+        ("workload", first.get("workload").unwrap().clone()),
+        ("layout", first.get("layout").unwrap().clone()),
+        ("axes", first.get("axes").unwrap().clone()),
+        ("total_cells", Json::Int(total as i128)),
+        ("shard", Json::Null),
+        ("cells", Json::Arr(cells)),
+        (
+            "summary",
+            Json::obj([
+                ("min_benefit_cell", arg(&benefit, |a, b| a < b)),
+                ("max_benefit_cell", arg(&benefit, |a, b| a > b)),
+                ("min_overhead_cell", arg(&overhead, |a, b| a < b)),
+                ("max_overhead_cell", arg(&overhead, |a, b| a > b)),
+            ]),
+        ),
+    ]))
 }
 
 /// Every sweepable field path, for `--list-fields` style help output.
@@ -395,6 +683,51 @@ fn as_bool(field: &str, value: u64) -> Result<bool, String> {
         1 => Ok(true),
         _ => Err(format!("field {field:?} is boolean; use 0 or 1, got {value}")),
     }
+}
+
+/// Read one `section.field` value from a configuration — the exact
+/// inverse of [`set_field`] (booleans read back as `0`/`1`). The stage
+/// engine keys artifacts on the fields a stage declares, read through
+/// this single accessor, so the keyed value and the swept value can
+/// never diverge.
+pub fn get_field(cfg: &FfmConfig, field: &str) -> Result<u64, String> {
+    Ok(match field {
+        "cost.driver_call_ns" => cfg.cost.driver_call_ns,
+        "cost.kernel_launch_ns" => cfg.cost.kernel_launch_ns,
+        "cost.transfer_setup_ns" => cfg.cost.transfer_setup_ns,
+        "cost.pageable_bw_bytes_per_us" => cfg.cost.pageable_bw_bytes_per_us,
+        "cost.pinned_bw_bytes_per_us" => cfg.cost.pinned_bw_bytes_per_us,
+        "cost.dtod_bw_bytes_per_us" => cfg.cost.dtod_bw_bytes_per_us,
+        "cost.transfer_latency_ns" => cfg.cost.transfer_latency_ns,
+        "cost.sync_entry_ns" => cfg.cost.sync_entry_ns,
+        "cost.alloc_base_ns" => cfg.cost.alloc_base_ns,
+        "cost.alloc_per_mib_ns" => cfg.cost.alloc_per_mib_ns,
+        "cost.free_base_ns" => cfg.cost.free_base_ns,
+        "cost.memset_bw_bytes_per_us" => cfg.cost.memset_bw_bytes_per_us,
+        "cost.memset_base_ns" => cfg.cost.memset_base_ns,
+        "cost.query_call_ns" => cfg.cost.query_call_ns,
+        "cost.probe_overhead_ns" => cfg.cost.probe_overhead_ns,
+        "cost.stackwalk_frame_ns" => cfg.cost.stackwalk_frame_ns,
+        "cost.loadstore_overhead_ns" => cfg.cost.loadstore_overhead_ns,
+        "cost.hash_bw_bytes_per_us" => cfg.cost.hash_bw_bytes_per_us,
+        "cost.hash_base_ns" => cfg.cost.hash_base_ns,
+        "cost.jitter_ppm" => cfg.cost.jitter_ppm as u64,
+        "driver.free_implicit_sync" => cfg.driver.free_implicit_sync as u64,
+        "driver.memcpy_implicit_sync" => cfg.driver.memcpy_implicit_sync as u64,
+        "driver.async_dtoh_pageable_sync" => cfg.driver.async_dtoh_pageable_sync as u64,
+        "driver.memset_unified_sync" => cfg.driver.memset_unified_sync as u64,
+        "driver.unified_memset_penalty" => cfg.driver.unified_memset_penalty,
+        "driver.device_memory_bytes" => cfg.driver.device_memory_bytes,
+        "driver.private_api_discount" => cfg.driver.private_api_discount as u64,
+        "analysis.misplaced_threshold_ns" => cfg.analysis.classify.misplaced_threshold_ns,
+        "analysis.clamp_misplaced" => cfg.analysis.benefit.clamp_misplaced as u64,
+        _ => {
+            return Err(format!(
+                "unknown sweep field {field:?} (expected one of: {})",
+                SWEEPABLE_FIELDS.join(", ")
+            ))
+        }
+    })
 }
 
 /// Apply one `section.field = value` override to a configuration.
@@ -457,6 +790,18 @@ mod tests {
     }
 
     #[test]
+    fn get_field_is_the_exact_inverse_of_set_field() {
+        for field in SWEEPABLE_FIELDS {
+            let mut cfg = FfmConfig::default();
+            set_field(&mut cfg, field, 1).unwrap_or_else(|e| panic!("{field}: {e}"));
+            assert_eq!(get_field(&cfg, field).unwrap(), 1, "{field} should read back 1");
+            set_field(&mut cfg, field, 0).unwrap_or_else(|e| panic!("{field}: {e}"));
+            assert_eq!(get_field(&cfg, field).unwrap(), 0, "{field} should read back 0");
+        }
+        assert!(get_field(&FfmConfig::default(), "cost.nope").is_err());
+    }
+
+    #[test]
     fn unknown_field_and_bad_bool_are_rejected() {
         let mut cfg = FfmConfig::default();
         assert!(set_field(&mut cfg, "cost.nope", 1).is_err());
@@ -512,6 +857,7 @@ mod tests {
     #[test]
     fn summary_picks_first_extremes_deterministically() {
         let mk = |benefit: Ns, ovh: f64| SweepCell {
+            index: 0,
             assignment: vec![],
             baseline_exec_ns: 100,
             total_benefit_ns: benefit,
@@ -529,5 +875,112 @@ mod tests {
         assert_eq!(s.min_overhead, Some(1));
         assert_eq!(s.max_overhead, Some(3));
         assert_eq!(SweepMatrix::summarize(&[]).max_benefit, None);
+    }
+
+    #[test]
+    fn shard_validation_and_round_robin_slicing() {
+        assert!(Shard::new(0, 2).is_err());
+        assert!(Shard::new(3, 2).is_err());
+        assert!(Shard::new(1, 0).is_err());
+        let total = 7;
+        for n in 1..=4usize {
+            let mut covered = vec![0usize; total];
+            for k in 1..=n {
+                let s = Shard::new(k, n).unwrap();
+                for (i, slot) in covered.iter_mut().enumerate() {
+                    if s.contains(i) {
+                        *slot += 1;
+                    }
+                }
+            }
+            assert_eq!(covered, vec![1; total], "shards of {n} must partition the grid");
+        }
+        let s = Shard::new(2, 3).unwrap();
+        let mine: Vec<usize> = (0..10).filter(|&i| s.contains(i)).collect();
+        assert_eq!(mine, vec![1, 4, 7]);
+    }
+
+    /// A synthetic shard document with the given shard tag and cells.
+    fn shard_doc(shard: Json, indices: &[usize]) -> Json {
+        let cell = |i: usize| {
+            Json::obj([
+                ("cell", Json::Int(i as i128)),
+                ("total_benefit_ns", Json::Int(100 - i as i128)),
+                ("collection_overhead_factor", Json::Float(1.0 + i as f64)),
+            ])
+        };
+        Json::obj([
+            ("app", Json::Str("demo".into())),
+            ("workload", Json::Str("w".into())),
+            ("layout", Json::Str("cartesian".into())),
+            ("axes", Json::Arr(vec![])),
+            ("total_cells", Json::Int(4)),
+            ("shard", shard),
+            ("cells", Json::Arr(indices.iter().map(|&i| cell(i)).collect())),
+            ("summary", Json::Null),
+        ])
+    }
+
+    fn shard_tag(k: usize, n: usize) -> Json {
+        Json::obj([("k", Json::Int(k as i128)), ("n", Json::Int(n as i128))])
+    }
+
+    #[test]
+    fn merge_reassembles_cells_and_recomputes_summary() {
+        let a = shard_doc(shard_tag(1, 2), &[0, 2]);
+        let b = shard_doc(shard_tag(2, 2), &[1, 3]);
+        // Order of documents must not matter.
+        for docs in [[a.clone(), b.clone()], [b.clone(), a.clone()]] {
+            let merged = merge_sweep_docs(&docs).unwrap();
+            assert!(matches!(merged.get("shard"), Some(Json::Null)));
+            let cells = merged.get("cells").and_then(Json::as_arr).unwrap();
+            let order: Vec<i128> =
+                cells.iter().map(|c| c.get("cell").and_then(Json::as_i128).unwrap()).collect();
+            assert_eq!(order, vec![0, 1, 2, 3]);
+            let summary = merged.get("summary").unwrap();
+            // benefit = 100 - i (max at 0); overhead = 1 + i (max at 3).
+            assert_eq!(summary.get("max_benefit_cell").and_then(Json::as_i128), Some(0));
+            assert_eq!(summary.get("min_benefit_cell").and_then(Json::as_i128), Some(3));
+            assert_eq!(summary.get("min_overhead_cell").and_then(Json::as_i128), Some(0));
+            assert_eq!(summary.get("max_overhead_cell").and_then(Json::as_i128), Some(3));
+        }
+    }
+
+    #[test]
+    fn merge_rejects_malformed_shard_sets() {
+        let a = shard_doc(shard_tag(1, 2), &[0, 2]);
+        let b = shard_doc(shard_tag(2, 2), &[1, 3]);
+        // Missing shard.
+        assert!(merge_sweep_docs(std::slice::from_ref(&a)).unwrap_err().contains("grid has 4"));
+        // Duplicate k.
+        assert!(merge_sweep_docs(&[a.clone(), a.clone()]).unwrap_err().contains("more than once"));
+        // Mismatched n.
+        let c = shard_doc(shard_tag(1, 3), &[0, 3]);
+        assert!(merge_sweep_docs(&[c, b.clone()]).unwrap_err().contains("shards of"));
+        // Unsharded doc in the mix.
+        let full = shard_doc(Json::Null, &[0, 1, 2, 3]);
+        assert!(merge_sweep_docs(&[full]).unwrap_err().contains("not a shard artifact"));
+        // Header disagreement.
+        let mut renamed = shard_doc(shard_tag(2, 2), &[1, 3]);
+        if let Json::Obj(fields) = &mut renamed {
+            fields[0].1 = Json::Str("other".into());
+        }
+        assert!(merge_sweep_docs(&[a.clone(), renamed]).unwrap_err().contains("disagrees"));
+        // Overlapping cells (1 appears twice, 3 missing).
+        let overlap = shard_doc(shard_tag(2, 2), &[1, 1]);
+        assert!(merge_sweep_docs(&[a, overlap]).unwrap_err().contains("coverage"));
+        assert!(merge_sweep_docs(&[]).is_err());
+    }
+
+    #[test]
+    fn spec_builders_set_cache_and_shard() {
+        let spec = SweepSpec::new(FfmConfig::default());
+        assert_eq!(spec.cache, CacheMode::Memory);
+        assert!(spec.shard.is_none());
+        let spec = spec.no_cache().with_shard(Shard::new(1, 2).unwrap());
+        assert_eq!(spec.cache, CacheMode::Off);
+        assert_eq!(spec.shard, Some(Shard { k: 1, n: 2 }));
+        let spec = spec.disk_cache("/tmp/x");
+        assert_eq!(spec.cache, CacheMode::Disk(PathBuf::from("/tmp/x")));
     }
 }

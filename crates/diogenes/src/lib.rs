@@ -38,6 +38,9 @@ pub use seqfam::{
     best_subsequence, family_subsequence_benefit, family_subsequence_benefit_indexed,
     merge_sequences, FamilyEntry, SequenceFamily, SubsequenceChoice,
 };
-pub use sweep::{build_spec, default_axes, default_out_path, parse_axis_arg, run_sweep_cli};
+pub use sweep::{
+    build_spec, default_axes, default_out_path, find_shard_files, merge_shard_files,
+    parse_axis_arg, parse_shard_arg, run_sweep_cli, shard_out_path,
+};
 pub use tool::{run_diogenes, DiogenesConfig, DiogenesResult};
 pub use traceviz::chrome_trace;

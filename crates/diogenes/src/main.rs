@@ -78,15 +78,73 @@ fn usage() -> ! {
          [--view overview|sequence|fold|compare] [--fold <apiName>] [--seq N] \
          [--sub FROM TO] [--autoseq] [--autofix] [--json <path>] [--jobs N] [--profile]\n\
          \x20      diogenes sweep <app> [--scale test|paper] [--axis field=v1,v2,...]... \
-         [--paired] [--jobs N] [--out <path>] [--profile] [--list-fields]"
+         [--paired] [--jobs N] [--out <path>] [--profile] [--list-fields] \
+         [--shard K/N] [--no-cache] [--cache-dir <dir>]\n\
+         \x20      diogenes sweep <app> --merge [--in <shard.json>]... [--out <path>]\n\
+         \x20      diogenes cache [--dir <dir>] [--clear-stale] [--clear-all]"
     );
     std::process::exit(2);
+}
+
+/// `diogenes cache ...` — report the stage-artifact cache and clear
+/// stale (or all) entries. Stale = written by a different build or
+/// store schema; the engine never reads them, they only take up disk.
+fn cache_main(args: &[String]) -> ! {
+    let mut dir = "results/cache".to_string();
+    let mut clear_stale = false;
+    let mut clear_all = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dir" => {
+                i += 1;
+                dir = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--clear-stale" => clear_stale = true,
+            "--clear-all" => clear_all = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let report = if clear_all {
+        ffm_core::clear_cache(std::path::Path::new(&dir), false)
+    } else if clear_stale {
+        ffm_core::clear_cache(std::path::Path::new(&dir), true)
+    } else {
+        ffm_core::scan_cache(std::path::Path::new(&dir))
+    };
+    match report {
+        Ok(r) => {
+            let verb = if clear_all || clear_stale { "removed" } else { "holds" };
+            if clear_all {
+                println!("cache {dir}: {verb} {} entries ({} bytes)", r.entries, r.bytes);
+            } else if clear_stale {
+                println!(
+                    "cache {dir}: {verb} {} stale entries ({} bytes)",
+                    r.stale_entries, r.stale_bytes
+                );
+            } else {
+                println!(
+                    "cache {dir}: {} entries ({} bytes), {} stale ({} bytes) from other builds",
+                    r.entries, r.bytes, r.stale_entries, r.stale_bytes
+                );
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            log_error!("cache: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// `diogenes sweep <app> ...` — replay the pipeline over a configuration
 /// grid and write the matrix to `results/SWEEP_<app>.json`.
 fn sweep_main(args: &[String]) -> ! {
-    use diogenes::{build_spec, default_out_path, parse_axis_arg, run_sweep_cli};
+    use diogenes::{
+        build_spec, default_out_path, find_shard_files, merge_shard_files, parse_axis_arg,
+        parse_shard_arg, run_sweep_cli, shard_out_path,
+    };
 
     if args.iter().any(|a| a == "--list-fields") {
         for f in ffm_core::SWEEPABLE_FIELDS {
@@ -104,6 +162,11 @@ fn sweep_main(args: &[String]) -> ! {
     let mut jobs_flag: Option<usize> = None;
     let mut out_path: Option<String> = None;
     let mut profile = false;
+    let mut shard: Option<ffm_core::Shard> = None;
+    let mut merge = false;
+    let mut merge_inputs: Vec<String> = Vec::new();
+    let mut no_cache = false;
+    let mut cache_dir = "results/cache".to_string();
 
     let mut i = 1;
     while i < args.len() {
@@ -134,14 +197,78 @@ fn sweep_main(args: &[String]) -> ! {
                 i += 1;
                 out_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--shard" => {
+                i += 1;
+                let arg = args.get(i).cloned().unwrap_or_else(|| usage());
+                match parse_shard_arg(&arg) {
+                    Ok(s) => shard = Some(s),
+                    Err(e) => {
+                        log_error!("sweep: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--merge" => merge = true,
+            "--in" => {
+                i += 1;
+                merge_inputs.push(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--no-cache" => no_cache = true,
+            "--cache-dir" => {
+                i += 1;
+                cache_dir = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
             _ => usage(),
         }
         i += 1;
     }
 
+    if merge {
+        // Merge mode runs no simulation: fold shard documents back into
+        // the unsharded artifact.
+        let inputs = if merge_inputs.is_empty() {
+            find_shard_files(&app_name, "results")
+        } else {
+            merge_inputs
+        };
+        eprintln!("diogenes sweep: merging {} shard file(s)...", inputs.len());
+        match merge_shard_files(&inputs) {
+            Ok(doc) => {
+                let path = out_path.unwrap_or_else(|| default_out_path(&app_name));
+                if let Some(dir) = std::path::Path::new(&path).parent() {
+                    if !dir.as_os_str().is_empty() {
+                        let _ = std::fs::create_dir_all(dir);
+                    }
+                }
+                if let Err(e) = std::fs::write(&path, doc) {
+                    log_error!("sweep: failed to write {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("diogenes sweep: merged matrix written to {path}");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                log_error!("sweep: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     let Some(app) = make_app(&app_name, scale_paper) else { usage() };
     let (jobs, jobs_origin) = resolve_jobs(jobs_flag);
-    let spec = build_spec(axes, paired, jobs);
+    let mut spec = build_spec(axes, paired, jobs);
+    spec.cache = if no_cache {
+        ffm_core::CacheMode::Off
+    } else {
+        ffm_core::CacheMode::Disk(cache_dir.into())
+    };
+    if let Some(s) = shard {
+        spec = spec.with_shard(s);
+        if out_path.is_none() {
+            out_path = Some(shard_out_path(&app_name, s));
+        }
+    }
+    let spec = spec;
     let cell_count = match spec.expand() {
         Ok(points) => points.len(),
         Err(e) => {
@@ -149,8 +276,12 @@ fn sweep_main(args: &[String]) -> ! {
             std::process::exit(2);
         }
     };
+    let shard_note = match spec.shard {
+        Some(s) => format!(" (shard {}/{})", s.k, s.n),
+        None => String::new(),
+    };
     eprintln!(
-        "diogenes sweep: {} cells over {} ({}) [{jobs} jobs, {jobs_origin}]...",
+        "diogenes sweep: {} cells over {} ({}){shard_note} [{jobs} jobs, {jobs_origin}]...",
         cell_count,
         app.name(),
         app.workload()
@@ -165,6 +296,14 @@ fn sweep_main(args: &[String]) -> ! {
     };
     if profile {
         write_telemetry(app.name(), &app.workload(), jobs);
+    }
+    if let Some(stats) = &matrix.cache_stats {
+        eprintln!(
+            "diogenes sweep: stage cache {} hits / {} misses ({:.0}% hit rate)",
+            stats.hits(),
+            stats.misses,
+            stats.hit_rate() * 100.0
+        );
     }
     for (label, idx) in [
         ("max benefit", matrix.summary.max_benefit),
@@ -185,7 +324,7 @@ fn sweep_main(args: &[String]) -> ! {
             );
         }
     }
-    let path = out_path.unwrap_or_else(|| default_out_path(matrix.app_name));
+    let path = out_path.unwrap_or_else(|| default_out_path(&matrix.app_name));
     if let Some(dir) = std::path::Path::new(&path).parent() {
         if !dir.as_os_str().is_empty() {
             let _ = std::fs::create_dir_all(dir);
@@ -206,6 +345,9 @@ fn main() {
     }
     if args[0] == "sweep" {
         sweep_main(&args[1..]);
+    }
+    if args[0] == "cache" {
+        cache_main(&args[1..]);
     }
     let app_name = args[0].clone();
     let mut scale_paper = false;

@@ -7,9 +7,20 @@
 //! `driver.unified_memset_penalty`). With no `--axis` the default 3×3
 //! cost/driver grid below is swept. The JSON artifact is byte-identical
 //! at every `--jobs` setting.
+//!
+//! Distribution: `--shard k/n` runs one deterministic round-robin slice
+//! of the grid and writes `results/SWEEP_<app>.shard-k-of-n.json`;
+//! `--merge` folds the shard files back into the unsharded
+//! `results/SWEEP_<app>.json`, byte-identical to a single-process run.
+//! Stage artifacts are memoized across cells (on disk under
+//! `results/cache/` by default; `--no-cache` disables, `--cache-dir`
+//! redirects) — caching changes speed, never bytes.
 
 use cuda_driver::GpuApp;
-use ffm_core::{run_sweep, sweep_to_json, Axis, FfmConfig, SweepMatrix, SweepSpec};
+use ffm_core::{
+    merge_sweep_docs, run_sweep, sweep_to_json, Axis, FfmConfig, Json, Shard, SweepMatrix,
+    SweepSpec,
+};
 
 /// Parse one `--axis` argument of the form `field=v1,v2,...`.
 pub fn parse_axis_arg(arg: &str) -> Result<Axis, String> {
@@ -66,6 +77,55 @@ pub fn default_out_path(app_name: &str) -> String {
     format!("results/SWEEP_{app_name}.json")
 }
 
+/// Default artifact path for one shard of an app's sweep.
+pub fn shard_out_path(app_name: &str, shard: Shard) -> String {
+    format!("results/SWEEP_{app_name}.shard-{}-of-{}.json", shard.k, shard.n)
+}
+
+/// Parse a `--shard` argument of the form `k/n` (1-based k).
+pub fn parse_shard_arg(arg: &str) -> Result<Shard, String> {
+    let (k, n) = arg
+        .split_once('/')
+        .ok_or_else(|| format!("shard {arg:?} must look like k/n (e.g. 1/4)"))?;
+    let k = k.trim().parse::<usize>().map_err(|_| format!("shard {arg:?}: bad k"))?;
+    let n = n.trim().parse::<usize>().map_err(|_| format!("shard {arg:?}: bad n"))?;
+    Shard::new(k, n)
+}
+
+/// Find every shard artifact for `app_name` under `dir`
+/// (`SWEEP_<app>.shard-K-of-N.json`), sorted by file name.
+pub fn find_shard_files(app_name: &str, dir: &str) -> Vec<String> {
+    let prefix = format!("SWEEP_{app_name}.shard-");
+    let mut found: Vec<String> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            (name.starts_with(&prefix) && name.ends_with(".json")).then(|| format!("{dir}/{name}"))
+        })
+        .collect();
+    found.sort();
+    found
+}
+
+/// Read, validate, and merge shard artifacts into the unsharded sweep
+/// document (pretty-rendered, byte-identical to a single-process run).
+pub fn merge_shard_files(paths: &[String]) -> Result<String, String> {
+    if paths.is_empty() {
+        return Err("no shard files to merge (run with --shard k/n first)".to_string());
+    }
+    let docs: Vec<Json> = paths
+        .iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+            Json::parse(&text).map_err(|e| format!("{p}: {e}"))
+        })
+        .collect::<Result<_, String>>()?;
+    let merged = merge_sweep_docs(&docs)?;
+    Ok(merged.to_string_pretty())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +151,17 @@ mod tests {
         let spec = build_spec(Vec::new(), false, 1);
         assert_eq!(spec.axes.len(), 2);
         assert_eq!(spec.expand().unwrap().len(), 9);
+    }
+
+    #[test]
+    fn shard_args_parse_and_name_artifacts() {
+        let s = parse_shard_arg("2/4").unwrap();
+        assert_eq!((s.k, s.n), (2, 4));
+        assert_eq!(shard_out_path("als", s), "results/SWEEP_als.shard-2-of-4.json");
+        assert!(parse_shard_arg("0/4").is_err());
+        assert!(parse_shard_arg("5/4").is_err());
+        assert!(parse_shard_arg("2").is_err());
+        assert!(parse_shard_arg("a/b").is_err());
     }
 
     #[test]

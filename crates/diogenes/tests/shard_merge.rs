@@ -1,0 +1,94 @@
+//! Regression: any `--shard k/n` decomposition of a sweep, merged back
+//! with `--merge`, must reproduce the unsharded document byte-for-byte
+//! — at every job count. The shards run as genuinely separate sweeps
+//! (separate stores, separate matrices), exactly as separate processes
+//! or machines would run them.
+
+use diogenes::merge_shard_files;
+use diogenes_apps::{AlsConfig, CumfAls};
+use ffm_core::{run_sweep, sweep_to_json, FfmConfig, Json, Shard, SweepSpec};
+
+fn app() -> CumfAls {
+    let mut cfg = AlsConfig::test_scale();
+    cfg.iters = 3;
+    CumfAls::new(cfg)
+}
+
+fn spec(jobs: usize) -> SweepSpec {
+    SweepSpec::new(FfmConfig::default())
+        .axis("cost.free_base_ns", vec![1_000, 2_000, 4_000])
+        .axis("driver.unified_memset_penalty", vec![1, 30, 60])
+        .with_jobs(jobs)
+}
+
+fn render(jobs: usize, shard: Option<Shard>) -> String {
+    let mut s = spec(jobs);
+    if let Some(sh) = shard {
+        s = s.with_shard(sh);
+    }
+    let m = run_sweep(&app(), &s).expect("sweep runs");
+    sweep_to_json(&m).to_string_pretty()
+}
+
+#[test]
+fn every_shard_decomposition_merges_back_byte_identically() {
+    let unsharded = render(1, None);
+    for n in [2, 3] {
+        for jobs in [1, 4] {
+            let docs: Vec<Json> = (1..=n)
+                .map(|k| {
+                    let doc = render(jobs, Some(Shard::new(k, n).unwrap()));
+                    Json::parse(&doc).expect("shard doc parses")
+                })
+                .collect();
+            let merged = ffm_core::merge_sweep_docs(&docs).expect("merge");
+            assert_eq!(
+                merged.to_string_pretty(),
+                unsharded,
+                "n={n} jobs={jobs}: merged != unsharded"
+            );
+        }
+    }
+}
+
+#[test]
+fn shards_partition_the_grid() {
+    let n = 3;
+    let mut seen = Vec::new();
+    for k in 1..=n {
+        let doc = render(1, Some(Shard::new(k, n).unwrap()));
+        let parsed = Json::parse(&doc).unwrap();
+        assert_eq!(parsed.get("total_cells").and_then(Json::as_i128), Some(9));
+        let shard = parsed.get("shard").unwrap();
+        assert_eq!(shard.get("k").and_then(Json::as_i128), Some(k as i128));
+        let cells = parsed.get("cells").and_then(Json::as_arr).unwrap();
+        for c in cells {
+            seen.push(c.get("cell").and_then(Json::as_i128).unwrap());
+        }
+    }
+    seen.sort_unstable();
+    assert_eq!(seen, (0..9).collect::<Vec<i128>>(), "shards must cover each cell exactly once");
+}
+
+#[test]
+fn merge_cli_helper_reports_missing_and_duplicate_shards() {
+    // File-level helper: point it at real shard files on disk.
+    let dir = std::env::temp_dir().join(format!("diogenes-shardtest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let s1 = dir.join("s1.json");
+    let s2 = dir.join("s2.json");
+    std::fs::write(&s1, render(1, Some(Shard::new(1, 2).unwrap()))).unwrap();
+    std::fs::write(&s2, render(1, Some(Shard::new(2, 2).unwrap()))).unwrap();
+    let both =
+        merge_shard_files(&[s1.to_str().unwrap().into(), s2.to_str().unwrap().into()]).unwrap();
+    assert_eq!(both, render(1, None));
+
+    let missing = merge_shard_files(&[s1.to_str().unwrap().into()]).unwrap_err();
+    assert!(missing.contains("grid has"), "unexpected error: {missing}");
+    let dup =
+        merge_shard_files(&[s1.to_str().unwrap().into(), s1.to_str().unwrap().into()]).unwrap_err();
+    assert!(dup.contains("more than once"), "unexpected error: {dup}");
+    assert!(merge_shard_files(&[]).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}

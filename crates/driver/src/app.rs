@@ -31,6 +31,37 @@ pub trait GpuApp: Send + Sync {
     fn workload(&self) -> String {
         String::new()
     }
+
+    /// Digest of every input that determines the driver-call sequence
+    /// this app will issue. Caching layers key stage artifacts on this,
+    /// so **two apps with equal digests must behave identically**.
+    ///
+    /// The default hashes `name()` + `workload()`. That is only correct
+    /// when the workload string fully describes the configuration; apps
+    /// with config fields the workload text omits must override this and
+    /// digest every field (see [`digest_fields`]).
+    fn input_digest(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(self.name().len() + 1 + self.workload().len());
+        bytes.extend_from_slice(self.name().as_bytes());
+        bytes.push(0); // separator: ("ab","c") != ("a","bc")
+        bytes.extend_from_slice(self.workload().as_bytes());
+        gpu_sim::fnv1a_64(&bytes)
+    }
+}
+
+/// Helper for [`GpuApp::input_digest`] overrides: digest an app name plus
+/// every config field as labeled `u64`s. Labels keep reordered or
+/// same-valued fields from colliding.
+pub fn digest_fields(name: &str, fields: &[(&str, u64)]) -> u64 {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(name.as_bytes());
+    for (label, value) in fields {
+        bytes.push(0);
+        bytes.extend_from_slice(label.as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(&value.to_le_bytes());
+    }
+    gpu_sim::fnv1a_64(&bytes)
 }
 
 /// Run an application uninstrumented and return its execution time.

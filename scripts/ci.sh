@@ -31,6 +31,12 @@ cargo test -q -p diogenes --test sequential_no_threads
 echo "== telemetry determinism (profiling on/off bit-identical reports) =="
 cargo test -q -p diogenes --test telemetry_determinism
 
+echo "== cache determinism (no-cache/cold/warm bit-identical SWEEP json) =="
+cargo test -q -p diogenes --test cache_determinism
+
+echo "== shard merge (--shard k/n + --merge == unsharded, byte-identical) =="
+cargo test -q -p diogenes --test shard_merge
+
 echo "== telemetry smoke (--profile writes a valid self-trace) =="
 cargo build --release -p diogenes
 ./target/release/diogenes als --profile --jobs 4 > /dev/null
@@ -50,6 +56,22 @@ assert any(w['thread'].startswith('ffm-pool-') for w in d['workers']), \
 print(f"telemetry smoke ok: {len(d['traceEvents'])} trace events, "
       f"{len(d['workers'])} worker tracks, {len(d['counters'])} counters")
 EOF
+
+echo "== sweep shard/merge smoke (CLI round trip, byte-identical) =="
+SMOKE=$(mktemp -d)
+./target/release/diogenes sweep als --jobs 2 --no-cache \
+    --out "$SMOKE/full.json" > /dev/null 2>&1
+./target/release/diogenes sweep als --jobs 2 --cache-dir "$SMOKE/cache" \
+    --shard 1/2 --out "$SMOKE/s1.json" > /dev/null 2>&1
+./target/release/diogenes sweep als --jobs 2 --cache-dir "$SMOKE/cache" \
+    --shard 2/2 --out "$SMOKE/s2.json" > /dev/null 2>&1
+./target/release/diogenes sweep als --merge --in "$SMOKE/s1.json" \
+    --in "$SMOKE/s2.json" --out "$SMOKE/merged.json" > /dev/null 2>&1
+cmp "$SMOKE/full.json" "$SMOKE/merged.json"
+./target/release/diogenes cache --dir "$SMOKE/cache" | grep -q "entries"
+./target/release/diogenes cache --dir "$SMOKE/cache" --clear-all > /dev/null
+rm -rf "$SMOKE"
+echo "shard/merge smoke ok"
 
 echo "== property tests (extern-testing feature) =="
 cargo test -q --workspace --features extern-testing
