@@ -119,7 +119,7 @@ pub fn analyze(
     let single_point = single_point_groups(&graph, &benefit);
     let api_folds = fold_on_api(&graph, &benefit);
     let sequences = find_sequences(&graph, jobs);
-    let mut by_api: Vec<(ApiFn, Ns)> = savings_by_api(&graph, &benefit).into_iter().collect();
+    let mut by_api: Vec<(ApiFn, Ns)> = savings_by_api(&graph, &benefit);
     by_api.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     Analysis {
         graph,

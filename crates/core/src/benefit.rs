@@ -18,9 +18,29 @@
 //! Misplaced synchronizations recover up to their sync-to-first-use gap;
 //! unnecessary transfers recover their CPU launch cost.
 
+//! ### Implementation note: the non-mutating columnar pass
+//!
+//! Fig. 5 is phrased as graph surgery — zero this duration, grow that
+//! one — evaluated front to back. [`BenefitPass`] computes the identical
+//! result in one O(n) scan over an immutable [`GraphCols`] because every
+//! mutation the algorithm performs is invisible to the quantities later
+//! steps read:
+//!
+//! - `EstMaxGPUIdle` windows look strictly *forward* of the node under
+//!   evaluation, and the only `CWork`/`CLaunch` durations the algorithm
+//!   ever changes (zeroed transfers) lie at already-visited indices — so
+//!   the original prefix sums stay exact for every window.
+//! - Synchronization *growth* only ever lands on `CWait` nodes, which
+//!   `EstMaxGPUIdle` never counts; the pass tracks accumulated growth in
+//!   a scratch column (`extra`) consulted when that sync is itself
+//!   evaluated, and resets only the touched entries afterwards.
+//!
+//! Steady state (same pass reused across evaluations), the pass
+//! allocates nothing.
+
 use gpu_sim::Ns;
 
-use crate::graph::ExecGraph;
+use crate::graph::{ExecGraph, GraphCols};
 use crate::problem::Problem;
 
 /// Estimator options.
@@ -117,11 +137,26 @@ fn remove_memory_transfer(g: &mut ExecGraph, node: usize) -> Ns {
 /// `ExpectedBenefit` from Fig. 5: evaluate every problematic node, in
 /// program order, against the progressively mutated graph.
 ///
-/// Inherently sequential: each removal shrinks later nodes' durations,
-/// so node `i+1` is scored against the graph as mutated by nodes
-/// `0..=i`. Parallel evaluation lives in the immutable-graph paths
-/// instead ([`crate::find_sequences`] over a [`crate::GraphIndex`]).
+/// Compatibility wrapper over [`BenefitPass`]: builds the columnar view
+/// and a fresh scratch per call. Callers evaluating many graphs (or one
+/// graph many times) should hold a [`BenefitPass`] and [`GraphCols`]
+/// themselves to make repeat evaluations allocation-free.
 pub fn expected_benefit(graph: &ExecGraph, opts: &BenefitOptions) -> BenefitReport {
+    let cols = graph.columns();
+    let mut pass = BenefitPass::new();
+    let summary = pass.run(&cols, opts);
+    BenefitReport {
+        total_ns: summary.total_ns,
+        predicted_exec_ns: summary.predicted_exec_ns,
+        per_node: pass.take_per_node(),
+    }
+}
+
+/// The retired clone-and-mutate implementation of Fig. 5, kept verbatim
+/// as the differential-testing reference for [`BenefitPass`] and as the
+/// "before" baseline in `bench_analysis`. Semantically identical to
+/// [`expected_benefit`]; do not use in new code.
+pub fn expected_benefit_reference(graph: &ExecGraph, opts: &BenefitOptions) -> BenefitReport {
     let mut g = graph.clone();
     let mut per_node = Vec::new();
     for idx in 0..g.nodes.len() {
@@ -137,6 +172,118 @@ pub fn expected_benefit(graph: &ExecGraph, opts: &BenefitOptions) -> BenefitRepo
     let total_ns = per_node.iter().map(|b| b.benefit_ns).sum();
     let predicted_exec_ns = g.nodes.iter().map(|n| n.duration).sum();
     BenefitReport { per_node, total_ns, predicted_exec_ns }
+}
+
+/// Aggregate results of one [`BenefitPass::run`]; the per-node estimates
+/// stay in the pass's reusable buffer ([`BenefitPass::per_node`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenefitSummary {
+    pub total_ns: Ns,
+    pub predicted_exec_ns: Ns,
+}
+
+/// Reusable, allocation-free evaluator for the Fig. 5 estimator over a
+/// columnar graph (see the module-level implementation note for the
+/// equivalence argument). Holds the growth scratch column and the
+/// per-node output buffer; steady state — repeat runs over graphs of the
+/// same size — performs zero heap allocations.
+#[derive(Debug, Default)]
+pub struct BenefitPass {
+    /// Accumulated synchronization growth per node (the `duration +=`
+    /// edits of Fig. 5, tracked out-of-band).
+    extra: Vec<Ns>,
+    /// Indices where `extra` is nonzero, for O(touched) reset.
+    touched: Vec<usize>,
+    per_node: Vec<NodeBenefit>,
+}
+
+impl BenefitPass {
+    pub fn new() -> BenefitPass {
+        BenefitPass::default()
+    }
+
+    /// Evaluate the estimator over `cols`, filling the internal per-node
+    /// buffer and returning the aggregates.
+    pub fn run(&mut self, cols: &GraphCols, opts: &BenefitOptions) -> BenefitSummary {
+        let n = cols.len();
+        // Reset scratch from the previous run (touched entries only),
+        // then make sure the growth column covers this graph.
+        for &idx in &self.touched {
+            self.extra[idx] = 0;
+        }
+        self.touched.clear();
+        if self.extra.len() < n {
+            self.extra.resize(n, 0);
+        }
+        self.per_node.clear();
+
+        let ix = &cols.index;
+        let mut total_ns: Ns = 0;
+        let mut predicted_exec_ns: Ns = cols.total_duration;
+        for idx in 0..n {
+            let problem = cols.problem[idx];
+            if problem == Problem::None {
+                continue;
+            }
+            // Effective duration = original + growth received from
+            // earlier removals (Fig. 5's mutated duration).
+            let dur = cols.duration[idx] + self.extra[idx];
+            let benefit_ns = match problem {
+                Problem::None => unreachable!(),
+                Problem::UnnecessarySync => match ix.next_sync_after(idx) {
+                    Some(next_sync) => {
+                        let est_max_gpu_idle = ix.cpu_time_between(idx, next_sync);
+                        let est = est_max_gpu_idle.min(dur);
+                        let growth = dur - est;
+                        if growth > 0 {
+                            if self.extra[next_sync] == 0 {
+                                self.touched.push(next_sync);
+                            }
+                            self.extra[next_sync] += growth;
+                            predicted_exec_ns += growth;
+                        }
+                        predicted_exec_ns -= dur;
+                        est
+                    }
+                    None => {
+                        // Final rendezvous: bounded by the CPU tail.
+                        let tail = ix.cpu_time_between(idx, n);
+                        predicted_exec_ns -= dur;
+                        tail.min(dur)
+                    }
+                },
+                Problem::MisplacedSync => {
+                    let first_use = cols.first_use[idx];
+                    // The sync keeps `dur - min(first_use, dur)`.
+                    predicted_exec_ns -= first_use.min(dur);
+                    if opts.clamp_misplaced {
+                        first_use.min(dur)
+                    } else {
+                        first_use
+                    }
+                }
+                Problem::UnnecessaryTransfer => {
+                    predicted_exec_ns -= dur;
+                    dur
+                }
+            };
+            total_ns += benefit_ns;
+            self.per_node.push(NodeBenefit { node: idx, problem, benefit_ns });
+        }
+        BenefitSummary { total_ns, predicted_exec_ns }
+    }
+
+    /// Per-node estimates from the last [`BenefitPass::run`], in graph
+    /// order.
+    pub fn per_node(&self) -> &[NodeBenefit] {
+        &self.per_node
+    }
+
+    /// Move the per-node buffer out (for building an owned
+    /// [`BenefitReport`]); the pass stays reusable.
+    pub fn take_per_node(&mut self) -> Vec<NodeBenefit> {
+        std::mem::take(&mut self.per_node)
+    }
 }
 
 #[cfg(test)]
@@ -279,6 +426,76 @@ mod tests {
         assert!(r.per_node.is_empty());
         assert_eq!(r.total_ns, 0);
         assert_eq!(r.predicted_exec_ns, g.exec_time_ns);
+    }
+
+    /// Deterministic pseudo-random graphs covering every problem kind in
+    /// every adjacency pattern, for differential testing of the columnar
+    /// pass against the retired mutating implementation.
+    fn scrambled(len: usize, seed: u64) -> ExecGraph {
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut t = 0;
+        let nodes: Vec<Node> = (0..len)
+            .map(|i| {
+                let (ntype, problem) = match next() % 8 {
+                    0 | 1 => (CWait, UnnecessarySync),
+                    2 => (CWait, None),
+                    3 => (CWait, MisplacedSync),
+                    4 => (CLaunch, UnnecessaryTransfer),
+                    5 => (CLaunch, Problem::None),
+                    _ => (CWork, Problem::None),
+                };
+                let duration = next() % 50;
+                let n = Node {
+                    ntype,
+                    stime: t,
+                    duration,
+                    problem,
+                    first_use_ns: (problem == MisplacedSync).then(|| next() % 60),
+                    call_seq: Some(i),
+                    instance: Some(OpInstance { sig: i as u64, occ: 0 }),
+                    folded_sig: Some(i as u64),
+                    api: Option::None,
+                    site: Some(SourceLoc::new("t.cpp", i as u32 + 1)),
+                    is_transfer: problem == UnnecessaryTransfer,
+                };
+                t += duration;
+                n
+            })
+            .collect();
+        let exec: Ns = nodes.iter().map(|n| n.duration).sum();
+        ExecGraph { nodes, exec_time_ns: exec, baseline_exec_ns: exec }
+    }
+
+    /// The columnar pass must reproduce the mutating reference exactly —
+    /// per node, totals, and predicted time — for both clamp modes, and
+    /// a reused pass must not leak scratch state between graphs.
+    #[test]
+    fn columnar_pass_matches_mutating_reference() {
+        let mut pass = BenefitPass::new();
+        for (len, seed) in [(0, 1), (1, 2), (7, 3), (93, 4), (512, 5), (513, 6), (64, 7)] {
+            let g = scrambled(len, seed);
+            let cols = g.columns();
+            for clamp in [true, false] {
+                let opts = BenefitOptions { clamp_misplaced: clamp };
+                let reference = expected_benefit_reference(&g, &opts);
+                // Fresh-pass wrapper path.
+                let wrapped = expected_benefit(&g, &opts);
+                assert_eq!(wrapped.per_node, reference.per_node, "len={len} clamp={clamp}");
+                assert_eq!(wrapped.total_ns, reference.total_ns);
+                assert_eq!(wrapped.predicted_exec_ns, reference.predicted_exec_ns);
+                // Reused-pass path (scratch carried over from prior runs).
+                let summary = pass.run(&cols, &opts);
+                assert_eq!(pass.per_node(), &reference.per_node[..], "reused len={len}");
+                assert_eq!(summary.total_ns, reference.total_ns);
+                assert_eq!(summary.predicted_exec_ns, reference.predicted_exec_ns);
+            }
+        }
     }
 
     #[test]

@@ -49,7 +49,7 @@ use crate::records::{Stage1Result, Stage2Result, Stage3Result, Stage4Result};
 use crate::stages::{
     merge_stage3, run_stage1, run_stage2, run_stage3_hash, run_stage3_sync, run_stage4,
 };
-use crate::store::{Artifact, ArtifactKind, ArtifactStore, KeyHasher, StageKey};
+use crate::store::{Artifact, ArtifactKind, ArtifactStore, Claim, KeyHasher, StageKey};
 use crate::sweep::get_field;
 use crate::telemetry;
 use instrument::Discovery;
@@ -377,6 +377,14 @@ fn execute(
 }
 
 /// Consult the store, execute on a miss, record telemetry counters.
+///
+/// On a miss against a disk-backed store, a best-effort cross-process
+/// claim (`store.try_claim`) deduplicates the compute: the winner stakes
+/// a `.claim` file and executes; losers wait for the winner's entry to
+/// land instead of recomputing. Claims never gate correctness — a waiter
+/// whose peer crashes (stale claim) or times out falls through to
+/// compute the artifact itself, and `put` keeps its last-write-wins
+/// semantics, so the worst case is exactly the old duplicated effort.
 fn obtain(
     id: StageId,
     key: StageKey,
@@ -386,17 +394,29 @@ fn obtain(
     store: Option<&ArtifactStore>,
     dep_artifacts: &[Artifact],
 ) -> CudaResult<Artifact> {
+    let mut claim = None;
     if let Some(store) = store {
         if let Some(artifact) = store.get(key, id.kind()) {
             telemetry::counter_add(hit_counter(id), 1);
             return Ok(artifact);
         }
         telemetry::counter_add(miss_counter(id), 1);
+        match store.try_claim(key, id.kind()) {
+            Some(Claim::Acquired(guard)) => claim = Some(guard),
+            Some(Claim::Held) => {
+                if let Some(artifact) = store.wait_for_claimed(key, id.kind()) {
+                    return Ok(artifact);
+                }
+                // The holder died or ran out the TTL without delivering.
+            }
+            None => {}
+        }
     }
     let artifact = execute(id, app, cfg, jobs, dep_artifacts)?;
     if let Some(store) = store {
         store.put(key, artifact.clone());
     }
+    drop(claim);
     Ok(artifact)
 }
 
@@ -722,5 +742,31 @@ mod tests {
             assert_eq!(out.stage2.calls.len(), plain.stage2.calls.len());
             assert_eq!(out.analysis.problems.len(), plain.analysis.problems.len());
         }
+    }
+
+    #[test]
+    fn foreign_claims_cannot_wedge_the_pipeline() {
+        // A crashed shard process left claim files on every stage key
+        // (fresh mtimes, so a TTL-honoring store would wait on each).
+        // With a zero TTL the engine breaks every claim, computes, and
+        // produces the same output as an uncontended run.
+        let dir =
+            std::env::temp_dir().join(format!("diogenes-engine-claim-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = FfmConfig { jobs: 1, ..FfmConfig::default() };
+        for (id, key) in StageId::ALL.iter().zip(plan_keys(&Tiny, &cfg)) {
+            let rival = ArtifactStore::with_disk(&dir);
+            match rival.try_claim(key, id.kind()) {
+                Some(Claim::Acquired(g)) => std::mem::forget(g),
+                other => panic!("rival claim on {id:?} not acquired: held={}", other.is_some()),
+            }
+        }
+        let store = ArtifactStore::with_disk(&dir).with_claim_ttl(std::time::Duration::ZERO);
+        let plain = run_stages(&Tiny, &cfg, 1, None).expect("plain");
+        let out = run_stages(&Tiny, &cfg, 1, Some(&store)).expect("claimed run");
+        assert_eq!(out.stage1.exec_time_ns, plain.stage1.exec_time_ns);
+        assert_eq!(out.analysis.problems.len(), plain.analysis.problems.len());
+        assert_eq!(store.stats().puts, STAGE_COUNT as u64, "every stage computed locally");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -9,14 +9,15 @@ use crate::pipeline::FfmReport;
 
 fn loc(site: Option<gpu_sim::SourceLoc>) -> Json {
     match site {
-        Some(s) => Json::obj([("file", s.file.into()), ("line", Json::Int(s.line as i128))]),
+        Some(s) => Json::obj([("file", Json::Static(s.file)), ("line", Json::Int(s.line as i128))]),
         None => Json::Null,
     }
 }
 
 fn group_json(g: &ProblemGroup) -> Json {
     Json::obj([
-        ("label", g.label.clone().into()),
+        // Interned label, resolved at serialization time (Json::Sym).
+        ("label", g.label.into()),
         ("benefit_ns", Json::Int(g.benefit_ns as i128)),
         ("members", g.nodes.len().into()),
         ("sync_issues", g.sync_issues.into()),
@@ -34,9 +35,9 @@ fn sequence_json(s: &Sequence) -> Json {
             Json::arr(s.entries.iter().map(|e| {
                 Json::obj([
                     ("index", e.index.into()),
-                    ("api", e.api.map(|a| a.name().into()).unwrap_or(Json::Null)),
+                    ("api", e.api.map(|a| Json::Static(a.name())).unwrap_or(Json::Null)),
                     ("site", loc(e.site)),
-                    ("problem", e.problem.label().into()),
+                    ("problem", Json::Static(e.problem.label())),
                 ])
             })),
         ),
@@ -53,9 +54,9 @@ pub fn analysis_to_json(a: &Analysis) -> Json {
             "problems",
             Json::arr(a.problems.iter().map(|p| {
                 Json::obj([
-                    ("api", p.api.map(|x| x.name().into()).unwrap_or(Json::Null)),
+                    ("api", p.api.map(|x| Json::Static(x.name())).unwrap_or(Json::Null)),
                     ("site", loc(p.site)),
-                    ("problem", p.problem.label().into()),
+                    ("problem", Json::Static(p.problem.label())),
                     ("benefit_ns", Json::Int(p.benefit_ns as i128)),
                     ("benefit_percent", Json::Float(a.percent(p.benefit_ns))),
                 ])
@@ -79,14 +80,14 @@ pub fn analysis_to_json(a: &Analysis) -> Json {
 /// Serialize a full pipeline report.
 pub fn report_to_json(r: &FfmReport) -> Json {
     Json::obj([
-        ("app", r.app_name.into()),
+        ("app", Json::Static(r.app_name)),
         ("workload", r.workload.clone().into()),
-        ("discovery", Json::obj([("sync_function", r.discovery.sync_fn.symbol().into())])),
+        ("discovery", Json::obj([("sync_function", Json::Static(r.discovery.sync_fn.symbol()))])),
         (
             "stages",
             Json::arr(r.stages.iter().map(|s| {
                 Json::obj([
-                    ("name", s.name.into()),
+                    ("name", Json::Static(s.name)),
                     ("exec_ns", Json::Int(s.exec_ns as i128)),
                     ("overhead_factor", Json::Float(s.overhead_factor)),
                 ])

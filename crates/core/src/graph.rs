@@ -159,6 +159,30 @@ impl ExecGraph {
         self.nodes.iter().filter(|n| n.ntype == NType::CWait).map(|n| n.duration).sum()
     }
 
+    /// Build the columnar (structure-of-arrays) view of this graph: the
+    /// per-field columns the analysis hot paths scan, plus the prefix-sum
+    /// index. One allocation set per graph; the benefit and grouping
+    /// passes then run against it with zero per-call allocation (their
+    /// working state lives in reusable scratch structs).
+    ///
+    /// Like [`ExecGraph::index`], valid only while the graph's node
+    /// types and durations stay unchanged.
+    pub fn columns(&self) -> GraphCols {
+        let mut duration = Vec::with_capacity(self.nodes.len());
+        let mut problem = Vec::with_capacity(self.nodes.len());
+        let mut first_use = Vec::with_capacity(self.nodes.len());
+        let mut total_duration: Ns = 0;
+        for n in &self.nodes {
+            duration.push(n.duration);
+            problem.push(n.problem);
+            // `None` and `Some(0)` are equivalent to the estimator
+            // (`first_use_ns.unwrap_or(0)`), so the column stores plain Ns.
+            first_use.push(n.first_use_ns.unwrap_or(0));
+            total_duration += n.duration;
+        }
+        GraphCols { duration, problem, first_use, total_duration, index: self.index() }
+    }
+
     /// Build the O(1)-query index for this graph. Valid only while the
     /// graph's node types and durations stay unchanged — estimators that
     /// mutate the graph (the Fig. 5 growth model) must keep using the
@@ -213,6 +237,106 @@ impl GraphIndex {
     pub fn next_sync_after(&self, idx: usize) -> Option<usize> {
         let next = self.next_sync[idx];
         (next < self.next_sync.len()).then_some(next)
+    }
+
+    /// Number of nodes the index covers.
+    pub fn len(&self) -> usize {
+        self.next_sync.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.next_sync.is_empty()
+    }
+}
+
+/// Columnar (structure-of-arrays) view of an immutable [`ExecGraph`]:
+/// the fields the analysis hot paths actually scan, stored as flat
+/// columns so a benefit or grouping pass touches 8–16 bytes per node
+/// instead of the full ~100-byte [`Node`]. Built once per graph via
+/// [`ExecGraph::columns`].
+#[derive(Debug, Clone)]
+pub struct GraphCols {
+    /// Out-edge durations, per node.
+    pub duration: Vec<Ns>,
+    /// Problem classifications, per node.
+    pub problem: Vec<Problem>,
+    /// Sync-to-first-use gaps; `0` where the graph had `None` (the two
+    /// are equivalent to the Fig. 5 estimator).
+    pub first_use: Vec<Ns>,
+    /// Sum of all durations (the mutated-graph sum starts here).
+    pub total_duration: Ns,
+    /// Prefix-sum / next-sync index over the same graph.
+    pub index: GraphIndex,
+}
+
+impl GraphCols {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.duration.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.duration.is_empty()
+    }
+}
+
+/// Compressed-sparse-row adjacency: a `row → members` mapping flattened
+/// into two plain vectors (`offsets`, one slot per row plus a sentinel,
+/// and the concatenated `items`). The grouping passes use it for their
+/// group → member-node tables; `rebuild_from_pairs` is a scratch-buffer
+/// API — repeated rebuilds on same-shaped inputs reuse the backing
+/// storage and allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    items: Vec<usize>,
+}
+
+impl Csr {
+    pub fn new() -> Csr {
+        Csr::default()
+    }
+
+    /// Rebuild from `(row, item)` pairs via a counting sort. Stable: items
+    /// of one row keep their order in `pairs`, so group member lists stay
+    /// byte-identical to the old insertion-order map-based grouping.
+    pub fn rebuild_from_pairs(&mut self, rows: usize, pairs: &[(u32, usize)]) {
+        self.offsets.clear();
+        self.offsets.resize(rows + 1, 0);
+        for &(row, _) in pairs {
+            self.offsets[row as usize + 1] += 1;
+        }
+        for r in 0..rows {
+            self.offsets[r + 1] += self.offsets[r];
+        }
+        self.items.clear();
+        self.items.resize(pairs.len(), 0);
+        // Scatter using a per-row cursor that starts at the row offset;
+        // restore the offsets afterwards by shifting back one slot.
+        let mut cursor = std::mem::take(&mut self.offsets);
+        for &(row, item) in pairs {
+            self.items[cursor[row as usize]] = item;
+            cursor[row as usize] += 1;
+        }
+        // cursor[r] now equals the *end* of row r, i.e. offsets[r + 1];
+        // rebuild offsets by prepending 0 and dropping the sentinel shift.
+        for r in (1..=rows).rev() {
+            cursor[r] = cursor[r - 1];
+        }
+        if rows > 0 {
+            cursor[0] = 0;
+        }
+        self.offsets = cursor;
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Members of row `r`, in insertion order.
+    pub fn row(&self, r: usize) -> &[usize] {
+        &self.items[self.offsets[r]..self.offsets[r + 1]]
     }
 }
 
@@ -335,6 +459,54 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn columns_mirror_nodes() {
+        let trace = Stage2Result {
+            exec_time_ns: 200,
+            calls: vec![
+                call(0, ApiFn::CudaFree, 0, 20, 15, false),
+                call(1, ApiFn::CudaLaunchKernel, 30, 40, 0, true),
+                call(2, ApiFn::CudaDeviceSynchronize, 90, 120, 30, false),
+            ],
+        };
+        let mut g = ExecGraph::from_trace(&trace, 200);
+        g.nodes[1].first_use_ns = Some(7);
+        let cols = g.columns();
+        assert_eq!(cols.len(), g.nodes.len());
+        let mut total = 0;
+        for (i, n) in g.nodes.iter().enumerate() {
+            assert_eq!(cols.duration[i], n.duration);
+            assert_eq!(cols.problem[i], n.problem);
+            assert_eq!(cols.first_use[i], n.first_use_ns.unwrap_or(0));
+            total += n.duration;
+        }
+        assert_eq!(cols.total_duration, total);
+        assert_eq!(cols.index.len(), g.nodes.len());
+        for i in 0..g.nodes.len() {
+            assert_eq!(cols.index.next_sync_after(i), g.next_sync_after(i));
+        }
+    }
+
+    #[test]
+    fn csr_rebuild_is_stable_and_reusable() {
+        let mut csr = Csr::new();
+        // Rows out of order, duplicates, an empty row in the middle.
+        let pairs = [(2u32, 10), (0, 11), (2, 12), (0, 13), (3, 14)];
+        csr.rebuild_from_pairs(4, &pairs);
+        assert_eq!(csr.rows(), 4);
+        assert_eq!(csr.row(0), &[11, 13]);
+        assert_eq!(csr.row(1), &[] as &[usize]);
+        assert_eq!(csr.row(2), &[10, 12]);
+        assert_eq!(csr.row(3), &[14]);
+        // Rebuild with different shape reuses the struct.
+        csr.rebuild_from_pairs(1, &[(0, 9)]);
+        assert_eq!(csr.rows(), 1);
+        assert_eq!(csr.row(0), &[9]);
+        // Degenerate: no rows at all.
+        csr.rebuild_from_pairs(0, &[]);
+        assert_eq!(csr.rows(), 0);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use std::fmt::Write as _;
 
 /// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Json {
     Null,
     Bool(bool),
@@ -24,8 +24,38 @@ pub enum Json {
     Int(i128),
     Float(f64),
     Str(String),
+    /// A borrowed string with program lifetime (API names, problem
+    /// labels, interned file paths). Serializes exactly like [`Json::Str`]
+    /// but costs no allocation to build.
+    Static(&'static str),
+    /// An interned symbol ([`crate::intern::Sym`]), resolved to its text
+    /// at write time. Lets exporters stream straight from columnar
+    /// analysis structures that store `u32` symbol ids.
+    Sym(crate::intern::Sym),
     Arr(Vec<Json>),
     Obj(Vec<(String, Json)>),
+}
+
+/// Equality is by *content*: `Str`, `Static` and `Sym` values holding the
+/// same text compare equal, matching the byte-identity contract (all
+/// three serialize identically, and the parser always produces `Str`).
+impl PartialEq for Json {
+    fn eq(&self, other: &Json) -> bool {
+        match (self.text(), other.text()) {
+            (Some(a), Some(b)) => return a == b,
+            (None, None) => {}
+            _ => return false,
+        }
+        match (self, other) {
+            (Json::Null, Json::Null) => true,
+            (Json::Bool(a), Json::Bool(b)) => a == b,
+            (Json::Int(a), Json::Int(b)) => a == b,
+            (Json::Float(a), Json::Float(b)) => a == b,
+            (Json::Arr(a), Json::Arr(b)) => a == b,
+            (Json::Obj(a), Json::Obj(b)) => a == b,
+            _ => false,
+        }
+    }
 }
 
 impl Json {
@@ -93,8 +123,15 @@ impl Json {
     }
 
     pub fn as_str(&self) -> Option<&str> {
+        self.text()
+    }
+
+    /// Text content of any string-like variant.
+    fn text(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
+            Json::Static(s) => Some(s),
+            Json::Sym(sym) => Some(sym.resolve()),
             _ => None,
         }
     }
@@ -128,6 +165,8 @@ impl Json {
                 }
             }
             Json::Str(s) => escape_into(s, out),
+            Json::Static(s) => escape_into(s, out),
+            Json::Sym(sym) => escape_into(sym.resolve(), out),
             Json::Arr(items) => {
                 if items.is_empty() {
                     out.push_str("[]");
@@ -436,6 +475,12 @@ impl From<String> for Json {
     }
 }
 
+impl From<crate::intern::Sym> for Json {
+    fn from(sym: crate::intern::Sym) -> Json {
+        Json::Sym(sym)
+    }
+}
+
 impl From<u64> for Json {
     fn from(v: u64) -> Json {
         Json::Int(v as i128)
@@ -588,6 +633,29 @@ mod tests {
         let reparsed = Json::parse("2").unwrap();
         assert_eq!(reparsed, Json::Int(2));
         assert_eq!(reparsed.to_string_compact(), f.to_string_compact());
+    }
+
+    #[test]
+    fn string_like_variants_are_interchangeable() {
+        let sym = crate::intern::intern("als.cpp");
+        let as_sym = Json::Sym(sym);
+        let as_static = Json::Static("als.cpp");
+        let as_str = Json::Str("als.cpp".to_string());
+        // Identical bytes out...
+        assert_eq!(as_sym.to_string_compact(), "\"als.cpp\"");
+        assert_eq!(as_static.to_string_compact(), as_str.to_string_compact());
+        // ...content-based equality across variants (the parser always
+        // yields Str, so round-trip comparisons depend on this)...
+        assert_eq!(as_sym, as_str);
+        assert_eq!(as_static, as_str);
+        assert_eq!(Json::parse("\"als.cpp\"").unwrap(), as_sym);
+        assert_ne!(as_sym, Json::Static("other.cpp"));
+        assert_ne!(as_static, Json::Null);
+        // ...and uniform accessor behavior.
+        assert_eq!(as_sym.as_str(), Some("als.cpp"));
+        assert_eq!(as_static.as_str(), Some("als.cpp"));
+        // Escaping applies to borrowed variants too.
+        assert_eq!(Json::Static("a\"b").to_string_compact(), "\"a\\\"b\"");
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod engine;
 pub mod export;
 pub mod graph;
 pub mod grouping;
+pub mod intern;
 pub mod json;
 pub mod log;
 pub mod par;
@@ -75,15 +76,20 @@ pub mod sweep;
 pub mod telemetry;
 
 pub use analysis::{analyze, Analysis, AnalysisConfig, ProblemOp};
-pub use benefit::{expected_benefit, BenefitOptions, BenefitReport, NodeBenefit};
+pub use benefit::{
+    expected_benefit, expected_benefit_reference, BenefitOptions, BenefitPass, BenefitReport,
+    BenefitSummary, NodeBenefit,
+};
 pub use engine::{declared_fields, deps, plan_keys, run_stages, stage_key, EngineOut, StageId};
 pub use export::{analysis_to_json, report_to_json};
-pub use graph::{ExecGraph, GraphIndex, NType, Node};
+pub use graph::{Csr, ExecGraph, GraphCols, GraphIndex, NType, Node};
 pub use grouping::{
     carry_forward_benefit, carry_forward_indexed, carry_forward_masked, find_sequences,
     fold_on_api, folded_function_groups, savings_by_api, single_point_groups, subsequence_benefit,
-    subsequence_benefit_indexed, GroupKind, ProblemGroup, SeqEntry, Sequence,
+    subsequence_benefit_indexed, GroupKind, GroupScratch, GroupView, ProblemGroup, SeqEntry,
+    Sequence,
 };
+pub use intern::{intern, intern_static, Sym};
 pub use json::Json;
 pub use par::{effective_jobs, join, par_map, try_par_map, Pool, JOBS_ENV};
 pub use pipeline::{

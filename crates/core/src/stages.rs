@@ -286,7 +286,7 @@ pub fn run_stage3_sync(
     );
 
     let s_probe = state.clone();
-    let w_probe = watcher.clone();
+    let w_probe = watcher;
     FunctionProbe::install(
         &mut cuda,
         stage3_spec(s1, false),
@@ -524,7 +524,7 @@ pub fn run_stage4(
     watcher.borrow_mut().set_site_filter(s3.first_use_sites.iter().copied().collect());
 
     let s_probe = state.clone();
-    let w_probe = watcher.clone();
+    let w_probe = watcher;
     FunctionProbe::install(
         &mut cuda,
         stage3_spec(s1, false), // same interception set, minus hashing work

@@ -25,6 +25,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 use cuda_driver::{ApiFn, InternalFn};
 use gpu_sim::{Digest, Direction, Frame, SourceLoc, StackTrace, WaitReason};
@@ -44,8 +45,12 @@ pub const SCHEMA_VERSION: u32 = 1;
 const MAGIC: &[u8; 8] = b"DIOGART1";
 
 /// Extension for on-disk artifacts; cache hygiene only ever touches
-/// `*.art` files.
+/// `*.art` (and `*.claim`) files.
 const EXT: &str = "art";
+
+/// Extension for claim files (`<entry>.claim` next to the entry they
+/// guard); see [`ArtifactStore::try_claim`].
+const CLAIM_EXT: &str = "claim";
 
 // ---------------------------------------------------------------------------
 // Keys
@@ -217,6 +222,7 @@ impl StoreStats {
 pub struct ArtifactStore {
     mem: Mutex<HashMap<StageKey, Artifact>>,
     disk: Option<PathBuf>,
+    claim_ttl: Duration,
     mem_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
@@ -229,6 +235,7 @@ impl ArtifactStore {
         ArtifactStore {
             mem: Mutex::new(HashMap::new()),
             disk: None,
+            claim_ttl: DEFAULT_CLAIM_TTL,
             mem_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -242,6 +249,13 @@ impl ArtifactStore {
         let mut s = ArtifactStore::in_memory();
         s.disk = Some(dir.into());
         s
+    }
+
+    /// Override how long a peer's claim file is honored before being
+    /// treated as abandoned (a crashed or wedged holder).
+    pub fn with_claim_ttl(mut self, ttl: Duration) -> Self {
+        self.claim_ttl = ttl;
+        self
     }
 
     pub fn disk_dir(&self) -> Option<&Path> {
@@ -290,6 +304,111 @@ impl ArtifactStore {
             puts: self.puts.load(Ordering::Relaxed),
         }
     }
+
+    /// Announce an intent to compute `key` so concurrent workers (threads
+    /// of this process or shard processes on the same cache directory)
+    /// don't duplicate the effort. Returns `None` when the store has no
+    /// disk layer or the filesystem refuses — claims are strictly
+    /// best-effort and never affect correctness: the caller computes
+    /// without one and last-write-wins semantics stay unchanged.
+    ///
+    /// A claim is a `<entry>.claim` file created with `O_EXCL`, so exactly
+    /// one worker wins the race. The payload (pid + build tag) is for
+    /// humans debugging a wedged cache; liveness is judged purely by the
+    /// file's age against the store's claim TTL — a claim older than the
+    /// TTL belonged to a crashed or hung holder and is broken on sight.
+    pub fn try_claim(&self, key: StageKey, kind: ArtifactKind) -> Option<Claim> {
+        let dir = self.disk.as_deref()?;
+        let path = claim_path(dir, key, kind);
+        if std::fs::create_dir_all(dir).is_err() {
+            return None;
+        }
+        for attempt in 0..2 {
+            match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    let _ = writeln!(f, "pid={}\nbuild={:016x}", std::process::id(), build_tag());
+                    return Some(Claim::Acquired(ClaimGuard { path }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if attempt == 0 && claim_age(&path).is_none_or(|age| age > self.claim_ttl) {
+                        // Stale (or vanished mid-race): break it and retry
+                        // the exclusive create once.
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                    return Some(Claim::Held);
+                }
+                Err(_) => return None,
+            }
+        }
+        Some(Claim::Held)
+    }
+
+    /// Wait for a peer's claimed computation of `key` to land. Polls the
+    /// disk entry until it appears (promoted into memory and returned as
+    /// a disk hit), the claim file disappears or goes stale, or the claim
+    /// TTL elapses — whichever comes first. `None` means the peer never
+    /// delivered; the caller should compute the artifact itself.
+    pub fn wait_for_claimed(&self, key: StageKey, kind: ArtifactKind) -> Option<Artifact> {
+        let dir = self.disk.as_deref()?;
+        let entry = entry_path(dir, key, kind);
+        let claim = claim_path(dir, key, kind);
+        let poll = (self.claim_ttl / 50).clamp(Duration::from_millis(1), Duration::from_millis(25));
+        let deadline = std::time::Instant::now() + self.claim_ttl;
+        loop {
+            if let Some(a) = read_entry(&entry, kind) {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.mem.lock().unwrap().insert(key, a.clone());
+                return Some(a);
+            }
+            let gone = match claim_age(&claim) {
+                None => true,                      // released without delivering
+                Some(age) => age > self.claim_ttl, // holder crashed or hung
+            };
+            if gone || std::time::Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(poll);
+        }
+    }
+}
+
+/// How long a claim file is honored by default before being treated as
+/// abandoned. Generous relative to any single stage's compute time so a
+/// slow-but-alive holder is never preempted, yet bounded so a crashed
+/// shard can't wedge the cache directory forever.
+pub const DEFAULT_CLAIM_TTL: Duration = Duration::from_secs(30);
+
+/// Outcome of [`ArtifactStore::try_claim`].
+pub enum Claim {
+    /// This worker owns the claim; compute and `put`, then drop the guard.
+    Acquired(ClaimGuard),
+    /// Another live worker is already computing this artifact.
+    Held,
+}
+
+/// RAII release of a claim file: dropping the guard (success or panic)
+/// deletes the claim so waiters stop polling immediately instead of
+/// running out the TTL.
+pub struct ClaimGuard {
+    path: PathBuf,
+}
+
+impl Drop for ClaimGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn claim_path(dir: &Path, key: StageKey, kind: ArtifactKind) -> PathBuf {
+    dir.join(format!("{}-{}.{CLAIM_EXT}", kind.tag(), key.hex()))
+}
+
+/// Age of a claim file, `None` if it does not exist (or mtime is
+/// unreadable, which we treat the same way: nothing to honor).
+fn claim_age(path: &Path) -> Option<Duration> {
+    let modified = std::fs::metadata(path).ok()?.modified().ok()?;
+    Some(modified.elapsed().unwrap_or(Duration::ZERO))
 }
 
 fn entry_path(dir: &Path, key: StageKey, kind: ArtifactKind) -> PathBuf {
@@ -405,9 +524,19 @@ pub fn scan_cache(dir: &Path) -> std::io::Result<CacheReport> {
 }
 
 /// Delete cache entries; returns what was removed. With `stale_only`,
-/// keeps entries the current binary can still read.
+/// keeps entries the current binary can still read. Claim files left by
+/// crashed workers are swept in either mode (the TTL already makes them
+/// harmless; this is disk hygiene) — they are not counted as entries.
 pub fn clear_cache(dir: &Path, stale_only: bool) -> std::io::Result<CacheReport> {
     let mut removed = CacheReport::default();
+    if dir.exists() {
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.is_file() && path.extension().and_then(|e| e.to_str()) == Some(CLAIM_EXT) {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
     for path in cache_files(dir)? {
         let len = std::fs::metadata(&path)?.len();
         let current = std::fs::read(&path).map(|b| entry_header_is_current(&b)).unwrap_or(false);
@@ -557,22 +686,6 @@ impl Dec<'_> {
     }
 }
 
-/// `SourceLoc.file` is `&'static str`; decoded names are interned (leaked
-/// once per distinct name, ever) so artifacts loaded from disk satisfy the
-/// same lifetime. Simulated apps have a handful of file names, so the
-/// leak is bounded and tiny.
-fn intern(s: String) -> &'static str {
-    static INTERNED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
-    let set = INTERNED.get_or_init(|| Mutex::new(HashSet::new()));
-    let mut set = set.lock().unwrap();
-    if let Some(&existing) = set.get(s.as_str()) {
-        return existing;
-    }
-    let leaked: &'static str = Box::leak(s.into_boxed_str());
-    set.insert(leaked);
-    leaked
-}
-
 fn internal_fn_index(f: InternalFn) -> u8 {
     InternalFn::all().iter().position(|&g| g == f).expect("InternalFn::all is exhaustive") as u8
 }
@@ -632,7 +745,11 @@ fn enc_loc(e: &mut Enc, loc: &SourceLoc) {
 }
 
 fn dec_loc(d: &mut Dec<'_>) -> Result<SourceLoc, String> {
-    let file = intern(d.str()?);
+    // `SourceLoc.file` is `&'static str`; decoded names go through the
+    // global symbol table (`crate::intern`) so artifacts loaded from disk
+    // share one address space with live traces — and with the analysis
+    // layer's interned site labels.
+    let file = crate::intern::intern(&d.str()?).resolve();
     let line = d.u32()?;
     Ok(SourceLoc { file, line })
 }
@@ -1100,7 +1217,7 @@ mod tests {
         let payload = encode_payload(&Artifact::Stage2(Arc::new(sample_stage2()))).unwrap();
         assert!(decode_payload(ArtifactKind::Stage2, &payload[..payload.len() - 1]).is_err());
         assert!(decode_payload(ArtifactKind::Stage2, &[]).is_err());
-        let mut extra = payload.clone();
+        let mut extra = payload;
         extra.push(0);
         assert!(decode_payload(ArtifactKind::Stage2, &extra).is_err(), "trailing bytes rejected");
     }
@@ -1263,8 +1380,123 @@ mod tests {
 
     #[test]
     fn interner_dedups() {
-        let a = intern("some-file.cpp".to_string());
-        let b = intern("some-file.cpp".to_string());
-        assert!(std::ptr::eq(a, b));
+        let a = crate::intern::intern("some-file.cpp");
+        let b = crate::intern::intern("some-file.cpp");
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.resolve(), b.resolve()));
+    }
+
+    #[test]
+    fn claim_is_exclusive_and_released_on_drop() {
+        let dir = temp_dir("claim-excl");
+        let store = ArtifactStore::with_disk(&dir);
+        let key = StageKey(0xc1a1);
+        let guard = match store.try_claim(key, ArtifactKind::Stage1) {
+            Some(Claim::Acquired(g)) => g,
+            _ => panic!("first claim should acquire"),
+        };
+        // The claim file exists and carries the pid + build tag payload.
+        let path = claim_path(&dir, key, ArtifactKind::Stage1);
+        let payload = std::fs::read_to_string(&path).unwrap();
+        assert!(payload.contains(&format!("pid={}", std::process::id())), "{payload}");
+        assert!(payload.contains(&format!("build={:016x}", build_tag())), "{payload}");
+        // A second claimant (same or another process) sees it held.
+        assert!(matches!(store.try_claim(key, ArtifactKind::Stage1), Some(Claim::Held)));
+        // Releasing the guard frees the key for the next claimant.
+        drop(guard);
+        assert!(!path.exists(), "drop removes the claim file");
+        assert!(matches!(store.try_claim(key, ArtifactKind::Stage1), Some(Claim::Acquired(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memory_only_store_never_claims() {
+        let store = ArtifactStore::in_memory();
+        assert!(store.try_claim(StageKey(1), ArtifactKind::Stage1).is_none());
+        assert!(store.wait_for_claimed(StageKey(1), ArtifactKind::Stage1).is_none());
+    }
+
+    #[test]
+    fn stale_claim_is_broken() {
+        let dir = temp_dir("claim-stale");
+        // TTL zero: any existing claim is immediately abandoned.
+        let store = ArtifactStore::with_disk(&dir).with_claim_ttl(Duration::ZERO);
+        let key = StageKey(0x57a1e);
+        let holder = ArtifactStore::with_disk(&dir);
+        let _abandoned = match holder.try_claim(key, ArtifactKind::Stage2) {
+            Some(Claim::Acquired(g)) => g,
+            _ => panic!("holder should acquire"),
+        };
+        // The zero-TTL store treats the live claim as stale, breaks it,
+        // and acquires its own.
+        assert!(matches!(store.try_claim(key, ArtifactKind::Stage2), Some(Claim::Acquired(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn waiter_picks_up_the_holders_entry() {
+        let dir = temp_dir("claim-wait");
+        let store = ArtifactStore::with_disk(&dir).with_claim_ttl(Duration::from_secs(5));
+        let key = StageKey(0xacd7);
+        let holder = ArtifactStore::with_disk(&dir);
+        let guard = match holder.try_claim(key, ArtifactKind::Stage2) {
+            Some(Claim::Acquired(g)) => g,
+            _ => panic!("holder should acquire"),
+        };
+        assert!(matches!(store.try_claim(key, ArtifactKind::Stage2), Some(Claim::Held)));
+        // The holder delivers from another thread while the waiter polls.
+        let deliver = std::thread::spawn({
+            let dir = dir.clone();
+            move || {
+                std::thread::sleep(Duration::from_millis(20));
+                let holder = ArtifactStore::with_disk(&dir);
+                holder.put(key, Artifact::Stage2(Arc::new(sample_stage2())));
+                drop(guard);
+            }
+        });
+        let got = store.wait_for_claimed(key, ArtifactKind::Stage2);
+        deliver.join().unwrap();
+        match got {
+            Some(Artifact::Stage2(s)) => assert_eq!(s.exec_time_ns, sample_stage2().exec_time_ns),
+            other => panic!("expected the delivered stage2, got {:?}", other.map(|a| a.kind())),
+        }
+        assert_eq!(store.stats().disk_hits, 1, "delivery counts as a disk hit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn waiter_gives_up_when_the_holder_vanishes() {
+        let dir = temp_dir("claim-vanish");
+        let store = ArtifactStore::with_disk(&dir).with_claim_ttl(Duration::from_secs(5));
+        let key = StageKey(0xdead);
+        let holder = ArtifactStore::with_disk(&dir);
+        let guard = match holder.try_claim(key, ArtifactKind::Stage1) {
+            Some(Claim::Acquired(g)) => g,
+            _ => panic!("holder should acquire"),
+        };
+        // Claim released without an entry (holder failed): the waiter
+        // returns promptly so the caller computes it itself.
+        drop(guard);
+        let t0 = std::time::Instant::now();
+        assert!(store.wait_for_claimed(key, ArtifactKind::Stage1).is_none());
+        assert!(t0.elapsed() < Duration::from_secs(2), "no TTL-length stall");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_cache_sweeps_claim_files() {
+        let dir = temp_dir("claim-sweep");
+        let store = ArtifactStore::with_disk(&dir);
+        let key = StageKey(0x5eed);
+        let guard = match store.try_claim(key, ArtifactKind::Stage1) {
+            Some(Claim::Acquired(g)) => g,
+            _ => panic!("claim should acquire"),
+        };
+        std::mem::forget(guard); // simulate a crashed holder
+        let path = claim_path(&dir, key, ArtifactKind::Stage1);
+        assert!(path.exists());
+        clear_cache(&dir, true).unwrap();
+        assert!(!path.exists(), "hygiene removes orphaned claims");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -930,7 +930,7 @@ mod tests {
         let a = shard_doc(shard_tag(1, 2), &[0, 2]);
         let b = shard_doc(shard_tag(2, 2), &[1, 3]);
         // Order of documents must not matter.
-        for docs in [[a.clone(), b.clone()], [b.clone(), a.clone()]] {
+        for docs in [[a.clone(), b.clone()], [b, a]] {
             let merged = merge_sweep_docs(&docs).unwrap();
             assert!(matches!(merged.get("shard"), Some(Json::Null)));
             let cells = merged.get("cells").and_then(Json::as_arr).unwrap();
@@ -956,7 +956,7 @@ mod tests {
         assert!(merge_sweep_docs(&[a.clone(), a.clone()]).unwrap_err().contains("more than once"));
         // Mismatched n.
         let c = shard_doc(shard_tag(1, 3), &[0, 3]);
-        assert!(merge_sweep_docs(&[c, b.clone()]).unwrap_err().contains("shards of"));
+        assert!(merge_sweep_docs(&[c, b]).unwrap_err().contains("shards of"));
         // Unsharded doc in the mix.
         let full = shard_doc(Json::Null, &[0, 1, 2, 3]);
         assert!(merge_sweep_docs(&[full]).unwrap_err().contains("not a shard artifact"));

@@ -41,7 +41,7 @@ pub fn render_overview(r: &DiogenesResult) -> String {
     let a = &r.report.analysis;
     let mut rows: Vec<(Ns, String)> = Vec::new();
     for g in &a.api_folds {
-        rows.push((g.benefit_ns, g.label.clone()));
+        rows.push((g.benefit_ns, g.label.resolve().to_string()));
     }
     for (i, f) in r.families.iter().enumerate() {
         let first = f

@@ -150,11 +150,14 @@ pub fn family_subsequence_benefit_indexed(
     let seq = &family.representative;
     // Only the representative's own entries outside [lo, hi] lose their
     // problem flag — nodes from other sequences are untouched, exactly
-    // as the old clone-and-clear path behaved.
-    let cleared: std::collections::HashSet<usize> =
-        seq.entries.iter().map(|e| e.node).filter(|&n| n < lo || n > hi).collect();
-    let one =
-        ffm_core::carry_forward_masked(&analysis.graph, ix, lo, seq.end, |n| !cleared.contains(&n));
+    // as the retired clone-and-clear path behaved. Entry nodes are
+    // strictly increasing, so membership is a binary search and the
+    // query allocates nothing.
+    let keep = |n: usize| match seq.entries.binary_search_by_key(&n, |e| e.node) {
+        Ok(_) => n >= lo && n <= hi,
+        Err(_) => true,
+    };
+    let one = ffm_core::carry_forward_masked(&analysis.graph, ix, lo, seq.end, keep);
     Some(one * family.occurrences as Ns)
 }
 
@@ -202,12 +205,15 @@ mod tests {
     }
 
     #[test]
-    fn masked_family_benefit_equals_clone_based_path() {
-        // Regression pin: the node-mask estimator must reproduce the old
-        // clone-the-graph-and-clear-problems path bit for bit.
+    fn masked_family_benefit_equals_boolean_mask_reference() {
+        // Regression pin: the binary-search membership must reproduce an
+        // explicit suppressed-problems mask bit for bit (the semantics
+        // the retired clone-and-clear path defined), with no graph clone
+        // on either side.
         let r = als_result();
         let f = &r.families[0];
         let a = &r.report.analysis;
+        let ix = a.graph.index();
         for (from, to) in [(1, f.entries.len()), (10, f.entries.len()), (5, 12), (3, 3), (9, 2)] {
             let got = family_subsequence_benefit(a, f, from, to);
             let reference = (|| {
@@ -217,13 +223,16 @@ mod tests {
                     return None;
                 }
                 let (lo, hi) = (first.first_node, last.last_node);
-                let mut g = a.graph.clone();
+                let mut keep = vec![true; a.graph.nodes.len()];
                 for e in &f.representative.entries {
                     if e.node < lo || e.node > hi {
-                        g.nodes[e.node].problem = Problem::None;
+                        keep[e.node] = false;
                     }
                 }
-                let one = ffm_core::carry_forward_benefit(&g, lo, f.representative.end);
+                let one =
+                    ffm_core::carry_forward_masked(&a.graph, &ix, lo, f.representative.end, |n| {
+                        keep[n]
+                    });
                 Some(one * f.occurrences as Ns)
             })();
             assert_eq!(got, reference, "range {from}..{to}");

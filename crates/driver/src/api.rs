@@ -96,6 +96,17 @@ impl ApiFn {
         )
     }
 
+    /// Number of `ApiFn` variants. `ApiFn` is fieldless with default
+    /// discriminants, so `f as usize` densely indexes `0..COUNT` —
+    /// analysis code uses this for flat per-API tables instead of
+    /// hash maps.
+    pub const COUNT: usize = ApiFn::PrivateSync as usize + 1;
+
+    /// Dense index of this function, in `0..ApiFn::COUNT`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Reverse lookup from a profile name. Measurement code sees function
     /// *names* (from stack frames); this recovers the identity.
     pub fn from_name(name: &str) -> Option<ApiFn> {
@@ -252,6 +263,22 @@ mod tests {
             assert!(f.is_public(), "{f} listed as public");
         }
         assert_eq!(ApiFn::all_public().len(), 20);
+    }
+
+    #[test]
+    fn api_indices_are_dense() {
+        // `from_name` round-trips every variant, so its ALL table is
+        // exhaustive; every index must land in 0..COUNT with no gaps.
+        let mut seen = vec![false; ApiFn::COUNT];
+        for f in ApiFn::all_public() {
+            assert!(f.index() < ApiFn::COUNT);
+            seen[f.index()] = true;
+        }
+        for f in [ApiFn::PrivateLaunch, ApiFn::PrivateMemcpy, ApiFn::PrivateSync] {
+            assert!(f.index() < ApiFn::COUNT);
+            seen[f.index()] = true;
+        }
+        assert!(seen.into_iter().all(|s| s), "indices must cover 0..COUNT");
     }
 
     #[test]

@@ -13,9 +13,12 @@ cd "$(dirname "$0")/.."
 echo "== format =="
 cargo fmt --check
 
-echo "== clippy (deny warnings) =="
-cargo clippy --workspace --all-targets -- -D warnings
-cargo clippy --workspace --all-targets --features extern-testing -- -D warnings
+echo "== clippy (deny warnings + allocation-churn lints) =="
+CLIPPY_DENY="-D warnings -D clippy::redundant_clone -D clippy::inefficient_to_string"
+# shellcheck disable=SC2086
+cargo clippy --workspace --all-targets -- $CLIPPY_DENY
+# shellcheck disable=SC2086
+cargo clippy --workspace --all-targets --features extern-testing -- $CLIPPY_DENY
 
 echo "== tier-1: build + test =="
 cargo build --release
@@ -72,6 +75,13 @@ cmp "$SMOKE/full.json" "$SMOKE/merged.json"
 ./target/release/diogenes cache --dir "$SMOKE/cache" --clear-all > /dev/null
 rm -rf "$SMOKE"
 echo "shard/merge smoke ok"
+
+echo "== columnar identity (reports/sweeps byte-identical to pinned artifacts) =="
+cargo test -q -p diogenes --test columnar_identity
+
+echo "== analysis allocation smoke (zero steady-state allocations in grouping) =="
+cargo build --release -p diogenes-bench --bin bench_analysis
+./target/release/bench_analysis --smoke
 
 echo "== property tests (extern-testing feature) =="
 cargo test -q --workspace --features extern-testing
