@@ -12,7 +12,8 @@
 //! and floats re-render via the shortest-round-trip `Display`, so a
 //! merged sweep artifact can be byte-identical to an unsharded one.
 
-use std::fmt::Write as _;
+use std::fmt::{self, Write as _};
+use std::io;
 
 /// A JSON value.
 #[derive(Debug, Clone)]
@@ -72,16 +73,29 @@ impl Json {
     /// Compact serialization.
     pub fn to_string_compact(&self) -> String {
         let mut s = String::new();
-        self.write(&mut s, None, 0);
+        let _ = self.write(&mut s, None, 0); // writing to a String never fails
         s
     }
 
     /// Pretty serialization with two-space indentation.
     pub fn to_string_pretty(&self) -> String {
         let mut s = String::new();
-        self.write(&mut s, Some(2), 0);
+        let _ = self.write(&mut s, Some(2), 0);
         s.push('\n');
         s
+    }
+
+    /// Stream the pretty serialization into an [`io::Write`] without
+    /// materializing the document as one big `String` first. Produces
+    /// exactly the bytes of [`Json::to_string_pretty`]. Callers should
+    /// hand in a `BufWriter` — the emitter writes many small pieces.
+    pub fn write_pretty<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut sink = IoFmt { w, err: None };
+        let res = self.write(&mut sink, Some(2), 0).and_then(|()| sink.write_char('\n'));
+        match res {
+            Ok(()) => Ok(()),
+            Err(_) => Err(sink.err.unwrap_or_else(|| io::Error::other("formatting failed"))),
+        }
     }
 
     /// Parse a JSON document. Numbers without a fraction or exponent stay
@@ -150,61 +164,80 @@ impl Json {
         }
     }
 
-    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+    fn write<W: fmt::Write>(
+        &self,
+        out: &mut W,
+        indent: Option<usize>,
+        depth: usize,
+    ) -> fmt::Result {
         match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(i) => {
-                let _ = write!(out, "{i}");
-            }
+            Json::Null => out.write_str("null")?,
+            Json::Bool(b) => out.write_str(if *b { "true" } else { "false" })?,
+            Json::Int(i) => write!(out, "{i}")?,
             Json::Float(f) => {
                 if f.is_finite() {
-                    let _ = write!(out, "{f}");
+                    write!(out, "{f}")?;
                 } else {
-                    out.push_str("null"); // JSON has no NaN/Inf
+                    out.write_str("null")?; // JSON has no NaN/Inf
                 }
             }
-            Json::Str(s) => escape_into(s, out),
-            Json::Static(s) => escape_into(s, out),
-            Json::Sym(sym) => escape_into(sym.resolve(), out),
+            Json::Str(s) => escape_into(s, out)?,
+            Json::Static(s) => escape_into(s, out)?,
+            Json::Sym(sym) => escape_into(sym.resolve(), out)?,
             Json::Arr(items) => {
                 if items.is_empty() {
-                    out.push_str("[]");
-                    return;
+                    return out.write_str("[]");
                 }
-                out.push('[');
+                out.write_char('[')?;
                 for (i, item) in items.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    newline_indent(out, indent, depth + 1);
-                    item.write(out, indent, depth + 1);
+                    newline_indent(out, indent, depth + 1)?;
+                    item.write(out, indent, depth + 1)?;
                 }
-                newline_indent(out, indent, depth);
-                out.push(']');
+                newline_indent(out, indent, depth)?;
+                out.write_char(']')?;
             }
             Json::Obj(fields) => {
                 if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
+                    return out.write_str("{}");
                 }
-                out.push('{');
+                out.write_char('{')?;
                 for (i, (k, v)) in fields.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    newline_indent(out, indent, depth + 1);
-                    escape_into(k, out);
-                    out.push(':');
+                    newline_indent(out, indent, depth + 1)?;
+                    escape_into(k, out)?;
+                    out.write_char(':')?;
                     if indent.is_some() {
-                        out.push(' ');
+                        out.write_char(' ')?;
                     }
-                    v.write(out, indent, depth + 1);
+                    v.write(out, indent, depth + 1)?;
                 }
-                newline_indent(out, indent, depth);
-                out.push('}');
+                newline_indent(out, indent, depth)?;
+                out.write_char('}')?;
             }
         }
+        Ok(())
+    }
+}
+
+/// Bridges `fmt::Write` onto an `io::Write`, stashing the first I/O error
+/// so [`Json::write_pretty`] can surface it (the `fmt` error type carries
+/// no payload).
+struct IoFmt<'a, W: io::Write> {
+    w: &'a mut W,
+    err: Option<io::Error>,
+}
+
+impl<W: io::Write> fmt::Write for IoFmt<'_, W> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.w.write_all(s.as_bytes()).map_err(|e| {
+            self.err.get_or_insert(e);
+            fmt::Error
+        })
     }
 }
 
@@ -436,31 +469,30 @@ impl Parser<'_> {
     }
 }
 
-fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+fn newline_indent<W: fmt::Write>(out: &mut W, indent: Option<usize>, depth: usize) -> fmt::Result {
     if let Some(width) = indent {
-        out.push('\n');
+        out.write_char('\n')?;
         for _ in 0..depth * width {
-            out.push(' ');
+            out.write_char(' ')?;
         }
     }
+    Ok(())
 }
 
-fn escape_into(s: &str, out: &mut String) {
-    out.push('"');
+fn escape_into<W: fmt::Write>(s: &str, out: &mut W) -> fmt::Result {
+    out.write_char('"')?;
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
         }
     }
-    out.push('"');
+    out.write_char('"')
 }
 
 impl From<&str> for Json {
@@ -542,6 +574,33 @@ mod tests {
         let p = j.to_string_pretty();
         assert!(p.contains("\n  \"a\": 1,"));
         assert!(p.ends_with("}\n"));
+    }
+
+    #[test]
+    fn write_pretty_streams_the_same_bytes_as_to_string_pretty() {
+        let j = Json::obj([
+            ("name", "als\"x".into()),
+            ("nan", Json::Float(f64::NAN)),
+            ("rows", Json::arr([Json::obj([("n", Json::Int(7))]), Json::Null])),
+        ]);
+        let mut buf = Vec::new();
+        j.write_pretty(&mut buf).unwrap();
+        assert_eq!(buf, j.to_string_pretty().into_bytes());
+    }
+
+    #[test]
+    fn write_pretty_surfaces_io_errors() {
+        struct Full;
+        impl io::Write for Full {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = Json::Int(1).write_pretty(&mut Full).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
     }
 
     #[test]

@@ -59,6 +59,7 @@
 
 pub mod analysis;
 pub mod benefit;
+pub mod codec;
 pub mod engine;
 pub mod export;
 pub mod graph;
@@ -79,6 +80,10 @@ pub use analysis::{analyze, Analysis, AnalysisConfig, ProblemOp};
 pub use benefit::{
     expected_benefit, expected_benefit_reference, BenefitOptions, BenefitPass, BenefitReport,
     BenefitSummary, NodeBenefit,
+};
+pub use codec::{
+    decode_any_doc, decode_artifact, decode_doc, decode_sweep, encode_artifact, encode_doc,
+    encode_sweep, is_ffb, Ffb, Stage4Cols, SweepCellCols, KIND_DOC, KIND_SWEEP,
 };
 pub use engine::{declared_fields, deps, plan_keys, run_stages, stage_key, EngineOut, StageId};
 pub use export::{analysis_to_json, report_to_json};

@@ -15,34 +15,27 @@
 //! - an optional on-disk layer under `results/cache/`, so separate
 //!   processes (e.g. `--shard k/n` workers) and repeated runs share work.
 //!
-//! Disk entries are versioned: every file carries a magic, the codec
-//! [`SCHEMA_VERSION`], and a build tag derived from the running binary,
-//! so an old cache can never poison a new binary's reports — mismatched
+//! Disk entries are FFB containers (see [`crate::codec`]): every file
+//! carries a magic, the codec [`SCHEMA_VERSION`], a build tag derived
+//! from the running binary, and a payload checksum, so an old or
+//! corrupted cache can never poison a new binary's reports — mismatched
 //! entries read as misses and `clear_cache` can purge them.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
-use cuda_driver::{ApiFn, InternalFn};
-use gpu_sim::{Digest, Direction, Frame, SourceLoc, StackTrace, WaitReason};
+use gpu_sim::Digest;
 use instrument::Discovery;
 
 use crate::analysis::Analysis;
-use crate::records::{
-    DuplicateTransfer, OpInstance, ProtectedAccess, Stage1Result, Stage2Result, Stage3Result,
-    Stage4Result, TracedCall, TransferRec,
-};
+use crate::codec;
+use crate::records::{Stage1Result, Stage2Result, Stage3Result, Stage4Result};
 
-/// Bump whenever the binary codec or the keying rules change; old disk
-/// entries become stale and are ignored.
-pub const SCHEMA_VERSION: u32 = 1;
-
-/// File magic for on-disk artifacts ("DIOGenes ARTifact v1").
-const MAGIC: &[u8; 8] = b"DIOGART1";
+pub use crate::codec::SCHEMA_VERSION;
 
 /// Extension for on-disk artifacts; cache hygiene only ever touches
 /// `*.art` (and `*.claim`) files.
@@ -164,7 +157,7 @@ impl ArtifactKind {
         }
     }
 
-    fn byte(&self) -> u8 {
+    pub(crate) fn byte(&self) -> u8 {
         match self {
             ArtifactKind::Discovery => 0,
             ArtifactKind::Stage1 => 1,
@@ -286,9 +279,9 @@ impl ArtifactStore {
     pub fn put(&self, key: StageKey, artifact: Artifact) {
         self.puts.fetch_add(1, Ordering::Relaxed);
         if let Some(dir) = &self.disk {
-            if let Some(payload) = encode_payload(&artifact) {
+            if let Some(bytes) = codec::encode_artifact(&artifact) {
                 let path = entry_path(dir, key, artifact.kind());
-                if let Err(e) = write_entry(&path, artifact.kind(), &payload) {
+                if let Err(e) = write_entry(&path, &bytes) {
                     crate::log_warn!("cache write failed for {}: {e}", path.display());
                 }
             }
@@ -430,18 +423,7 @@ pub fn build_tag() -> u64 {
     })
 }
 
-fn header(kind: ArtifactKind) -> Vec<u8> {
-    let mut h = Vec::with_capacity(21);
-    h.extend_from_slice(MAGIC);
-    h.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
-    h.extend_from_slice(&build_tag().to_le_bytes());
-    h.push(kind.byte());
-    h
-}
-
-const HEADER_LEN: usize = 8 + 4 + 8 + 1;
-
-fn write_entry(path: &Path, kind: ArtifactKind, payload: &[u8]) -> std::io::Result<()> {
+fn write_entry(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let dir = path.parent().expect("entry path has a parent");
     std::fs::create_dir_all(dir)?;
     // Write to a unique temp file then rename: concurrent shard processes
@@ -454,25 +436,14 @@ fn write_entry(path: &Path, kind: ArtifactKind, payload: &[u8]) -> std::io::Resu
     ));
     {
         let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(&header(kind))?;
-        f.write_all(payload)?;
+        f.write_all(bytes)?;
     }
     std::fs::rename(&tmp, path)
 }
 
 fn read_entry(path: &Path, kind: ArtifactKind) -> Option<Artifact> {
     let bytes = std::fs::read(path).ok()?;
-    if !entry_header_is_current(&bytes) || bytes[HEADER_LEN - 1] != kind.byte() {
-        return None;
-    }
-    decode_payload(kind, &bytes[HEADER_LEN..]).ok()
-}
-
-fn entry_header_is_current(bytes: &[u8]) -> bool {
-    bytes.len() >= HEADER_LEN
-        && &bytes[..8] == MAGIC
-        && bytes[8..12] == SCHEMA_VERSION.to_le_bytes()
-        && bytes[12..20] == build_tag().to_le_bytes()
+    codec::decode_artifact(&bytes, kind).ok()
 }
 
 // ---------------------------------------------------------------------------
@@ -512,7 +483,7 @@ pub fn scan_cache(dir: &Path) -> std::io::Result<CacheReport> {
         let len = std::fs::metadata(&path)?.len();
         // Reading just the header would do, but entries are small and a
         // full read keeps this simple.
-        let current = std::fs::read(&path).map(|b| entry_header_is_current(&b)).unwrap_or(false);
+        let current = std::fs::read(&path).map(|b| codec::header_is_current(&b)).unwrap_or(false);
         report.entries += 1;
         report.bytes += len;
         if !current {
@@ -539,7 +510,7 @@ pub fn clear_cache(dir: &Path, stale_only: bool) -> std::io::Result<CacheReport>
     }
     for path in cache_files(dir)? {
         let len = std::fs::metadata(&path)?.len();
-        let current = std::fs::read(&path).map(|b| entry_header_is_current(&b)).unwrap_or(false);
+        let current = std::fs::read(&path).map(|b| codec::header_is_current(&b)).unwrap_or(false);
         if stale_only && current {
             continue;
         }
@@ -554,470 +525,15 @@ pub fn clear_cache(dir: &Path, stale_only: bool) -> std::io::Result<CacheReport>
     Ok(removed)
 }
 
-// ---------------------------------------------------------------------------
-// Binary codec
-// ---------------------------------------------------------------------------
-//
-// Hand-rolled little-endian codec (the workspace is std-only, no serde).
-// Unordered collections are sorted on encode so the bytes are a function
-// of the value, not of hash-map iteration order; decoded sets/maps are
-// only ever consumed via membership tests and keyed lookups downstream
-// (`problem::classify`), so re-hashing on decode cannot change reports.
-
-fn encode_payload(artifact: &Artifact) -> Option<Vec<u8>> {
-    let mut e = Enc(Vec::new());
-    match artifact {
-        Artifact::Discovery(d) => enc_discovery(&mut e, d),
-        Artifact::Stage1(s) => enc_stage1(&mut e, s),
-        Artifact::Stage2(s) => enc_stage2(&mut e, s),
-        Artifact::Stage3(s) => enc_stage3(&mut e, s),
-        Artifact::Stage4(s) => enc_stage4(&mut e, s),
-        Artifact::Analysis(_) => return None, // memory-only
-    }
-    Some(e.0)
-}
-
-fn decode_payload(kind: ArtifactKind, bytes: &[u8]) -> Result<Artifact, String> {
-    let mut d = Dec { bytes, pos: 0 };
-    let artifact = match kind {
-        ArtifactKind::Discovery => Artifact::Discovery(Arc::new(dec_discovery(&mut d)?)),
-        ArtifactKind::Stage1 => Artifact::Stage1(Arc::new(dec_stage1(&mut d)?)),
-        ArtifactKind::Stage2 => Artifact::Stage2(Arc::new(dec_stage2(&mut d)?)),
-        ArtifactKind::Stage3 => Artifact::Stage3(Arc::new(dec_stage3(&mut d)?)),
-        ArtifactKind::Stage4 => Artifact::Stage4(Arc::new(dec_stage4(&mut d)?)),
-        ArtifactKind::Analysis => return Err("analysis artifacts are memory-only".to_string()),
-    };
-    if d.pos != d.bytes.len() {
-        return Err(format!("{} trailing bytes in artifact", d.bytes.len() - d.pos));
-    }
-    Ok(artifact)
-}
-
-struct Enc(Vec<u8>);
-
-impl Enc {
-    fn u8(&mut self, v: u8) {
-        self.0.push(v);
-    }
-    fn bool(&mut self, v: bool) {
-        self.u8(v as u8);
-    }
-    fn u32(&mut self, v: u32) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u64(&mut self, v: u64) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u128(&mut self, v: u128) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-    fn str(&mut self, s: &str) {
-        self.u64(s.len() as u64);
-        self.0.extend_from_slice(s.as_bytes());
-    }
-    fn opt<T>(&mut self, v: &Option<T>, f: impl FnOnce(&mut Self, &T)) {
-        match v {
-            None => self.u8(0),
-            Some(x) => {
-                self.u8(1);
-                f(self, x);
-            }
-        }
-    }
-}
-
-struct Dec<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Dec<'_> {
-    fn take(&mut self, n: usize) -> Result<&[u8], String> {
-        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
-        let end = end.ok_or_else(|| format!("artifact truncated at byte {}", self.pos))?;
-        let s = &self.bytes[self.pos..end];
-        self.pos = end;
-        Ok(s)
-    }
-    fn u8(&mut self) -> Result<u8, String> {
-        Ok(self.take(1)?[0])
-    }
-    fn bool(&mut self) -> Result<bool, String> {
-        match self.u8()? {
-            0 => Ok(false),
-            1 => Ok(true),
-            b => Err(format!("bad bool byte {b:#04x}")),
-        }
-    }
-    fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-    fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-    fn u128(&mut self) -> Result<u128, String> {
-        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
-    }
-    fn len(&mut self) -> Result<usize, String> {
-        let n = self.u64()?;
-        // Any valid length is bounded by the remaining bytes (every
-        // element costs at least one byte), which caps allocations on
-        // corrupt input.
-        let n = usize::try_from(n).map_err(|_| "length overflow".to_string())?;
-        if n > self.bytes.len() - self.pos {
-            return Err(format!("implausible collection length {n}"));
-        }
-        Ok(n)
-    }
-    fn str(&mut self) -> Result<String, String> {
-        let n = self.len()?;
-        let raw = self.take(n)?;
-        String::from_utf8(raw.to_vec()).map_err(|_| "invalid utf-8 in artifact".to_string())
-    }
-    fn opt<T>(
-        &mut self,
-        f: impl FnOnce(&mut Self) -> Result<T, String>,
-    ) -> Result<Option<T>, String> {
-        match self.u8()? {
-            0 => Ok(None),
-            1 => Ok(Some(f(self)?)),
-            b => Err(format!("bad option tag {b:#04x}")),
-        }
-    }
-}
-
-fn internal_fn_index(f: InternalFn) -> u8 {
-    InternalFn::all().iter().position(|&g| g == f).expect("InternalFn::all is exhaustive") as u8
-}
-
-fn internal_fn_from_index(i: u8) -> Result<InternalFn, String> {
-    InternalFn::all().get(i as usize).copied().ok_or_else(|| format!("bad InternalFn index {i}"))
-}
-
-fn enc_api(e: &mut Enc, api: ApiFn) {
-    e.str(api.name());
-}
-
-fn dec_api(d: &mut Dec<'_>) -> Result<ApiFn, String> {
-    let name = d.str()?;
-    ApiFn::from_name(&name).ok_or_else(|| format!("unknown ApiFn '{name}'"))
-}
-
-fn enc_wait_reason(e: &mut Enc, r: WaitReason) {
-    e.u8(match r {
-        WaitReason::Explicit => 0,
-        WaitReason::Implicit => 1,
-        WaitReason::Conditional => 2,
-        WaitReason::Private => 3,
-    });
-}
-
-fn dec_wait_reason(d: &mut Dec<'_>) -> Result<WaitReason, String> {
-    Ok(match d.u8()? {
-        0 => WaitReason::Explicit,
-        1 => WaitReason::Implicit,
-        2 => WaitReason::Conditional,
-        3 => WaitReason::Private,
-        b => return Err(format!("bad WaitReason byte {b:#04x}")),
-    })
-}
-
-fn enc_direction(e: &mut Enc, dir: Direction) {
-    e.u8(match dir {
-        Direction::HtoD => 0,
-        Direction::DtoH => 1,
-        Direction::DtoD => 2,
-    });
-}
-
-fn dec_direction(d: &mut Dec<'_>) -> Result<Direction, String> {
-    Ok(match d.u8()? {
-        0 => Direction::HtoD,
-        1 => Direction::DtoH,
-        2 => Direction::DtoD,
-        b => return Err(format!("bad Direction byte {b:#04x}")),
-    })
-}
-
-fn enc_loc(e: &mut Enc, loc: &SourceLoc) {
-    e.str(loc.file);
-    e.u32(loc.line);
-}
-
-fn dec_loc(d: &mut Dec<'_>) -> Result<SourceLoc, String> {
-    // `SourceLoc.file` is `&'static str`; decoded names go through the
-    // global symbol table (`crate::intern`) so artifacts loaded from disk
-    // share one address space with live traces — and with the analysis
-    // layer's interned site labels.
-    let file = crate::intern::intern(&d.str()?).resolve();
-    let line = d.u32()?;
-    Ok(SourceLoc { file, line })
-}
-
-fn enc_op(e: &mut Enc, op: &OpInstance) {
-    e.u64(op.sig);
-    e.u64(op.occ);
-}
-
-fn dec_op(d: &mut Dec<'_>) -> Result<OpInstance, String> {
-    Ok(OpInstance { sig: d.u64()?, occ: d.u64()? })
-}
-
-fn enc_stack(e: &mut Enc, stack: &StackTrace) {
-    e.u64(stack.frames.len() as u64);
-    for frame in &stack.frames {
-        e.str(&frame.function);
-        enc_loc(e, &frame.callsite);
-    }
-}
-
-fn dec_stack(d: &mut Dec<'_>) -> Result<StackTrace, String> {
-    let n = d.len()?;
-    let mut frames = Vec::with_capacity(n);
-    for _ in 0..n {
-        let function = d.str()?;
-        let callsite = dec_loc(d)?;
-        frames.push(Frame::new(function, callsite));
-    }
-    Ok(StackTrace { frames })
-}
-
-fn enc_discovery(e: &mut Enc, disc: &Discovery) {
-    e.u8(internal_fn_index(disc.sync_fn));
-    let mut waits: Vec<(InternalFn, u64)> = disc.waits.iter().map(|(&f, &ns)| (f, ns)).collect();
-    waits.sort();
-    e.u64(waits.len() as u64);
-    for (f, ns) in waits {
-        e.u8(internal_fn_index(f));
-        e.u64(ns);
-    }
-}
-
-fn dec_discovery(d: &mut Dec<'_>) -> Result<Discovery, String> {
-    let sync_fn = internal_fn_from_index(d.u8()?)?;
-    let n = d.len()?;
-    let mut waits = HashMap::with_capacity(n);
-    for _ in 0..n {
-        let f = internal_fn_from_index(d.u8()?)?;
-        let ns = d.u64()?;
-        waits.insert(f, ns);
-    }
-    Ok(Discovery { sync_fn, waits })
-}
-
-fn enc_stage1(e: &mut Enc, s: &Stage1Result) {
-    e.u64(s.exec_time_ns);
-    e.u64(s.total_wait_ns);
-    e.u64(s.sync_hits);
-    let mut apis: Vec<(ApiFn, u64)> = s.sync_apis.iter().map(|(&a, &n)| (a, n)).collect();
-    apis.sort();
-    e.u64(apis.len() as u64);
-    for (api, hits) in apis {
-        enc_api(e, api);
-        e.u64(hits);
-    }
-}
-
-fn dec_stage1(d: &mut Dec<'_>) -> Result<Stage1Result, String> {
-    let exec_time_ns = d.u64()?;
-    let total_wait_ns = d.u64()?;
-    let sync_hits = d.u64()?;
-    let n = d.len()?;
-    let mut sync_apis = HashMap::with_capacity(n);
-    for _ in 0..n {
-        let api = dec_api(d)?;
-        let hits = d.u64()?;
-        sync_apis.insert(api, hits);
-    }
-    Ok(Stage1Result { exec_time_ns, sync_apis, total_wait_ns, sync_hits })
-}
-
-fn enc_transfer(e: &mut Enc, t: &TransferRec) {
-    enc_direction(e, t.dir);
-    e.u64(t.bytes);
-    e.u64(t.host);
-    e.u64(t.dev);
-    e.bool(t.pinned);
-    e.bool(t.is_async);
-}
-
-fn dec_transfer(d: &mut Dec<'_>) -> Result<TransferRec, String> {
-    Ok(TransferRec {
-        dir: dec_direction(d)?,
-        bytes: d.u64()?,
-        host: d.u64()?,
-        dev: d.u64()?,
-        pinned: d.bool()?,
-        is_async: d.bool()?,
-    })
-}
-
-fn enc_call(e: &mut Enc, c: &TracedCall) {
-    e.u64(c.seq as u64);
-    enc_api(e, c.api);
-    enc_loc(e, &c.site);
-    enc_stack(e, &c.stack);
-    e.u64(c.sig);
-    e.u64(c.folded_sig);
-    e.u64(c.occ);
-    e.u64(c.enter_ns);
-    e.u64(c.exit_ns);
-    e.u64(c.wait_ns);
-    e.opt(&c.wait_reason, |e, &r| enc_wait_reason(e, r));
-    e.opt(&c.transfer, enc_transfer);
-    e.bool(c.is_launch);
-}
-
-fn dec_call(d: &mut Dec<'_>) -> Result<TracedCall, String> {
-    Ok(TracedCall {
-        seq: d.u64()? as usize,
-        api: dec_api(d)?,
-        site: dec_loc(d)?,
-        stack: dec_stack(d)?,
-        sig: d.u64()?,
-        folded_sig: d.u64()?,
-        occ: d.u64()?,
-        enter_ns: d.u64()?,
-        exit_ns: d.u64()?,
-        wait_ns: d.u64()?,
-        wait_reason: d.opt(dec_wait_reason)?,
-        transfer: d.opt(dec_transfer)?,
-        is_launch: d.bool()?,
-    })
-}
-
-fn enc_stage2(e: &mut Enc, s: &Stage2Result) {
-    e.u64(s.exec_time_ns);
-    e.u64(s.calls.len() as u64);
-    for c in &s.calls {
-        enc_call(e, c);
-    }
-}
-
-fn dec_stage2(d: &mut Dec<'_>) -> Result<Stage2Result, String> {
-    let exec_time_ns = d.u64()?;
-    let n = d.len()?;
-    let mut calls = Vec::with_capacity(n);
-    for _ in 0..n {
-        calls.push(dec_call(d)?);
-    }
-    Ok(Stage2Result { exec_time_ns, calls })
-}
-
-fn enc_op_set(e: &mut Enc, set: &HashSet<OpInstance>) {
-    let mut ops: Vec<OpInstance> = set.iter().copied().collect();
-    ops.sort();
-    e.u64(ops.len() as u64);
-    for op in &ops {
-        enc_op(e, op);
-    }
-}
-
-fn dec_op_set(d: &mut Dec<'_>) -> Result<HashSet<OpInstance>, String> {
-    let n = d.len()?;
-    let mut set = HashSet::with_capacity(n);
-    for _ in 0..n {
-        set.insert(dec_op(d)?);
-    }
-    Ok(set)
-}
-
-fn enc_stage3(e: &mut Enc, s: &Stage3Result) {
-    enc_op_set(e, &s.required_syncs);
-    enc_op_set(e, &s.observed_syncs);
-    e.u64(s.accesses.len() as u64);
-    for a in &s.accesses {
-        enc_op(e, &a.sync);
-        enc_loc(e, &a.access_site);
-        e.u64(a.rough_gap_ns);
-    }
-    e.u64(s.duplicates.len() as u64);
-    for dup in &s.duplicates {
-        enc_op(e, &dup.op);
-        enc_loc(e, &dup.site);
-        enc_loc(e, &dup.first_site);
-        e.u64(dup.bytes);
-        e.u128(dup.digest.0);
-    }
-    let mut sites: Vec<SourceLoc> = s.first_use_sites.iter().copied().collect();
-    sites.sort();
-    e.u64(sites.len() as u64);
-    for site in &sites {
-        enc_loc(e, site);
-    }
-    e.u64(s.hashed_bytes);
-    e.u64(s.exec_time_sync_ns);
-    e.u64(s.exec_time_hash_ns);
-    e.u64(s.exec_time_ns);
-}
-
-fn dec_stage3(d: &mut Dec<'_>) -> Result<Stage3Result, String> {
-    let required_syncs = dec_op_set(d)?;
-    let observed_syncs = dec_op_set(d)?;
-    let n = d.len()?;
-    let mut accesses = Vec::with_capacity(n);
-    for _ in 0..n {
-        accesses.push(ProtectedAccess {
-            sync: dec_op(d)?,
-            access_site: dec_loc(d)?,
-            rough_gap_ns: d.u64()?,
-        });
-    }
-    let n = d.len()?;
-    let mut duplicates = Vec::with_capacity(n);
-    for _ in 0..n {
-        duplicates.push(DuplicateTransfer {
-            op: dec_op(d)?,
-            site: dec_loc(d)?,
-            first_site: dec_loc(d)?,
-            bytes: d.u64()?,
-            digest: Digest(d.u128()?),
-        });
-    }
-    let n = d.len()?;
-    let mut first_use_sites = HashSet::with_capacity(n);
-    for _ in 0..n {
-        first_use_sites.insert(dec_loc(d)?);
-    }
-    Ok(Stage3Result {
-        required_syncs,
-        observed_syncs,
-        accesses,
-        duplicates,
-        first_use_sites,
-        hashed_bytes: d.u64()?,
-        exec_time_sync_ns: d.u64()?,
-        exec_time_hash_ns: d.u64()?,
-        exec_time_ns: d.u64()?,
-    })
-}
-
-fn enc_stage4(e: &mut Enc, s: &Stage4Result) {
-    let mut gaps: Vec<(OpInstance, u64)> = s.first_use_ns.iter().map(|(&k, &v)| (k, v)).collect();
-    gaps.sort();
-    e.u64(gaps.len() as u64);
-    for (op, ns) in &gaps {
-        enc_op(e, op);
-        e.u64(*ns);
-    }
-    e.u64(s.exec_time_ns);
-}
-
-fn dec_stage4(d: &mut Dec<'_>) -> Result<Stage4Result, String> {
-    let n = d.len()?;
-    let mut first_use_ns = HashMap::with_capacity(n);
-    for _ in 0..n {
-        let op = dec_op(d)?;
-        let ns = d.u64()?;
-        first_use_ns.insert(op, ns);
-    }
-    Ok(Stage4Result { first_use_ns, exec_time_ns: d.u64()? })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+
+    use cuda_driver::ApiFn;
+    use gpu_sim::{Direction, Frame, SourceLoc, StackTrace, WaitReason};
+
+    use crate::records::{DuplicateTransfer, OpInstance, ProtectedAccess, TracedCall, TransferRec};
 
     fn temp_dir(tag: &str) -> PathBuf {
         static N: AtomicUsize = AtomicUsize::new(0);
@@ -1092,134 +608,6 @@ mod tests {
             exec_time_hash_ns: 2000,
             exec_time_ns: 3000,
         }
-    }
-
-    fn roundtrip(artifact: Artifact) -> Artifact {
-        let kind = artifact.kind();
-        let payload = encode_payload(&artifact).expect("serializable kind");
-        decode_payload(kind, &payload).expect("decodes")
-    }
-
-    #[test]
-    fn discovery_roundtrips() {
-        let d = Discovery {
-            sync_fn: InternalFn::SyncWait,
-            waits: [(InternalFn::SyncWait, 500), (InternalFn::Enqueue, 0)].into_iter().collect(),
-        };
-        match roundtrip(Artifact::Discovery(Arc::new(d.clone()))) {
-            Artifact::Discovery(got) => {
-                assert_eq!(got.sync_fn, d.sync_fn);
-                assert_eq!(got.waits, d.waits);
-            }
-            other => panic!("wrong kind {:?}", other.kind()),
-        }
-    }
-
-    #[test]
-    fn stage1_roundtrips() {
-        let s = Stage1Result {
-            exec_time_ns: 42,
-            sync_apis: [(ApiFn::CudaFree, 3), (ApiFn::CudaMemcpy, 7)].into_iter().collect(),
-            total_wait_ns: 99,
-            sync_hits: 10,
-        };
-        match roundtrip(Artifact::Stage1(Arc::new(s.clone()))) {
-            Artifact::Stage1(got) => {
-                assert_eq!(got.exec_time_ns, s.exec_time_ns);
-                assert_eq!(got.sync_apis, s.sync_apis);
-                assert_eq!(got.total_wait_ns, s.total_wait_ns);
-                assert_eq!(got.sync_hits, s.sync_hits);
-            }
-            other => panic!("wrong kind {:?}", other.kind()),
-        }
-    }
-
-    #[test]
-    fn stage2_roundtrips_including_stacks() {
-        let s = sample_stage2();
-        match roundtrip(Artifact::Stage2(Arc::new(s.clone()))) {
-            Artifact::Stage2(got) => {
-                assert_eq!(got.exec_time_ns, s.exec_time_ns);
-                assert_eq!(got.calls.len(), s.calls.len());
-                let (a, b) = (&got.calls[0], &s.calls[0]);
-                assert_eq!(a.seq, b.seq);
-                assert_eq!(a.api, b.api);
-                assert_eq!(a.site, b.site);
-                assert_eq!(a.stack, b.stack);
-                assert_eq!(a.sig, b.sig);
-                assert_eq!(a.folded_sig, b.folded_sig);
-                assert_eq!(a.occ, b.occ);
-                assert_eq!((a.enter_ns, a.exit_ns, a.wait_ns), (b.enter_ns, b.exit_ns, b.wait_ns));
-                assert_eq!(a.wait_reason, b.wait_reason);
-                assert_eq!(a.transfer, b.transfer);
-                assert_eq!(a.is_launch, b.is_launch);
-                // Decoded file names intern to the same address space the
-                // rest of the pipeline uses for synthetic addresses.
-                assert_eq!(a.site.addr(), b.site.addr());
-            }
-            other => panic!("wrong kind {:?}", other.kind()),
-        }
-    }
-
-    #[test]
-    fn stage3_roundtrips() {
-        let s = sample_stage3();
-        match roundtrip(Artifact::Stage3(Arc::new(s.clone()))) {
-            Artifact::Stage3(got) => {
-                assert_eq!(got.required_syncs, s.required_syncs);
-                assert_eq!(got.observed_syncs, s.observed_syncs);
-                assert_eq!(got.accesses.len(), 1);
-                assert_eq!(got.accesses[0].sync, s.accesses[0].sync);
-                assert_eq!(got.accesses[0].access_site, s.accesses[0].access_site);
-                assert_eq!(got.duplicates[0].digest, s.duplicates[0].digest);
-                assert_eq!(got.first_use_sites, s.first_use_sites);
-                assert_eq!(got.hashed_bytes, s.hashed_bytes);
-                assert_eq!(got.exec_time_ns, s.exec_time_ns);
-            }
-            other => panic!("wrong kind {:?}", other.kind()),
-        }
-    }
-
-    #[test]
-    fn stage4_roundtrips() {
-        let mut s = Stage4Result::default();
-        s.first_use_ns.insert(OpInstance { sig: 5, occ: 0 }, 111);
-        s.first_use_ns.insert(OpInstance { sig: 5, occ: 1 }, 222);
-        s.exec_time_ns = 7;
-        match roundtrip(Artifact::Stage4(Arc::new(s.clone()))) {
-            Artifact::Stage4(got) => {
-                assert_eq!(got.first_use_ns, s.first_use_ns);
-                assert_eq!(got.exec_time_ns, s.exec_time_ns);
-            }
-            other => panic!("wrong kind {:?}", other.kind()),
-        }
-    }
-
-    #[test]
-    fn encoding_is_independent_of_hash_iteration_order() {
-        // Build the same logical map twice with different insertion orders;
-        // the encoded bytes must match.
-        let mut a = Stage4Result::default();
-        let mut b = Stage4Result::default();
-        for i in 0..100u64 {
-            a.first_use_ns.insert(OpInstance { sig: i, occ: 0 }, i * 10);
-        }
-        for i in (0..100u64).rev() {
-            b.first_use_ns.insert(OpInstance { sig: i, occ: 0 }, i * 10);
-        }
-        let ea = encode_payload(&Artifact::Stage4(Arc::new(a))).unwrap();
-        let eb = encode_payload(&Artifact::Stage4(Arc::new(b))).unwrap();
-        assert_eq!(ea, eb);
-    }
-
-    #[test]
-    fn truncated_and_corrupt_payloads_are_rejected() {
-        let payload = encode_payload(&Artifact::Stage2(Arc::new(sample_stage2()))).unwrap();
-        assert!(decode_payload(ArtifactKind::Stage2, &payload[..payload.len() - 1]).is_err());
-        assert!(decode_payload(ArtifactKind::Stage2, &[]).is_err());
-        let mut extra = payload;
-        extra.push(0);
-        assert!(decode_payload(ArtifactKind::Stage2, &extra).is_err(), "trailing bytes rejected");
     }
 
     #[test]

@@ -329,7 +329,7 @@ pub struct SweepMatrix {
 }
 
 impl SweepMatrix {
-    fn summarize(cells: &[SweepCell]) -> SweepSummary {
+    pub(crate) fn summarize(cells: &[SweepCell]) -> SweepSummary {
         let arg = |better: &dyn Fn(&SweepCell, &SweepCell) -> bool| -> Option<usize> {
             let mut best: Option<usize> = None;
             for (i, c) in cells.iter().enumerate() {

@@ -1,0 +1,181 @@
+//! On-disk artifact I/O for the CLI: the `--format json|bin` switch and
+//! the `diogenes convert` subcommand.
+//!
+//! JSON stays the human-facing export; FFB (`ffm_core::codec`) is the
+//! machine path — same document content, one-pass binary ingestion. Both
+//! formats render back to byte-identical pretty JSON, so `convert` can
+//! move artifacts between them freely and a json→bin→json round trip
+//! reproduces the original file exactly.
+
+use ffm_core::{decode_any_doc, encode_doc, encode_sweep, is_ffb, Json, SweepMatrix};
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+
+/// Output format for CLI artifacts (`--format json|bin`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutFormat {
+    /// Pretty-printed JSON (the default, human-facing).
+    #[default]
+    Json,
+    /// FFB binary container (`.ffb`, machine-facing).
+    Bin,
+}
+
+impl OutFormat {
+    /// Parse a `--format` argument.
+    pub fn parse(s: &str) -> Result<OutFormat, String> {
+        match s {
+            "json" => Ok(OutFormat::Json),
+            "bin" | "ffb" => Ok(OutFormat::Bin),
+            other => Err(format!("unknown format {other:?} (expected json or bin)")),
+        }
+    }
+
+    /// Canonical file extension for artifacts in this format.
+    pub fn ext(self) -> &'static str {
+        match self {
+            OutFormat::Json => "json",
+            OutFormat::Bin => "ffb",
+        }
+    }
+
+    /// The format implied by a path's extension: `.ffb` means binary,
+    /// anything else means JSON.
+    pub fn from_path(path: &str) -> OutFormat {
+        match Path::new(path).extension().and_then(|e| e.to_str()) {
+            Some("ffb") => OutFormat::Bin,
+            _ => OutFormat::Json,
+        }
+    }
+}
+
+fn ensure_parent(path: &str) -> Result<(), String> {
+    if let Some(dir) = Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    Ok(())
+}
+
+/// Stream a document to `path` as pretty JSON through a `BufWriter`
+/// (never materializes the full text in memory).
+pub fn write_json_doc(path: &str, doc: &Json) -> Result<(), String> {
+    ensure_parent(path)?;
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    doc.write_pretty(&mut w).map_err(|e| format!("cannot write {path}: {e}"))?;
+    w.flush().map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Write a document to `path` in the chosen format.
+pub fn write_doc(path: &str, doc: &Json, format: OutFormat) -> Result<(), String> {
+    match format {
+        OutFormat::Json => write_json_doc(path, doc),
+        OutFormat::Bin => {
+            ensure_parent(path)?;
+            std::fs::write(path, encode_doc(doc)).map_err(|e| format!("cannot write {path}: {e}"))
+        }
+    }
+}
+
+/// Write a sweep matrix to `path`. The binary form uses the columnar
+/// `KIND_SWEEP` encoding (smaller and decodes without touching the
+/// generic document codec); JSON renders via `sweep_to_json`.
+pub fn write_sweep(
+    path: &str,
+    matrix: &SweepMatrix,
+    doc: &Json,
+    format: OutFormat,
+) -> Result<(), String> {
+    match format {
+        OutFormat::Json => write_json_doc(path, doc),
+        OutFormat::Bin => {
+            let bytes =
+                encode_sweep(matrix).map_err(|e| format!("cannot encode sweep for {path}: {e}"))?;
+            ensure_parent(path)?;
+            std::fs::write(path, bytes).map_err(|e| format!("cannot write {path}: {e}"))
+        }
+    }
+}
+
+/// Load a document from `path`, sniffing the format from the file bytes
+/// (FFB magic → binary decode, anything else → JSON parse).
+pub fn load_doc(path: &str) -> Result<Json, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if is_ffb(&bytes) {
+        decode_any_doc(&bytes).map_err(|e| format!("{path}: {e}"))
+    } else {
+        let text = std::str::from_utf8(&bytes).map_err(|_| format!("{path}: not UTF-8"))?;
+        Json::parse(text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// `diogenes convert <in> <out>`: read either format, write the format
+/// implied by the output extension (`.ffb` → binary, else JSON).
+pub fn convert_file(input: &str, output: &str) -> Result<OutFormat, String> {
+    let doc = load_doc(input)?;
+    let format = OutFormat::from_path(output);
+    write_doc(output, &doc, format)?;
+    Ok(format)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("diogenes-artifact-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn doc() -> Json {
+        Json::obj([
+            ("app", "als".into()),
+            ("times", Json::arr([Json::Int(1), Json::Int(2)])),
+            ("pct", Json::Float(12.5)),
+        ])
+    }
+
+    #[test]
+    fn format_parses_and_names_extensions() {
+        assert_eq!(OutFormat::parse("json").unwrap(), OutFormat::Json);
+        assert_eq!(OutFormat::parse("bin").unwrap(), OutFormat::Bin);
+        assert_eq!(OutFormat::parse("ffb").unwrap(), OutFormat::Bin);
+        assert!(OutFormat::parse("yaml").is_err());
+        assert_eq!(OutFormat::Json.ext(), "json");
+        assert_eq!(OutFormat::Bin.ext(), "ffb");
+        assert_eq!(OutFormat::from_path("a/b.ffb"), OutFormat::Bin);
+        assert_eq!(OutFormat::from_path("a/b.json"), OutFormat::Json);
+    }
+
+    #[test]
+    fn convert_round_trip_is_byte_identical() {
+        let dir = tmp_dir("convert");
+        let json1 = dir.join("doc.json").to_str().unwrap().to_string();
+        let ffb = dir.join("doc.ffb").to_str().unwrap().to_string();
+        let json2 = dir.join("back.json").to_str().unwrap().to_string();
+
+        write_doc(&json1, &doc(), OutFormat::Json).unwrap();
+        assert_eq!(convert_file(&json1, &ffb).unwrap(), OutFormat::Bin);
+        assert_eq!(convert_file(&ffb, &json2).unwrap(), OutFormat::Json);
+        assert_eq!(std::fs::read(&json1).unwrap(), std::fs::read(&json2).unwrap());
+        // The binary form really is FFB, not JSON with a funny extension.
+        assert!(is_ffb(&std::fs::read(&ffb).unwrap()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_doc_sniffs_bytes_not_extensions() {
+        let dir = tmp_dir("sniff");
+        // A binary document behind a .json name still loads.
+        let disguised = dir.join("disguised.json").to_str().unwrap().to_string();
+        std::fs::write(&disguised, ffm_core::encode_doc(&doc())).unwrap();
+        assert_eq!(load_doc(&disguised).unwrap(), doc());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

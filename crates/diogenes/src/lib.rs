@@ -21,6 +21,7 @@
 
 #![warn(rust_2018_idioms)]
 
+pub mod artifact;
 pub mod autofix;
 pub mod cli;
 pub mod experiments;
@@ -29,6 +30,7 @@ pub mod sweep;
 pub mod tool;
 pub mod traceviz;
 
+pub use artifact::{convert_file, load_doc, write_doc, write_json_doc, write_sweep, OutFormat};
 pub use autofix::{autocorrect, derive_policy, evaluate_autofix, AutofixConfig, AutofixOutcome};
 pub use cli::{
     fmt_secs, render_fold_expansion, render_overview, render_sequence, render_subsequence,

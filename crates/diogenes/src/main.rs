@@ -34,6 +34,7 @@ use cuda_driver::{ApiFn, GpuApp};
 use diogenes::{
     best_subsequence, derive_policy, evaluate_autofix, render_fold_expansion, render_overview,
     render_sequence, render_subsequence, resolve_jobs, run_diogenes, AutofixConfig, DiogenesConfig,
+    OutFormat,
 };
 use diogenes_apps::*;
 use ffm_core::{log_error, report_to_json, telemetry};
@@ -45,14 +46,11 @@ use gpu_sim::CostModel;
 fn write_telemetry(app_name: &str, workload: &str, jobs: usize) {
     telemetry::set_enabled(false);
     let snap = telemetry::drain();
-    let doc = ffm_core::snapshot_to_json(app_name, workload, jobs, &snap).to_string_pretty();
+    let doc = ffm_core::snapshot_to_json(app_name, workload, jobs, &snap);
     let path = format!("results/TELEMETRY_{app_name}.json");
-    if let Some(dir) = std::path::Path::new(&path).parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
-    match std::fs::write(&path, doc) {
+    match diogenes::write_json_doc(&path, &doc) {
         Ok(()) => eprintln!("diogenes: telemetry written to {path}"),
-        Err(e) => log_error!("failed to write {path}: {e}"),
+        Err(e) => log_error!("{e}"),
     }
 }
 
@@ -76,11 +74,14 @@ fn usage() -> ! {
     eprintln!(
         "usage: diogenes <als|cuibm|amg|gaussian|pipelined> [--scale test|paper] \
          [--view overview|sequence|fold|compare] [--fold <apiName>] [--seq N] \
-         [--sub FROM TO] [--autoseq] [--autofix] [--json <path>] [--jobs N] [--profile]\n\
+         [--sub FROM TO] [--autoseq] [--autofix] [--json <path>] [--format json|bin] \
+         [--jobs N] [--profile]\n\
          \x20      diogenes sweep <app> [--scale test|paper] [--axis field=v1,v2,...]... \
-         [--paired] [--jobs N] [--out <path>] [--profile] [--list-fields] \
-         [--shard K/N] [--no-cache] [--cache-dir <dir>]\n\
-         \x20      diogenes sweep <app> --merge [--in <shard.json>]... [--out <path>]\n\
+         [--paired] [--jobs N] [--out <path>] [--format json|bin] [--profile] \
+         [--list-fields] [--shard K/N] [--no-cache] [--cache-dir <dir>]\n\
+         \x20      diogenes sweep <app> --merge [--in <shard.json|.ffb>]... [--out <path>] \
+         [--format json|bin]\n\
+         \x20      diogenes convert <in> <out>   (.ffb out = binary, else JSON)\n\
          \x20      diogenes cache [--dir <dir>] [--clear-stale] [--clear-all]"
     );
     std::process::exit(2);
@@ -138,6 +139,23 @@ fn cache_main(args: &[String]) -> ! {
     }
 }
 
+/// `diogenes convert <in> <out>` — translate an artifact between pretty
+/// JSON and the FFB binary container. The input format is sniffed from
+/// the file bytes; the output format follows the output extension.
+fn convert_main(args: &[String]) -> ! {
+    let [input, output] = args else { usage() };
+    match diogenes::convert_file(input, output) {
+        Ok(format) => {
+            eprintln!("diogenes convert: wrote {output} ({} format)", format.ext());
+            std::process::exit(0);
+        }
+        Err(e) => {
+            log_error!("convert: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// `diogenes sweep <app> ...` — replay the pipeline over a configuration
 /// grid and write the matrix to `results/SWEEP_<app>.json`.
 fn sweep_main(args: &[String]) -> ! {
@@ -167,6 +185,7 @@ fn sweep_main(args: &[String]) -> ! {
     let mut merge_inputs: Vec<String> = Vec::new();
     let mut no_cache = false;
     let mut cache_dir = "results/cache".to_string();
+    let mut format = OutFormat::Json;
 
     let mut i = 1;
     while i < args.len() {
@@ -218,6 +237,17 @@ fn sweep_main(args: &[String]) -> ! {
                 i += 1;
                 cache_dir = args.get(i).cloned().unwrap_or_else(|| usage());
             }
+            "--format" => {
+                i += 1;
+                let arg = args.get(i).cloned().unwrap_or_else(|| usage());
+                match OutFormat::parse(&arg) {
+                    Ok(f) => format = f,
+                    Err(e) => {
+                        log_error!("sweep: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             _ => usage(),
         }
         i += 1;
@@ -234,14 +264,9 @@ fn sweep_main(args: &[String]) -> ! {
         eprintln!("diogenes sweep: merging {} shard file(s)...", inputs.len());
         match merge_shard_files(&inputs) {
             Ok(doc) => {
-                let path = out_path.unwrap_or_else(|| default_out_path(&app_name));
-                if let Some(dir) = std::path::Path::new(&path).parent() {
-                    if !dir.as_os_str().is_empty() {
-                        let _ = std::fs::create_dir_all(dir);
-                    }
-                }
-                if let Err(e) = std::fs::write(&path, doc) {
-                    log_error!("sweep: failed to write {path}: {e}");
+                let path = out_path.unwrap_or_else(|| default_out_path(&app_name, format));
+                if let Err(e) = diogenes::write_doc(&path, &doc, format) {
+                    log_error!("sweep: {e}");
                     std::process::exit(1);
                 }
                 eprintln!("diogenes sweep: merged matrix written to {path}");
@@ -265,7 +290,7 @@ fn sweep_main(args: &[String]) -> ! {
     if let Some(s) = shard {
         spec = spec.with_shard(s);
         if out_path.is_none() {
-            out_path = Some(shard_out_path(&app_name, s));
+            out_path = Some(shard_out_path(&app_name, s, format));
         }
     }
     let spec = spec;
@@ -324,14 +349,9 @@ fn sweep_main(args: &[String]) -> ! {
             );
         }
     }
-    let path = out_path.unwrap_or_else(|| default_out_path(&matrix.app_name));
-    if let Some(dir) = std::path::Path::new(&path).parent() {
-        if !dir.as_os_str().is_empty() {
-            let _ = std::fs::create_dir_all(dir);
-        }
-    }
-    if let Err(e) = std::fs::write(&path, doc) {
-        log_error!("sweep: failed to write {path}: {e}");
+    let path = out_path.unwrap_or_else(|| default_out_path(&matrix.app_name, format));
+    if let Err(e) = diogenes::write_sweep(&path, &matrix, &doc, format) {
+        log_error!("sweep: {e}");
         std::process::exit(1);
     }
     eprintln!("diogenes sweep: matrix written to {path}");
@@ -349,6 +369,9 @@ fn main() {
     if args[0] == "cache" {
         cache_main(&args[1..]);
     }
+    if args[0] == "convert" {
+        convert_main(&args[1..]);
+    }
     let app_name = args[0].clone();
     let mut scale_paper = false;
     let mut view = "overview".to_string();
@@ -360,6 +383,7 @@ fn main() {
     let mut autofix = false;
     let mut jobs_flag: Option<usize> = None;
     let mut profile = false;
+    let mut format = OutFormat::Json;
 
     let mut i = 1;
     while i < args.len() {
@@ -367,6 +391,17 @@ fn main() {
             "--scale" => {
                 i += 1;
                 scale_paper = args.get(i).map(|s| s == "paper").unwrap_or_else(|| usage());
+            }
+            "--format" => {
+                i += 1;
+                let arg = args.get(i).cloned().unwrap_or_else(|| usage());
+                match OutFormat::parse(&arg) {
+                    Ok(f) => format = f,
+                    Err(e) => {
+                        log_error!("{e}");
+                        std::process::exit(2);
+                    }
+                }
             }
             "--view" => {
                 i += 1;
@@ -525,11 +560,11 @@ autofix: patching {} call sites...",
     }
 
     if let Some(path) = json_path {
-        let doc = report_to_json(&result.report).to_string_pretty();
-        if let Err(e) = std::fs::write(&path, doc) {
-            log_error!("failed to write {path}: {e}");
+        let doc = report_to_json(&result.report);
+        if let Err(e) = diogenes::write_doc(&path, &doc, format) {
+            log_error!("{e}");
             std::process::exit(1);
         }
-        eprintln!("\ndiogenes: JSON exported to {path}");
+        eprintln!("\ndiogenes: report exported to {path} ({} format)", format.ext());
     }
 }

@@ -9,13 +9,15 @@
 //! at every `--jobs` setting.
 //!
 //! Distribution: `--shard k/n` runs one deterministic round-robin slice
-//! of the grid and writes `results/SWEEP_<app>.shard-k-of-n.json`;
-//! `--merge` folds the shard files back into the unsharded
-//! `results/SWEEP_<app>.json`, byte-identical to a single-process run.
+//! of the grid and writes `results/SWEEP_<app>.shard-k-of-n.json` (or
+//! `.ffb` under `--format bin`); `--merge` folds the shard files — either
+//! format, freely mixed — back into the unsharded `results/SWEEP_<app>.json`,
+//! byte-identical to a single-process run.
 //! Stage artifacts are memoized across cells (on disk under
 //! `results/cache/` by default; `--no-cache` disables, `--cache-dir`
 //! redirects) — caching changes speed, never bytes.
 
+use crate::artifact::{load_doc, OutFormat};
 use cuda_driver::GpuApp;
 use ffm_core::{
     merge_sweep_docs, run_sweep, sweep_to_json, Axis, FfmConfig, Json, Shard, SweepMatrix,
@@ -65,21 +67,22 @@ pub fn build_spec(axes: Vec<Axis>, paired: bool, jobs: usize) -> SweepSpec {
     spec
 }
 
-/// Run the sweep and return the matrix plus its serialized JSON document.
-pub fn run_sweep_cli(app: &dyn GpuApp, spec: &SweepSpec) -> Result<(SweepMatrix, String), String> {
+/// Run the sweep and return the matrix plus its document model (the
+/// caller picks the serialization: pretty JSON or FFB).
+pub fn run_sweep_cli(app: &dyn GpuApp, spec: &SweepSpec) -> Result<(SweepMatrix, Json), String> {
     let matrix = run_sweep(app, spec)?;
-    let doc = sweep_to_json(&matrix).to_string_pretty();
+    let doc = sweep_to_json(&matrix);
     Ok((matrix, doc))
 }
 
-/// Default artifact path for an app: `results/SWEEP_<app>.json`.
-pub fn default_out_path(app_name: &str) -> String {
-    format!("results/SWEEP_{app_name}.json")
+/// Default artifact path for an app: `results/SWEEP_<app>.<ext>`.
+pub fn default_out_path(app_name: &str, format: OutFormat) -> String {
+    format!("results/SWEEP_{app_name}.{}", format.ext())
 }
 
 /// Default artifact path for one shard of an app's sweep.
-pub fn shard_out_path(app_name: &str, shard: Shard) -> String {
-    format!("results/SWEEP_{app_name}.shard-{}-of-{}.json", shard.k, shard.n)
+pub fn shard_out_path(app_name: &str, shard: Shard, format: OutFormat) -> String {
+    format!("results/SWEEP_{app_name}.shard-{}-of-{}.{}", shard.k, shard.n, format.ext())
 }
 
 /// Parse a `--shard` argument of the form `k/n` (1-based k).
@@ -93,7 +96,7 @@ pub fn parse_shard_arg(arg: &str) -> Result<Shard, String> {
 }
 
 /// Find every shard artifact for `app_name` under `dir`
-/// (`SWEEP_<app>.shard-K-of-N.json`), sorted by file name.
+/// (`SWEEP_<app>.shard-K-of-N.json` or `.ffb`), sorted by file name.
 pub fn find_shard_files(app_name: &str, dir: &str) -> Vec<String> {
     let prefix = format!("SWEEP_{app_name}.shard-");
     let mut found: Vec<String> = std::fs::read_dir(dir)
@@ -102,28 +105,23 @@ pub fn find_shard_files(app_name: &str, dir: &str) -> Vec<String> {
         .flatten()
         .filter_map(|e| {
             let name = e.file_name().into_string().ok()?;
-            (name.starts_with(&prefix) && name.ends_with(".json")).then(|| format!("{dir}/{name}"))
+            (name.starts_with(&prefix) && (name.ends_with(".json") || name.ends_with(".ffb")))
+                .then(|| format!("{dir}/{name}"))
         })
         .collect();
     found.sort();
     found
 }
 
-/// Read, validate, and merge shard artifacts into the unsharded sweep
-/// document (pretty-rendered, byte-identical to a single-process run).
-pub fn merge_shard_files(paths: &[String]) -> Result<String, String> {
+/// Read, validate, and merge shard artifacts — JSON or FFB, freely mixed
+/// (format sniffed from the bytes) — into the unsharded sweep document.
+/// Folds in one pass; the caller serializes the result exactly once.
+pub fn merge_shard_files(paths: &[String]) -> Result<Json, String> {
     if paths.is_empty() {
         return Err("no shard files to merge (run with --shard k/n first)".to_string());
     }
-    let docs: Vec<Json> = paths
-        .iter()
-        .map(|p| {
-            let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
-            Json::parse(&text).map_err(|e| format!("{p}: {e}"))
-        })
-        .collect::<Result<_, String>>()?;
-    let merged = merge_sweep_docs(&docs)?;
-    Ok(merged.to_string_pretty())
+    let docs: Vec<Json> = paths.iter().map(|p| load_doc(p)).collect::<Result<_, String>>()?;
+    merge_sweep_docs(&docs)
 }
 
 #[cfg(test)]
@@ -157,7 +155,13 @@ mod tests {
     fn shard_args_parse_and_name_artifacts() {
         let s = parse_shard_arg("2/4").unwrap();
         assert_eq!((s.k, s.n), (2, 4));
-        assert_eq!(shard_out_path("als", s), "results/SWEEP_als.shard-2-of-4.json");
+        assert_eq!(
+            shard_out_path("als", s, OutFormat::Json),
+            "results/SWEEP_als.shard-2-of-4.json"
+        );
+        assert_eq!(shard_out_path("als", s, OutFormat::Bin), "results/SWEEP_als.shard-2-of-4.ffb");
+        assert_eq!(default_out_path("als", OutFormat::Json), "results/SWEEP_als.json");
+        assert_eq!(default_out_path("als", OutFormat::Bin), "results/SWEEP_als.ffb");
         assert!(parse_shard_arg("0/4").is_err());
         assert!(parse_shard_arg("5/4").is_err());
         assert!(parse_shard_arg("2").is_err());

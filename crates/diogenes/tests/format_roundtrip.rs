@@ -1,0 +1,73 @@
+//! Regression: `--format json` and a bin→json `convert` round trip must
+//! produce byte-identical report documents — at every job count. JSON
+//! stays the canonical human-facing rendering; FFB must preserve every
+//! bit of content needed to reproduce it.
+
+use diogenes::{convert_file, run_diogenes, write_doc, DiogenesConfig, OutFormat};
+use diogenes_apps::{AlsConfig, CumfAls};
+use ffm_core::{report_to_json, run_sweep, sweep_to_json, FfmConfig, SweepSpec};
+
+fn app() -> CumfAls {
+    let mut cfg = AlsConfig::test_scale();
+    cfg.iters = 3;
+    CumfAls::new(cfg)
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("diogenes-fmt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn report_bin_to_json_round_trip_is_byte_identical_at_every_job_count() {
+    let dir = tmp_dir("report");
+    let mut renders = Vec::new();
+    for jobs in [1, 4] {
+        let result =
+            run_diogenes(&app(), DiogenesConfig::new().with_jobs(jobs)).expect("pipeline runs");
+        let doc = report_to_json(&result.report);
+
+        let json_path = dir.join(format!("report-{jobs}.json"));
+        let bin_path = dir.join(format!("report-{jobs}.ffb"));
+        let back_path = dir.join(format!("report-{jobs}-back.json"));
+        write_doc(json_path.to_str().unwrap(), &doc, OutFormat::Json).unwrap();
+        write_doc(bin_path.to_str().unwrap(), &doc, OutFormat::Bin).unwrap();
+        assert_eq!(
+            convert_file(bin_path.to_str().unwrap(), back_path.to_str().unwrap()).unwrap(),
+            OutFormat::Json
+        );
+
+        let direct = std::fs::read(&json_path).unwrap();
+        let converted = std::fs::read(&back_path).unwrap();
+        assert_eq!(direct, converted, "jobs={jobs}: bin→json convert diverged from --format json");
+        renders.push(direct);
+    }
+    assert_eq!(renders[0], renders[1], "report must not depend on the job count");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_bin_artifact_converts_back_to_the_json_artifact() {
+    let dir = tmp_dir("sweep");
+    let spec = SweepSpec::new(FfmConfig::default())
+        .axis("cost.free_base_ns", vec![1_000, 4_000])
+        .with_jobs(1);
+    let matrix = run_sweep(&app(), &spec).expect("sweep runs");
+    let doc = sweep_to_json(&matrix);
+
+    let json_path = dir.join("sweep.json");
+    let bin_path = dir.join("sweep.ffb");
+    let back_path = dir.join("sweep-back.json");
+    write_doc(json_path.to_str().unwrap(), &doc, OutFormat::Json).unwrap();
+    // The CLI writes sweeps through the columnar KIND_SWEEP container.
+    std::fs::write(&bin_path, ffm_core::encode_sweep(&matrix).unwrap()).unwrap();
+    convert_file(bin_path.to_str().unwrap(), back_path.to_str().unwrap()).unwrap();
+    assert_eq!(
+        std::fs::read(&json_path).unwrap(),
+        std::fs::read(&back_path).unwrap(),
+        "sweep bin→json convert diverged from the JSON artifact"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -82,7 +82,18 @@ fn merge_cli_helper_reports_missing_and_duplicate_shards() {
     std::fs::write(&s2, render(1, Some(Shard::new(2, 2).unwrap()))).unwrap();
     let both =
         merge_shard_files(&[s1.to_str().unwrap().into(), s2.to_str().unwrap().into()]).unwrap();
-    assert_eq!(both, render(1, None));
+    assert_eq!(both.to_string_pretty(), render(1, None));
+
+    // Binary shards merge identically — including mixed with JSON ones.
+    let b1 = dir.join("s1.ffb");
+    {
+        let sp = spec(1).with_shard(Shard::new(1, 2).unwrap());
+        let m = run_sweep(&app(), &sp).expect("sweep runs");
+        std::fs::write(&b1, ffm_core::encode_sweep(&m).unwrap()).unwrap();
+    }
+    let mixed =
+        merge_shard_files(&[b1.to_str().unwrap().into(), s2.to_str().unwrap().into()]).unwrap();
+    assert_eq!(mixed.to_string_pretty(), render(1, None));
 
     let missing = merge_shard_files(&[s1.to_str().unwrap().into()]).unwrap_err();
     assert!(missing.contains("grid has"), "unexpected error: {missing}");

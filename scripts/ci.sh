@@ -76,6 +76,36 @@ cmp "$SMOKE/full.json" "$SMOKE/merged.json"
 rm -rf "$SMOKE"
 echo "shard/merge smoke ok"
 
+echo "== FFB round trip (report json == bin->json convert, every job count) =="
+FFB=$(mktemp -d)
+for jobs in 1 4; do
+    ./target/release/diogenes als --jobs "$jobs" \
+        --json "$FFB/report-$jobs.json" > /dev/null
+    ./target/release/diogenes als --jobs "$jobs" --format bin \
+        --json "$FFB/report-$jobs.ffb" > /dev/null
+    ./target/release/diogenes convert "$FFB/report-$jobs.ffb" \
+        "$FFB/report-$jobs-back.json" > /dev/null
+    cmp "$FFB/report-$jobs.json" "$FFB/report-$jobs-back.json"
+done
+cmp "$FFB/report-1.json" "$FFB/report-4.json"
+
+echo "== FFB shard merge smoke (binary + JSON shards, byte-identical) =="
+./target/release/diogenes sweep als --jobs 2 --cache-dir "$FFB/cache" \
+    --shard 1/2 --format bin --out "$FFB/s1.ffb" > /dev/null 2>&1
+./target/release/diogenes sweep als --jobs 2 --cache-dir "$FFB/cache" \
+    --shard 2/2 --out "$FFB/s2.json" > /dev/null 2>&1
+./target/release/diogenes sweep als --jobs 2 --no-cache \
+    --out "$FFB/full.json" > /dev/null 2>&1
+./target/release/diogenes sweep als --merge --in "$FFB/s1.ffb" \
+    --in "$FFB/s2.json" --out "$FFB/merged.json" > /dev/null 2>&1
+cmp "$FFB/full.json" "$FFB/merged.json"
+rm -rf "$FFB"
+echo "ffb round-trip smoke ok"
+
+echo "== codec allocation smoke (zero steady-state allocations in FFB decode) =="
+cargo build --release -p diogenes-bench --bin bench_codec
+./target/release/bench_codec --smoke
+
 echo "== columnar identity (reports/sweeps byte-identical to pinned artifacts) =="
 cargo test -q -p diogenes --test columnar_identity
 
