@@ -273,6 +273,15 @@ impl Pool {
         self.shared.queue.lock().unwrap().workers
     }
 
+    /// Batches currently registered with the pool — fan-outs whose work
+    /// may still be in flight. This is the live gauge behind the
+    /// `pool.queue_depth` telemetry metric, exposed directly so
+    /// `diogenes serve` can report it from `/stats` without telemetry
+    /// being enabled.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().unwrap().batches.len()
+    }
+
     fn ensure_workers(&self, want: usize) {
         let want = want.min(MAX_POOL_HELPERS);
         let mut q = self.shared.queue.lock().unwrap();
@@ -555,6 +564,15 @@ mod tests {
         assert_eq!(parse_jobs_env("1e3"), Err(()), "scientific notation is malformed");
         assert_eq!(parse_jobs_env("4.0"), Err(()));
         assert_eq!(parse_jobs_env("0x10"), Err(()));
+    }
+
+    #[test]
+    fn queue_depth_reads_zero_when_idle() {
+        let pool = Pool::new();
+        assert_eq!(pool.queue_depth(), 0);
+        pool.map((0..16).collect::<Vec<_>>(), 4, |x| x + 1);
+        // Batches deregister when their submitter finishes.
+        assert_eq!(pool.queue_depth(), 0);
     }
 
     #[test]

@@ -337,6 +337,22 @@ impl ArtifactStore {
         Some(Claim::Held)
     }
 
+    /// Claim files currently present in the disk layer — computations
+    /// some worker (this process or a rival on the same cache directory)
+    /// has staked but not yet delivered. Always `0` for memory-only
+    /// stores. Purely observational: the count can go stale the moment
+    /// it is read, which is fine for the `/stats` reporting it feeds.
+    pub fn live_claims(&self) -> usize {
+        let Some(dir) = &self.disk else { return 0 };
+        std::fs::read_dir(dir)
+            .map(|rd| {
+                rd.flatten()
+                    .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some(CLAIM_EXT))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
     /// Wait for a peer's claimed computation of `key` to land. Polls the
     /// disk entry until it appears (promoted into memory and returned as
     /// a disk hit), the claim file disappears or goes stale, or the claim
@@ -802,6 +818,28 @@ mod tests {
         let store = ArtifactStore::in_memory();
         assert!(store.try_claim(StageKey(1), ArtifactKind::Stage1).is_none());
         assert!(store.wait_for_claimed(StageKey(1), ArtifactKind::Stage1).is_none());
+        assert_eq!(store.live_claims(), 0);
+    }
+
+    #[test]
+    fn live_claims_counts_staked_and_released_claims() {
+        let dir = temp_dir("claim-count");
+        let store = ArtifactStore::with_disk(&dir);
+        assert_eq!(store.live_claims(), 0, "missing dir reads as no claims");
+        let g1 = match store.try_claim(StageKey(1), ArtifactKind::Stage1) {
+            Some(Claim::Acquired(g)) => g,
+            _ => panic!("claim 1 should acquire"),
+        };
+        let g2 = match store.try_claim(StageKey(2), ArtifactKind::Stage2) {
+            Some(Claim::Acquired(g)) => g,
+            _ => panic!("claim 2 should acquire"),
+        };
+        assert_eq!(store.live_claims(), 2);
+        drop(g1);
+        assert_eq!(store.live_claims(), 1);
+        drop(g2);
+        assert_eq!(store.live_claims(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -9,7 +9,8 @@
 
 use ffm_core::{decode_any_doc, encode_doc, encode_sweep, is_ffb, Json, SweepMatrix};
 use std::io::{BufWriter, Write as _};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Output format for CLI artifacts (`--format json|bin`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,24 +60,60 @@ fn ensure_parent(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Stream a document to `path` as pretty JSON through a `BufWriter`
-/// (never materializes the full text in memory).
-pub fn write_json_doc(path: &str, doc: &Json) -> Result<(), String> {
+/// Sibling temp-file path for an atomic write to `path`. The pid guards
+/// against a rival process, the sequence number against concurrent
+/// writers in this one (serve executors write telemetry side by side).
+fn tmp_sibling(path: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let p = Path::new(path);
+    let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("artifact");
+    let tmp_name =
+        format!(".tmp-{}-{}-{name}", std::process::id(), SEQ.fetch_add(1, Ordering::Relaxed));
+    match p.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => dir.join(tmp_name),
+        _ => PathBuf::from(tmp_name),
+    }
+}
+
+/// Run `fill` against a temp file next to `path`, then rename into
+/// place. A crash mid-write leaves at worst an orphaned `.tmp-*` file —
+/// never a truncated artifact that a later `load_doc`/`--merge` would
+/// read as corrupt. The rename is atomic on the same filesystem, which a
+/// sibling path guarantees.
+fn write_atomic(
+    path: &str,
+    fill: impl FnOnce(&mut BufWriter<std::fs::File>) -> Result<(), String>,
+) -> Result<(), String> {
     ensure_parent(path)?;
-    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-    let mut w = BufWriter::new(file);
-    doc.write_pretty(&mut w).map_err(|e| format!("cannot write {path}: {e}"))?;
-    w.flush().map_err(|e| format!("cannot write {path}: {e}"))
+    let tmp = tmp_sibling(path);
+    let result = (|| {
+        let file = std::fs::File::create(&tmp)
+            .map_err(|e| format!("cannot create {}: {e}", tmp.display()))?;
+        let mut w = BufWriter::new(file);
+        fill(&mut w)?;
+        w.flush().map_err(|e| format!("cannot write {path}: {e}"))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| format!("cannot move {} into {path}: {e}", tmp.display()))
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Stream a document to `path` as pretty JSON through a `BufWriter`
+/// (never materializes the full text in memory), atomically.
+pub fn write_json_doc(path: &str, doc: &Json) -> Result<(), String> {
+    write_atomic(path, |w| doc.write_pretty(w).map_err(|e| format!("cannot write {path}: {e}")))
 }
 
 /// Write a document to `path` in the chosen format.
 pub fn write_doc(path: &str, doc: &Json, format: OutFormat) -> Result<(), String> {
     match format {
         OutFormat::Json => write_json_doc(path, doc),
-        OutFormat::Bin => {
-            ensure_parent(path)?;
-            std::fs::write(path, encode_doc(doc)).map_err(|e| format!("cannot write {path}: {e}"))
-        }
+        OutFormat::Bin => write_atomic(path, |w| {
+            w.write_all(&encode_doc(doc)).map_err(|e| format!("cannot write {path}: {e}"))
+        }),
     }
 }
 
@@ -94,8 +131,9 @@ pub fn write_sweep(
         OutFormat::Bin => {
             let bytes =
                 encode_sweep(matrix).map_err(|e| format!("cannot encode sweep for {path}: {e}"))?;
-            ensure_parent(path)?;
-            std::fs::write(path, bytes).map_err(|e| format!("cannot write {path}: {e}"))
+            write_atomic(path, |w| {
+                w.write_all(&bytes).map_err(|e| format!("cannot write {path}: {e}"))
+            })
         }
     }
 }
@@ -112,9 +150,40 @@ pub fn load_doc(path: &str) -> Result<Json, String> {
     }
 }
 
+/// Resolve a path for identity comparison: canonicalize it if it
+/// exists; otherwise canonicalize its parent (it may not exist either —
+/// fall back to the raw path then) and re-attach the file name. This
+/// catches `a.json` vs `./a.json` vs `sub/../a.json` without requiring
+/// the output to exist yet.
+fn normalized(path: &str) -> PathBuf {
+    let p = Path::new(path);
+    if let Ok(c) = p.canonicalize() {
+        return c;
+    }
+    let parent = match p.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => dir,
+        _ => Path::new("."),
+    };
+    match (parent.canonicalize(), p.file_name()) {
+        (Ok(dir), Some(name)) => dir.join(name),
+        _ => p.to_path_buf(),
+    }
+}
+
 /// `diogenes convert <in> <out>`: read either format, write the format
 /// implied by the output extension (`.ffb` → binary, else JSON).
+///
+/// Converting a file onto itself is rejected: the formats differ only in
+/// encoding, so an in-place "conversion" is at best a no-op and at worst
+/// (same path spelled two ways, mixed formats) silently destroys the
+/// input before it has been fully validated.
 pub fn convert_file(input: &str, output: &str) -> Result<OutFormat, String> {
+    if normalized(input) == normalized(output) {
+        return Err(format!(
+            "refusing in-place convert: {input} and {output} are the same file \
+             (write to a new path, then rename)"
+        ));
+    }
     let doc = load_doc(input)?;
     let format = OutFormat::from_path(output);
     write_doc(output, &doc, format)?;
@@ -166,6 +235,70 @@ mod tests {
         assert_eq!(std::fs::read(&json1).unwrap(), std::fs::read(&json2).unwrap());
         // The binary form really is FFB, not JSON with a funny extension.
         assert!(is_ffb(&std::fs::read(&ffb).unwrap()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_place_convert_is_rejected() {
+        let dir = tmp_dir("inplace");
+        let json = dir.join("doc.json").to_str().unwrap().to_string();
+        write_doc(&json, &doc(), OutFormat::Json).unwrap();
+        let before = std::fs::read(&json).unwrap();
+
+        // Same path, spelled identically.
+        let err = convert_file(&json, &json).unwrap_err();
+        assert!(err.contains("refusing in-place convert"), "{err}");
+        // Same path, spelled differently (via a `..` detour).
+        let detour = dir.join("sub/..").join("doc.json").to_str().unwrap().to_string();
+        std::fs::create_dir_all(dir.join("sub")).unwrap();
+        let err = convert_file(&json, &detour).unwrap_err();
+        assert!(err.contains("refusing in-place convert"), "{err}");
+        // A not-yet-existing output path also normalizes correctly.
+        let err = convert_file(&json, &format!("{}/./doc.json", dir.display())).unwrap_err();
+        assert!(err.contains("refusing in-place convert"), "{err}");
+
+        assert_eq!(std::fs::read(&json).unwrap(), before, "input untouched");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writes_are_atomic_and_leave_no_temp_files() {
+        let dir = tmp_dir("atomic");
+        let json = dir.join("doc.json").to_str().unwrap().to_string();
+        let ffb = dir.join("doc.ffb").to_str().unwrap().to_string();
+        write_doc(&json, &doc(), OutFormat::Json).unwrap();
+        write_doc(&ffb, &doc(), OutFormat::Bin).unwrap();
+        // Overwrites go through the same rename path.
+        write_doc(&json, &doc(), OutFormat::Json).unwrap();
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_write_removes_its_temp_file_and_preserves_the_artifact() {
+        let dir = tmp_dir("atomic-fail");
+        let path = dir.join("doc.json").to_str().unwrap().to_string();
+        write_doc(&path, &doc(), OutFormat::Json).unwrap();
+        let before = std::fs::read(&path).unwrap();
+        // Force the rename step to fail by making the target a directory.
+        let blocked = dir.join("blocked");
+        std::fs::create_dir_all(&blocked).unwrap();
+        let err = write_doc(blocked.to_str().unwrap(), &doc(), OutFormat::Json).unwrap_err();
+        assert!(err.contains("cannot move"), "{err}");
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "failed write left temp files: {leftovers:?}");
+        assert_eq!(std::fs::read(&path).unwrap(), before, "existing artifact untouched");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,238 @@
+//! A hand-rolled HTTP/1.1 subset for `diogenes serve`.
+//!
+//! The workspace builds with no external crates, so the daemon parses
+//! and emits HTTP itself. The subset is deliberately small: one request
+//! per connection (`Connection: close`), request bodies sized by
+//! `Content-Length`, no chunked transfer, no keep-alive, no TLS. That is
+//! exactly what the analysis service needs — submissions and report
+//! polls are single short exchanges — and it keeps every byte on the
+//! wire auditable.
+//!
+//! Limits guard the daemon against malformed or hostile peers: the head
+//! (request line + headers) is capped at [`MAX_HEAD_BYTES`] and bodies
+//! at [`MAX_BODY_BYTES`]; anything larger is an error the caller maps to
+//! a 4xx response.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Maximum bytes accepted for the request line + headers.
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// Maximum bytes accepted for a request body (FFB sweep documents can be
+/// sizeable, but nothing legitimate approaches this).
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// How long a connection may sit idle mid-request before the daemon
+/// gives up on it.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the request target, query string stripped.
+    pub path: String,
+    /// Raw header pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with this (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read and parse one request. `Ok(None)` means the peer closed the
+/// connection before sending anything (e.g. a port probe, or the
+/// daemon's own shutdown self-connect) — not an error worth logging.
+pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, String> {
+    stream.set_read_timeout(Some(READ_TIMEOUT)).map_err(|e| format!("set timeout: {e}"))?;
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_len = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err("request head exceeds limit".to_string());
+        }
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            return Err("connection closed mid-request".to_string());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_len]).map_err(|_| "head is not UTF-8")?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().ok_or("missing method")?.to_ascii_uppercase();
+    let target = parts.next().ok_or("missing request target")?;
+    let version = parts.next().ok_or("missing HTTP version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported version {version:?}"));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) =
+            line.split_once(':').ok_or_else(|| format!("malformed header line {line:?}"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length: usize = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v.parse().map_err(|_| format!("bad content-length {v:?}"))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err("request body exceeds limit".to_string());
+    }
+
+    // Whatever followed the head in the buffer is the body's prefix.
+    let mut body = buf.split_off(head_len + 4);
+    buf.truncate(head_len);
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| format!("read body: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-body".to_string());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Some(Request { method, path, headers, body }))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reason phrase for the status codes the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Emit one complete response and flush it. Always `Connection: close` —
+/// the daemon's exchanges are single-shot by design.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Round-trip a raw request through a real socket pair.
+    fn parse_raw(raw: &[u8]) -> Result<Option<Request>, String> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            // Close the write half by dropping the stream after a beat so
+            // the server sees EOF if it reads past the request.
+            s.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink);
+        });
+        let (mut server, _) = listener.accept().unwrap();
+        let out = read_request(&mut server);
+        drop(server);
+        client.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse_raw(
+            b"POST /run?trace=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 14\r\n\r\n{\"app\": \"als\"}",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/run", "query string stripped");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"{\"app\": \"als\"}");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let req = parse_raw(b"GET /stats HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/stats");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn empty_connection_reads_as_none() {
+        assert!(parse_raw(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(parse_raw(b"NOT-HTTP\r\n\r\n").is_err(), "bad request line");
+        assert!(
+            parse_raw(b"POST /run HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort").is_err(),
+            "body shorter than content-length"
+        );
+        assert!(
+            parse_raw(b"POST /run HTTP/1.1\r\nContent-Length: eleventy\r\n\r\n").is_err(),
+            "unparseable content-length"
+        );
+    }
+
+    #[test]
+    fn response_writer_emits_well_formed_http() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            write_response(&mut s, 200, "application/json", b"{\"ok\":true}").unwrap();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut got = Vec::new();
+        client.read_to_end(&mut got).unwrap();
+        server.join().unwrap();
+        let text = String::from_utf8(got).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("{\"ok\":true}"), "{text}");
+    }
+}

@@ -25,7 +25,9 @@ pub mod artifact;
 pub mod autofix;
 pub mod cli;
 pub mod experiments;
+pub mod http;
 pub mod seqfam;
+pub mod serve;
 pub mod sweep;
 pub mod tool;
 pub mod traceviz;
@@ -40,6 +42,7 @@ pub use seqfam::{
     best_subsequence, family_subsequence_benefit, family_subsequence_benefit_indexed,
     merge_sequences, FamilyEntry, SequenceFamily, SubsequenceChoice,
 };
+pub use serve::{build_app, serve, ServeConfig, Server};
 pub use sweep::{
     build_spec, default_axes, default_out_path, find_shard_files, merge_shard_files,
     parse_axis_arg, parse_shard_arg, run_sweep_cli, shard_out_path,

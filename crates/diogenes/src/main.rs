@@ -30,13 +30,12 @@
 //! application (no interaction needed between stages) and renders the
 //! requested terminal view, optionally exporting the JSON document.
 
-use cuda_driver::{ApiFn, GpuApp};
+use cuda_driver::ApiFn;
 use diogenes::{
-    best_subsequence, derive_policy, evaluate_autofix, render_fold_expansion, render_overview,
-    render_sequence, render_subsequence, resolve_jobs, run_diogenes, AutofixConfig, DiogenesConfig,
-    OutFormat,
+    best_subsequence, build_app, derive_policy, evaluate_autofix, render_fold_expansion,
+    render_overview, render_sequence, render_subsequence, resolve_jobs, run_diogenes,
+    AutofixConfig, DiogenesConfig, OutFormat, ServeConfig,
 };
-use diogenes_apps::*;
 use ffm_core::{log_error, report_to_json, telemetry};
 use gpu_sim::CostModel;
 
@@ -54,22 +53,6 @@ fn write_telemetry(app_name: &str, workload: &str, jobs: usize) {
     }
 }
 
-fn make_app(name: &str, paper: bool) -> Option<Box<dyn GpuApp>> {
-    Some(match (name, paper) {
-        ("als", false) => Box::new(CumfAls::new(AlsConfig::test_scale())),
-        ("als", true) => Box::new(CumfAls::new(AlsConfig::paper_scale())),
-        ("cuibm", false) => Box::new(CuIbm::new(CuibmConfig::test_scale())),
-        ("cuibm", true) => Box::new(CuIbm::new(CuibmConfig::paper_scale())),
-        ("amg", false) => Box::new(Amg::new(AmgConfig::test_scale())),
-        ("amg", true) => Box::new(Amg::new(AmgConfig::paper_scale())),
-        ("gaussian", false) => Box::new(Gaussian::new(GaussianConfig::test_scale())),
-        ("gaussian", true) => Box::new(Gaussian::new(GaussianConfig::paper_scale())),
-        ("pipelined", false) => Box::new(Pipelined::new(PipelinedConfig::test_scale())),
-        ("pipelined", true) => Box::new(Pipelined::new(PipelinedConfig::paper_scale())),
-        _ => return None,
-    })
-}
-
 fn usage() -> ! {
     eprintln!(
         "usage: diogenes <als|cuibm|amg|gaussian|pipelined> [--scale test|paper] \
@@ -82,7 +65,9 @@ fn usage() -> ! {
          \x20      diogenes sweep <app> --merge [--in <shard.json|.ffb>]... [--out <path>] \
          [--format json|bin]\n\
          \x20      diogenes convert <in> <out>   (.ffb out = binary, else JSON)\n\
-         \x20      diogenes cache [--dir <dir>] [--clear-stale] [--clear-all]"
+         \x20      diogenes cache [--dir <dir>] [--clear-stale] [--clear-all]\n\
+         \x20      diogenes serve [--addr HOST:PORT] [--jobs N] [--executors N] \
+         [--cache-dir <dir>] [--no-cache] [--profile]"
     );
     std::process::exit(2);
 }
@@ -151,6 +136,51 @@ fn convert_main(args: &[String]) -> ! {
         }
         Err(e) => {
             log_error!("convert: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `diogenes serve ...` — run the analysis-as-a-service daemon until a
+/// `POST /shutdown` drains it. The bound address is announced on stdout
+/// (`diogenes serve: listening on HOST:PORT`) so scripts binding port 0
+/// can discover the ephemeral port.
+fn serve_main(args: &[String]) -> ! {
+    let mut cfg = ServeConfig::default();
+    let mut profile = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                cfg.addr = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--jobs" => {
+                i += 1;
+                cfg.jobs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--executors" => {
+                i += 1;
+                cfg.executors = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--cache-dir" => {
+                i += 1;
+                cfg.cache_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()).into());
+            }
+            "--no-cache" => cfg.cache_dir = None,
+            "--profile" => profile = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    telemetry::set_enabled(profile);
+    match diogenes::serve(cfg) {
+        Ok(()) => {
+            eprintln!("diogenes serve: drained, exiting");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            log_error!("serve: {e}");
             std::process::exit(1);
         }
     }
@@ -279,7 +309,7 @@ fn sweep_main(args: &[String]) -> ! {
         }
     }
 
-    let Some(app) = make_app(&app_name, scale_paper) else { usage() };
+    let Some(app) = build_app(&app_name, scale_paper) else { usage() };
     let (jobs, jobs_origin) = resolve_jobs(jobs_flag);
     let mut spec = build_spec(axes, paired, jobs);
     spec.cache = if no_cache {
@@ -372,6 +402,9 @@ fn main() {
     if args[0] == "convert" {
         convert_main(&args[1..]);
     }
+    if args[0] == "serve" {
+        serve_main(&args[1..]);
+    }
     let app_name = args[0].clone();
     let mut scale_paper = false;
     let mut view = "overview".to_string();
@@ -441,7 +474,7 @@ fn main() {
         i += 1;
     }
 
-    let Some(app) = make_app(&app_name, scale_paper) else { usage() };
+    let Some(app) = build_app(&app_name, scale_paper) else { usage() };
     if view == "compare" {
         // The Table 2 view: profile with all three tools and compare
         // resource consumption against expected benefit.

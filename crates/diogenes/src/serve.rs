@@ -1,0 +1,785 @@
+//! `diogenes serve` — the analysis-as-a-service daemon.
+//!
+//! A long-running, std-only HTTP/1.1 server (see [`crate::http`]) that
+//! turns the one-shot CLI into a service: clients POST run or sweep
+//! submissions, the daemon enqueues them on an internal job queue
+//! drained by a small set of executor threads (each of which fans out on
+//! the process-wide `ffm_core::par` pool exactly as the CLI does), and
+//! results are fetched by content-derived job id.
+//!
+//! ## Identity and dedupe
+//!
+//! A submission's id is a digest of its *normalized content* (app,
+//! scale, axes — never `jobs`, because reports are byte-identical at
+//! every worker count). Two identical submissions — concurrent or
+//! repeated — therefore share one job: the second attaches to the
+//! first's entry and no duplicate computation is enqueued. Below the
+//! job layer, stage artifacts flow through the shared
+//! [`ffm_core::ArtifactStore`], so even *different* submissions that
+//! overlap upstream (same app, overlapping config) reuse stage outputs,
+//! and a rival daemon pointed at the same cache directory dedupes
+//! cross-process via the store's claim protocol.
+//!
+//! ## Byte identity
+//!
+//! A job's result bytes are exactly what the offline CLI writes for the
+//! same config: `report_to_json(..)`/`sweep_to_json(..)` rendered
+//! through `Json::write_pretty`. `GET /report/<id>` returns those bytes
+//! verbatim, so `diogenes serve` and `diogenes <app> --json` can be
+//! `cmp`'d against each other (the CI smoke test does).
+//!
+//! ## Shutdown
+//!
+//! `POST /shutdown` stops accepting new submissions, drains queued and
+//! in-flight jobs, then exits. SIGINT terminates immediately (std has no
+//! signal hooks and the workspace takes no dependencies); that is safe
+//! because all final artifact writes go through the atomic
+//! temp-file+rename path in [`crate::artifact`].
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use cuda_driver::GpuApp;
+use diogenes_apps::*;
+use ffm_core::{
+    decode_any_doc, is_ffb, report_to_json, run_ffm_with_store, run_sweep_with_store,
+    sweep_to_json, telemetry, ArtifactStore, Axis, CacheMode, FfmConfig, Json, KeyHasher, Pool,
+};
+
+use crate::http::{read_request, write_response, Request};
+
+/// Construct one of the five simulated applications by CLI name.
+/// Shared by the CLI entry point and the daemon so both accept exactly
+/// the same app vocabulary.
+pub fn build_app(name: &str, paper: bool) -> Option<Box<dyn GpuApp>> {
+    Some(match (name, paper) {
+        ("als", false) => Box::new(CumfAls::new(AlsConfig::test_scale())),
+        ("als", true) => Box::new(CumfAls::new(AlsConfig::paper_scale())),
+        ("cuibm", false) => Box::new(CuIbm::new(CuibmConfig::test_scale())),
+        ("cuibm", true) => Box::new(CuIbm::new(CuibmConfig::paper_scale())),
+        ("amg", false) => Box::new(Amg::new(AmgConfig::test_scale())),
+        ("amg", true) => Box::new(Amg::new(AmgConfig::paper_scale())),
+        ("gaussian", false) => Box::new(Gaussian::new(GaussianConfig::test_scale())),
+        ("gaussian", true) => Box::new(Gaussian::new(GaussianConfig::paper_scale())),
+        ("pipelined", false) => Box::new(Pipelined::new(PipelinedConfig::test_scale())),
+        ("pipelined", true) => Box::new(Pipelined::new(PipelinedConfig::paper_scale())),
+        _ => return None,
+    })
+}
+
+/// Daemon configuration (the `diogenes serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` asks the OS for an ephemeral port.
+    pub addr: String,
+    /// Default worker count for job execution (`0` = auto); a submission
+    /// may override it per job, which never changes result bytes.
+    pub jobs: usize,
+    /// Executor threads draining the job queue. Each executes one job at
+    /// a time, fanning out internally on the shared pool.
+    pub executors: usize,
+    /// Stage-artifact cache directory; `None` = memory-only store.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7177".to_string(),
+            jobs: 0,
+            executors: 2,
+            cache_dir: Some(PathBuf::from("results/cache")),
+        }
+    }
+}
+
+/// What a job computes. `jobs` rides along as an execution knob but is
+/// never part of the job id.
+#[derive(Debug, Clone)]
+enum JobSpec {
+    Run { app: String, paper: bool, jobs: usize },
+    Sweep { app: String, paper: bool, axes: Vec<Axis>, paired: bool, jobs: usize },
+}
+
+impl JobSpec {
+    fn kind(&self) -> &'static str {
+        match self {
+            JobSpec::Run { .. } => "run",
+            JobSpec::Sweep { .. } => "sweep",
+        }
+    }
+
+    /// Content-derived job id: a digest of everything that determines
+    /// the result bytes. Axis order is kept significant — reordered axes
+    /// produce a differently-shaped sweep document.
+    fn id(&self) -> String {
+        let mut h = match self {
+            JobSpec::Run { .. } => KeyHasher::new("serve-run"),
+            JobSpec::Sweep { .. } => KeyHasher::new("serve-sweep"),
+        };
+        match self {
+            JobSpec::Run { app, paper, .. } => {
+                h.push_str(app);
+                h.push_u64(*paper as u64);
+            }
+            JobSpec::Sweep { app, paper, axes, paired, .. } => {
+                h.push_str(app);
+                h.push_u64(*paper as u64);
+                h.push_u64(*paired as u64);
+                h.push_u64(axes.len() as u64);
+                for a in axes {
+                    h.push_str(&a.field);
+                    h.push_u64(a.values.len() as u64);
+                    for &v in &a.values {
+                        h.push_u64(v);
+                    }
+                }
+            }
+        }
+        h.finish().hex()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobStatus {
+    Queued,
+    Running,
+    Done,
+    Failed,
+}
+
+impl JobStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+struct Job {
+    spec: JobSpec,
+    status: JobStatus,
+    /// Result bytes (the exact artifact the offline CLI would write).
+    result: Option<Arc<Vec<u8>>>,
+    error: Option<String>,
+}
+
+struct ServeState {
+    jobs: HashMap<String, Job>,
+    queue: VecDeque<String>,
+    draining: bool,
+}
+
+/// Request routes with dedicated telemetry aggregates.
+const ROUTES: [&str; 8] = [
+    "POST /run",
+    "POST /sweep",
+    "GET /report",
+    "GET /sweep",
+    "GET /stats",
+    "GET /telemetry",
+    "POST /shutdown",
+    "other",
+];
+
+#[derive(Default)]
+struct RouteStats {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+struct Shared {
+    state: Mutex<ServeState>,
+    work_cv: Condvar,
+    store: ArtifactStore,
+    default_jobs: usize,
+    started: Instant,
+    submissions: AtomicU64,
+    dedup_hits: AtomicU64,
+    computed: AtomicU64,
+    failed: AtomicU64,
+    in_flight: AtomicU64,
+    bytes_served: AtomicU64,
+    routes: [RouteStats; ROUTES.len()],
+}
+
+/// A bound, not-yet-running daemon. Splitting bind from run lets callers
+/// (tests, the CI smoke script via port `0`) learn the actual address
+/// before the accept loop starts.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    executors: usize,
+}
+
+impl Server {
+    pub fn bind(cfg: ServeConfig) -> Result<Server, String> {
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+        let store = match &cfg.cache_dir {
+            Some(dir) => ArtifactStore::with_disk(dir.clone()),
+            None => ArtifactStore::in_memory(),
+        };
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                state: Mutex::new(ServeState {
+                    jobs: HashMap::new(),
+                    queue: VecDeque::new(),
+                    draining: false,
+                }),
+                work_cv: Condvar::new(),
+                store,
+                default_jobs: cfg.jobs,
+                started: Instant::now(),
+                submissions: AtomicU64::new(0),
+                dedup_hits: AtomicU64::new(0),
+                computed: AtomicU64::new(0),
+                failed: AtomicU64::new(0),
+                in_flight: AtomicU64::new(0),
+                bytes_served: AtomicU64::new(0),
+                routes: Default::default(),
+            }),
+            executors: cfg.executors.max(1),
+        })
+    }
+
+    /// The address actually bound (resolves port `0`).
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, String> {
+        self.listener.local_addr().map_err(|e| format!("local_addr: {e}"))
+    }
+
+    /// Accept and serve until a `POST /shutdown` drains the daemon.
+    /// Blocks the calling thread for the server's whole life.
+    pub fn run(self) -> Result<(), String> {
+        let addr = self.local_addr()?;
+        let mut executors = Vec::new();
+        for i in 0..self.executors {
+            let shared = Arc::clone(&self.shared);
+            executors.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-exec-{i}"))
+                    .spawn(move || executor_loop(&shared))
+                    .map_err(|e| format!("spawn executor: {e}"))?,
+            );
+        }
+        for stream in self.listener.incoming() {
+            if self.shared.state.lock().unwrap().draining {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let shared = Arc::clone(&self.shared);
+            // Thread-per-connection: exchanges are single-shot and
+            // short-lived; heavy work happens on the executors, not here.
+            let _ = std::thread::Builder::new()
+                .name("serve-conn".to_string())
+                .spawn(move || handle_connection(stream, &shared, addr));
+        }
+        // Drain: executors exit once the queue is empty and draining set.
+        self.shared.work_cv.notify_all();
+        for h in executors {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// Bind, announce the address on stdout (machine-readable: the last
+/// whitespace-separated token is `host:port`), and run to completion.
+pub fn serve(cfg: ServeConfig) -> Result<(), String> {
+    let server = Server::bind(cfg)?;
+    let addr = server.local_addr()?;
+    println!("diogenes serve: listening on {addr}");
+    eprintln!(
+        "diogenes serve: POST /run | POST /sweep | GET /report/<id> | GET /sweep/<id> | \
+         GET /stats | GET /telemetry | POST /shutdown"
+    );
+    server.run()
+}
+
+// ---------------------------------------------------------------------------
+// Executors
+// ---------------------------------------------------------------------------
+
+fn executor_loop(shared: &Shared) {
+    loop {
+        let id = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(id) = st.queue.pop_front() {
+                    if let Some(job) = st.jobs.get_mut(&id) {
+                        job.status = JobStatus::Running;
+                    }
+                    break id;
+                }
+                if st.draining {
+                    return;
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        let spec = match shared.state.lock().unwrap().jobs.get(&id) {
+            Some(job) => job.spec.clone(),
+            None => continue,
+        };
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        let outcome = {
+            let _span = telemetry::span("serve.job");
+            execute_job(&spec, shared)
+        };
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let mut st = shared.state.lock().unwrap();
+        if let Some(job) = st.jobs.get_mut(&id) {
+            match outcome {
+                Ok(bytes) => {
+                    job.status = JobStatus::Done;
+                    job.result = Some(Arc::new(bytes));
+                    shared.computed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    job.status = JobStatus::Failed;
+                    job.error = Some(e);
+                    shared.failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Compute a job's result bytes — exactly the bytes the offline CLI
+/// writes for the same config.
+fn execute_job(spec: &JobSpec, shared: &Shared) -> Result<Vec<u8>, String> {
+    let doc = match spec {
+        JobSpec::Run { app, paper, jobs } => {
+            let app = build_app(app, *paper).ok_or_else(|| format!("unknown app {app:?}"))?;
+            let cfg = FfmConfig::default().with_jobs(resolve(*jobs, shared.default_jobs));
+            let report = run_ffm_with_store(app.as_ref(), &cfg, Some(&shared.store))
+                .map_err(|e| format!("pipeline failed: {e}"))?;
+            report_to_json(&report)
+        }
+        JobSpec::Sweep { app, paper, axes, paired, jobs } => {
+            let app = build_app(app, *paper).ok_or_else(|| format!("unknown app {app:?}"))?;
+            let mut spec = crate::sweep::build_spec(
+                axes.clone(),
+                *paired,
+                resolve(*jobs, shared.default_jobs),
+            );
+            // The store is threaded in directly; the spec-level cache
+            // mode is unused on this path.
+            spec.cache = CacheMode::Off;
+            let matrix = run_sweep_with_store(app.as_ref(), &spec, Some(&shared.store))?;
+            sweep_to_json(&matrix)
+        }
+    };
+    let mut bytes = Vec::new();
+    doc.write_pretty(&mut bytes).map_err(|e| format!("render: {e}"))?;
+    Ok(bytes)
+}
+
+fn resolve(job_jobs: usize, daemon_jobs: usize) -> usize {
+    if job_jobs != 0 {
+        job_jobs
+    } else {
+        daemon_jobs
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connections and routing
+// ---------------------------------------------------------------------------
+
+fn route_index(method: &str, path: &str) -> usize {
+    let label = match (method, path) {
+        ("POST", "/run") => "POST /run",
+        ("POST", "/sweep") => "POST /sweep",
+        ("POST", "/shutdown") => "POST /shutdown",
+        ("GET", "/stats") => "GET /stats",
+        ("GET", "/telemetry") => "GET /telemetry",
+        ("GET", p) if p.starts_with("/report/") => "GET /report",
+        ("GET", p) if p.starts_with("/sweep/") => "GET /sweep",
+        _ => "other",
+    };
+    ROUTES.iter().position(|&r| r == label).expect("label drawn from ROUTES")
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared, self_addr: std::net::SocketAddr) {
+    let req = match read_request(&mut stream) {
+        Ok(Some(req)) => req,
+        Ok(None) => return, // silent close (probe or shutdown self-connect)
+        Err(e) => {
+            let body = error_body(&e);
+            let _ = write_response(&mut stream, 400, "application/json", &body);
+            return;
+        }
+    };
+    let t0 = Instant::now();
+    let _span = telemetry::span("serve.request");
+    let (status, body) = respond(&req, shared, self_addr);
+    let ri = route_index(&req.method, &req.path);
+    shared.routes[ri].count.fetch_add(1, Ordering::Relaxed);
+    shared.routes[ri].total_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    shared.bytes_served.fetch_add(body.len() as u64, Ordering::Relaxed);
+    let _ = write_response(&mut stream, status, "application/json", &body);
+}
+
+fn error_body(msg: &str) -> Vec<u8> {
+    Json::obj([("error", Json::Str(msg.to_string()))]).to_string_pretty().into_bytes()
+}
+
+fn respond(req: &Request, shared: &Shared, self_addr: std::net::SocketAddr) -> (u16, Vec<u8>) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/run") => submit(req, shared, false),
+        ("POST", "/sweep") => submit(req, shared, true),
+        ("GET", "/stats") => (200, stats_doc(shared).to_string_pretty().into_bytes()),
+        ("GET", "/telemetry") => (200, telemetry_doc(shared).to_string_pretty().into_bytes()),
+        ("POST", "/shutdown") => shutdown(shared, self_addr),
+        ("GET", path) if path.starts_with("/report/") => {
+            fetch(shared, &path["/report/".len()..], "run")
+        }
+        ("GET", path) if path.starts_with("/sweep/") => {
+            fetch(shared, &path["/sweep/".len()..], "sweep")
+        }
+        ("GET", _) => (404, error_body(&format!("no such resource {:?}", req.path))),
+        (m, _) => (405, error_body(&format!("method {m} not supported here"))),
+    }
+}
+
+/// Parse a submission body (JSON or FFB, sniffed from the bytes) into a
+/// document.
+fn parse_body(body: &[u8]) -> Result<Json, String> {
+    if body.is_empty() {
+        return Err("empty request body (expected a JSON or FFB submission)".to_string());
+    }
+    if is_ffb(body) {
+        decode_any_doc(body)
+    } else {
+        let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+        Json::parse(text)
+    }
+}
+
+fn parse_spec(doc: &Json, sweep: bool) -> Result<JobSpec, String> {
+    let app = doc
+        .get("app")
+        .and_then(Json::as_str)
+        .ok_or("submission needs an \"app\" field (als|cuibm|amg|gaussian|pipelined)")?
+        .to_string();
+    let paper = match doc.get("scale").and_then(Json::as_str) {
+        None | Some("test") => false,
+        Some("paper") => true,
+        Some(other) => return Err(format!("unknown scale {other:?} (expected test or paper)")),
+    };
+    if build_app(&app, paper).is_none() {
+        return Err(format!("unknown app {app:?} (expected als|cuibm|amg|gaussian|pipelined)"));
+    }
+    let jobs = match doc.get("jobs") {
+        None => 0,
+        Some(j) => usize::try_from(j.as_i128().ok_or("\"jobs\" must be an integer")?)
+            .map_err(|_| "\"jobs\" must be non-negative".to_string())?,
+    };
+    if !sweep {
+        return Ok(JobSpec::Run { app, paper, jobs });
+    }
+    let mut axes = Vec::new();
+    if let Some(list) = doc.get("axes") {
+        let list = list.as_arr().ok_or("\"axes\" must be an array")?;
+        for a in list {
+            let field = a
+                .get("field")
+                .and_then(Json::as_str)
+                .ok_or("each axis needs a string \"field\"")?;
+            let values = a
+                .get("values")
+                .and_then(Json::as_arr)
+                .ok_or("each axis needs a \"values\" array")?;
+            let values: Vec<u64> = values
+                .iter()
+                .map(|v| {
+                    v.as_i128().and_then(|i| u64::try_from(i).ok()).ok_or_else(|| {
+                        format!("axis {field:?}: values must be non-negative integers")
+                    })
+                })
+                .collect::<Result<_, String>>()?;
+            if values.is_empty() {
+                return Err(format!("axis {field:?} has no values"));
+            }
+            axes.push(Axis::new(field, values));
+        }
+    }
+    let paired = match doc.get("paired") {
+        None => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err("\"paired\" must be a boolean".to_string()),
+    };
+    Ok(JobSpec::Sweep { app, paper, axes, paired, jobs })
+}
+
+fn submit(req: &Request, shared: &Shared, sweep: bool) -> (u16, Vec<u8>) {
+    let spec = match parse_body(&req.body).and_then(|doc| parse_spec(&doc, sweep)) {
+        Ok(s) => s,
+        Err(e) => return (400, error_body(&e)),
+    };
+    // Validate sweep axes up front so a bad grid fails the submission,
+    // not the job.
+    if let JobSpec::Sweep { axes, paired, .. } = &spec {
+        if let Err(e) = crate::sweep::build_spec(axes.clone(), *paired, 1).expand() {
+            return (400, error_body(&e));
+        }
+    }
+    let id = spec.id();
+    let kind = spec.kind();
+    shared.submissions.fetch_add(1, Ordering::Relaxed);
+    let mut st = shared.state.lock().unwrap();
+    if st.draining {
+        return (503, error_body("daemon is draining; no new submissions"));
+    }
+    let status = match st.jobs.get(&id) {
+        Some(job) => {
+            // Identical submission: attach to the existing job — this is
+            // the daemon-level dedupe (one computation, N clients).
+            shared.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            job.status
+        }
+        None => {
+            st.jobs.insert(
+                id.clone(),
+                Job { spec, status: JobStatus::Queued, result: None, error: None },
+            );
+            st.queue.push_back(id.clone());
+            shared.work_cv.notify_one();
+            JobStatus::Queued
+        }
+    };
+    drop(st);
+    let body = Json::obj([
+        ("id", Json::Str(id.clone())),
+        ("kind", Json::Static(kind)),
+        ("status", Json::Static(status.as_str())),
+        ("location", Json::Str(format!("/{}/{id}", if sweep { "sweep" } else { "report" }))),
+    ]);
+    (200, body.to_string_pretty().into_bytes())
+}
+
+fn fetch(shared: &Shared, id: &str, want_kind: &str) -> (u16, Vec<u8>) {
+    let st = shared.state.lock().unwrap();
+    let Some(job) = st.jobs.get(id) else {
+        return (404, error_body(&format!("no job {id:?}")));
+    };
+    if job.spec.kind() != want_kind {
+        let err = format!(
+            "job {id:?} is a {}; fetch it from /{}/{id}",
+            job.spec.kind(),
+            if job.spec.kind() == "run" { "report" } else { "sweep" }
+        );
+        return (404, error_body(&err));
+    }
+    match job.status {
+        JobStatus::Done => {
+            let bytes = job.result.as_ref().expect("done jobs carry bytes").as_ref().clone();
+            (200, bytes)
+        }
+        JobStatus::Failed => {
+            let msg = job.error.clone().unwrap_or_else(|| "job failed".to_string());
+            (500, error_body(&msg))
+        }
+        status => {
+            let body = Json::obj([
+                ("id", Json::Str(id.to_string())),
+                ("status", Json::Static(status.as_str())),
+            ]);
+            (202, body.to_string_pretty().into_bytes())
+        }
+    }
+}
+
+fn shutdown(shared: &Shared, self_addr: std::net::SocketAddr) -> (u16, Vec<u8>) {
+    let pending = {
+        let mut st = shared.state.lock().unwrap();
+        st.draining = true;
+        st.queue.len() + shared.in_flight.load(Ordering::Relaxed) as usize
+    };
+    shared.work_cv.notify_all();
+    // Unblock the accept loop so `run` observes the draining flag. The
+    // probe connection sends nothing; the handler reads EOF and returns.
+    let _ = TcpStream::connect(self_addr);
+    let body = Json::obj([
+        ("status", Json::Static("draining")),
+        ("jobs_pending", Json::Int(pending as i128)),
+    ]);
+    (200, body.to_string_pretty().into_bytes())
+}
+
+fn stats_doc(shared: &Shared) -> Json {
+    let st = shared.state.lock().unwrap();
+    let queue_depth = st.queue.len();
+    let jobs_total = st.jobs.len();
+    drop(st);
+    let cache = shared.store.stats();
+    Json::obj([
+        ("queue_depth", Json::Int(queue_depth as i128)),
+        ("pool_queue_depth", Json::Int(Pool::global().queue_depth() as i128)),
+        ("pool_workers", Json::Int(Pool::global().workers() as i128)),
+        (
+            "jobs",
+            Json::obj([
+                ("submitted", Json::Int(shared.submissions.load(Ordering::Relaxed) as i128)),
+                ("deduped", Json::Int(shared.dedup_hits.load(Ordering::Relaxed) as i128)),
+                ("computed", Json::Int(shared.computed.load(Ordering::Relaxed) as i128)),
+                ("failed", Json::Int(shared.failed.load(Ordering::Relaxed) as i128)),
+                ("in_flight", Json::Int(shared.in_flight.load(Ordering::Relaxed) as i128)),
+                ("known", Json::Int(jobs_total as i128)),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj([
+                ("mem_hits", Json::Int(cache.mem_hits as i128)),
+                ("disk_hits", Json::Int(cache.disk_hits as i128)),
+                ("misses", Json::Int(cache.misses as i128)),
+                ("puts", Json::Int(cache.puts as i128)),
+                ("hit_rate", Json::Float(cache.hit_rate())),
+                ("live_claims", Json::Int(shared.store.live_claims() as i128)),
+            ]),
+        ),
+    ])
+}
+
+fn telemetry_doc(shared: &Shared) -> Json {
+    let requests: Vec<Json> = ROUTES
+        .iter()
+        .zip(&shared.routes)
+        .map(|(route, rs)| {
+            Json::obj([
+                ("route", Json::Static(route)),
+                ("count", Json::Int(rs.count.load(Ordering::Relaxed) as i128)),
+                ("total_ns", Json::Int(rs.total_ns.load(Ordering::Relaxed) as i128)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("uptime_ns", Json::Int(shared.started.elapsed().as_nanos() as i128)),
+        ("bytes_served", Json::Int(shared.bytes_served.load(Ordering::Relaxed) as i128)),
+        ("requests", Json::Arr(requests)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_app_accepts_the_cli_vocabulary() {
+        for name in ["als", "cuibm", "amg", "gaussian", "pipelined"] {
+            assert!(build_app(name, false).is_some(), "{name} test scale");
+            assert!(build_app(name, true).is_some(), "{name} paper scale");
+        }
+        assert!(build_app("nonesuch", false).is_none());
+    }
+
+    #[test]
+    fn job_ids_are_content_derived_and_jobs_blind() {
+        let a = JobSpec::Run { app: "als".into(), paper: false, jobs: 1 };
+        let b = JobSpec::Run { app: "als".into(), paper: false, jobs: 8 };
+        assert_eq!(a.id(), b.id(), "worker count never fragments job identity");
+        let c = JobSpec::Run { app: "als".into(), paper: true, jobs: 1 };
+        assert_ne!(a.id(), c.id(), "scale is part of identity");
+        let d = JobSpec::Run { app: "amg".into(), paper: false, jobs: 1 };
+        assert_ne!(a.id(), d.id(), "app is part of identity");
+        let s = JobSpec::Sweep {
+            app: "als".into(),
+            paper: false,
+            axes: Vec::new(),
+            paired: false,
+            jobs: 1,
+        };
+        assert_ne!(a.id(), s.id(), "run and sweep ids are domain-separated");
+    }
+
+    #[test]
+    fn sweep_ids_key_on_axes_and_layout() {
+        let base = JobSpec::Sweep {
+            app: "als".into(),
+            paper: false,
+            axes: vec![Axis::new("cost.free_base_ns", vec![1, 2])],
+            paired: false,
+            jobs: 0,
+        };
+        let other_values = JobSpec::Sweep {
+            app: "als".into(),
+            paper: false,
+            axes: vec![Axis::new("cost.free_base_ns", vec![1, 3])],
+            paired: false,
+            jobs: 0,
+        };
+        let paired = JobSpec::Sweep {
+            app: "als".into(),
+            paper: false,
+            axes: vec![Axis::new("cost.free_base_ns", vec![1, 2])],
+            paired: true,
+            jobs: 0,
+        };
+        assert_ne!(base.id(), other_values.id());
+        assert_ne!(base.id(), paired.id());
+    }
+
+    #[test]
+    fn submissions_parse_and_validate() {
+        let doc = Json::parse(r#"{"app": "als"}"#).unwrap();
+        match parse_spec(&doc, false).unwrap() {
+            JobSpec::Run { app, paper, jobs } => {
+                assert_eq!(app, "als");
+                assert!(!paper);
+                assert_eq!(jobs, 0);
+            }
+            other => panic!("expected run spec, got {other:?}"),
+        }
+
+        let doc = Json::parse(
+            r#"{"app": "amg", "scale": "paper", "jobs": 3,
+                "axes": [{"field": "cost.free_base_ns", "values": [1000, 2000]}],
+                "paired": false}"#,
+        )
+        .unwrap();
+        match parse_spec(&doc, true).unwrap() {
+            JobSpec::Sweep { app, paper, axes, paired, jobs } => {
+                assert_eq!(app, "amg");
+                assert!(paper);
+                assert_eq!(jobs, 3);
+                assert!(!paired);
+                assert_eq!(axes.len(), 1);
+                assert_eq!(axes[0].field, "cost.free_base_ns");
+                assert_eq!(axes[0].values, vec![1000, 2000]);
+            }
+            other => panic!("expected sweep spec, got {other:?}"),
+        }
+
+        for bad in [
+            r#"{}"#,
+            r#"{"app": "nonesuch"}"#,
+            r#"{"app": "als", "scale": "huge"}"#,
+            r#"{"app": "als", "jobs": "many"}"#,
+        ] {
+            let doc = Json::parse(bad).unwrap();
+            assert!(parse_spec(&doc, false).is_err(), "{bad} must be rejected");
+        }
+        let doc = Json::parse(r#"{"app": "als", "axes": [{"field": "x", "values": []}]}"#).unwrap();
+        assert!(parse_spec(&doc, true).is_err(), "empty axis values rejected");
+    }
+
+    #[test]
+    fn ffb_bodies_parse_like_json_ones() {
+        let doc = Json::obj([("app", Json::Static("als")), ("scale", Json::Static("test"))]);
+        let ffb = ffm_core::encode_doc(&doc);
+        let parsed = parse_body(&ffb).unwrap();
+        assert_eq!(parsed.get("app").and_then(Json::as_str), Some("als"));
+        assert!(parse_body(b"").is_err());
+        assert!(parse_body(b"not json").is_err());
+    }
+}

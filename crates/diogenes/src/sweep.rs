@@ -97,18 +97,46 @@ pub fn parse_shard_arg(arg: &str) -> Result<Shard, String> {
 
 /// Find every shard artifact for `app_name` under `dir`
 /// (`SWEEP_<app>.shard-K-of-N.json` or `.ffb`), sorted by file name.
+///
+/// A directory can legitimately hold the *same* shard in both formats —
+/// after `diogenes convert`, or when `--format` changed between shard
+/// runs. Feeding both copies to `--merge` would fail on the duplicate
+/// shard index, so duplicates are deduplicated by shard stem here, the
+/// `.ffb` copy winning (it is the cheaper one to decode and both carry
+/// identical data). Skipped copies are named in a debug log line.
 pub fn find_shard_files(app_name: &str, dir: &str) -> Vec<String> {
+    use std::collections::BTreeMap;
     let prefix = format!("SWEEP_{app_name}.shard-");
-    let mut found: Vec<String> = std::fs::read_dir(dir)
-        .into_iter()
-        .flatten()
-        .flatten()
-        .filter_map(|e| {
-            let name = e.file_name().into_string().ok()?;
-            (name.starts_with(&prefix) && (name.ends_with(".json") || name.ends_with(".ffb")))
-                .then(|| format!("{dir}/{name}"))
-        })
-        .collect();
+    // stem (file name minus format extension) -> chosen file name
+    let mut by_stem: BTreeMap<String, String> = BTreeMap::new();
+    let mut skipped: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(dir).into_iter().flatten().flatten() {
+        let Ok(name) = entry.file_name().into_string() else { continue };
+        if !name.starts_with(&prefix) {
+            continue;
+        }
+        let Some(stem) = name.strip_suffix(".json").or_else(|| name.strip_suffix(".ffb")) else {
+            continue;
+        };
+        match by_stem.entry(stem.to_string()) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(name);
+            }
+            std::collections::btree_map::Entry::Occupied(mut o) => {
+                // Same shard in both formats: keep the .ffb copy.
+                let loser = if name.ends_with(".ffb") { o.insert(name) } else { name };
+                skipped.push(format!("{dir}/{loser}"));
+            }
+        }
+    }
+    if !skipped.is_empty() {
+        ffm_core::log_debug!(
+            "sweep: skipping duplicate-format shard file(s): {}",
+            skipped.join(", ")
+        );
+    }
+    let mut found: Vec<String> =
+        by_stem.into_values().map(|name| format!("{dir}/{name}")).collect();
     found.sort();
     found
 }
@@ -166,6 +194,39 @@ mod tests {
         assert!(parse_shard_arg("5/4").is_err());
         assert!(parse_shard_arg("2").is_err());
         assert!(parse_shard_arg("a/b").is_err());
+    }
+
+    #[test]
+    fn shard_discovery_dedupes_duplicate_formats_preferring_ffb() {
+        let dir =
+            std::env::temp_dir().join(format!("diogenes-shard-discovery-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let d = dir.to_str().unwrap();
+        // Shard 1 exists in both formats (e.g. after `diogenes convert`);
+        // shard 2 only as JSON; shard 3 only as FFB. An unrelated app's
+        // shard and a non-shard file must not leak in.
+        for name in [
+            "SWEEP_als.shard-1-of-3.json",
+            "SWEEP_als.shard-1-of-3.ffb",
+            "SWEEP_als.shard-2-of-3.json",
+            "SWEEP_als.shard-3-of-3.ffb",
+            "SWEEP_amg.shard-1-of-2.json",
+            "SWEEP_als.json",
+        ] {
+            std::fs::write(dir.join(name), b"x").unwrap();
+        }
+        let found = find_shard_files("als", d);
+        assert_eq!(
+            found,
+            vec![
+                format!("{d}/SWEEP_als.shard-1-of-3.ffb"),
+                format!("{d}/SWEEP_als.shard-2-of-3.json"),
+                format!("{d}/SWEEP_als.shard-3-of-3.ffb"),
+            ],
+            "one entry per shard stem, .ffb preferred on collision"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! (separate stores, separate matrices), exactly as separate processes
 //! or machines would run them.
 
-use diogenes::merge_shard_files;
+use diogenes::{find_shard_files, merge_shard_files};
 use diogenes_apps::{AlsConfig, CumfAls};
 use ffm_core::{run_sweep, sweep_to_json, FfmConfig, Json, Shard, SweepSpec};
 
@@ -101,5 +101,41 @@ fn merge_cli_helper_reports_missing_and_duplicate_shards() {
         merge_shard_files(&[s1.to_str().unwrap().into(), s1.to_str().unwrap().into()]).unwrap_err();
     assert!(dup.contains("more than once"), "unexpected error: {dup}");
     assert!(merge_shard_files(&[]).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression: a shard directory holding the *same* shard in both
+/// formats (the state `diogenes convert` or a `--format` switch between
+/// shard runs leaves behind) used to feed both copies into `--merge`,
+/// which then failed on the duplicate shard index. Discovery now
+/// dedupes by shard stem, so the merge succeeds and is byte-identical
+/// to the single-format merge.
+#[test]
+fn duplicate_format_shard_dir_merges_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("diogenes-dupfmt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let d = dir.to_str().unwrap();
+
+    for k in 1..=2 {
+        let sp = spec(1).with_shard(Shard::new(k, 2).unwrap());
+        let m = run_sweep(&app(), &sp).expect("sweep runs");
+        let json = dir.join(format!("SWEEP_als.shard-{k}-of-2.json"));
+        std::fs::write(&json, sweep_to_json(&m).to_string_pretty()).unwrap();
+        // Shard 1 additionally exists as FFB — the duplicate-format case.
+        if k == 1 {
+            let ffb = dir.join(format!("SWEEP_als.shard-{k}-of-2.ffb"));
+            std::fs::write(&ffb, ffm_core::encode_sweep(&m).unwrap()).unwrap();
+        }
+    }
+
+    let found = find_shard_files("als", d);
+    assert_eq!(found.len(), 2, "one file per shard index, not per format: {found:?}");
+    let merged = merge_shard_files(&found).expect("duplicate-format dir merges cleanly");
+    assert_eq!(
+        merged.to_string_pretty(),
+        render(1, None),
+        "duplicate-format merge must be byte-identical to the single-format merge"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -102,6 +102,64 @@ cmp "$FFB/full.json" "$FFB/merged.json"
 rm -rf "$FFB"
 echo "ffb round-trip smoke ok"
 
+echo "== serve smoke (daemon report byte-identical to CLI, stats live, clean drain) =="
+SERVE=$(mktemp -d)
+./target/release/diogenes als --jobs 2 --json "$SERVE/cli.json" > /dev/null
+./target/release/diogenes serve --addr 127.0.0.1:0 --no-cache \
+    > "$SERVE/serve.log" 2> /dev/null &
+SERVE_PID=$!
+# The first stdout line announces the bound (ephemeral) address.
+i=0
+while ! grep -q "listening on" "$SERVE/serve.log" 2> /dev/null; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "serve never announced its address"; exit 1; }
+    kill -0 "$SERVE_PID" 2> /dev/null || { echo "serve died on startup"; exit 1; }
+    sleep 0.1
+done
+SERVE_ADDR=$(awk '/listening on/ {print $NF; exit}' "$SERVE/serve.log")
+SERVE_DIR="$SERVE" SERVE_ADDR="$SERVE_ADDR" python3 - <<'EOF'
+import http.client, json, os, sys, time
+
+addr = os.environ['SERVE_ADDR']
+host, port = addr.rsplit(':', 1)
+out = os.path.join(os.environ['SERVE_DIR'], 'served.json')
+
+def req(method, path, body=None):
+    c = http.client.HTTPConnection(host, int(port), timeout=30)
+    c.request(method, path, body)
+    r = c.getresponse()
+    data = r.read()
+    c.close()
+    return r.status, data
+
+status, body = req('POST', '/run', json.dumps({'app': 'als'}))
+assert status == 200, (status, body)
+sub = json.loads(body)
+location = sub['location']
+for _ in range(600):
+    status, body = req('GET', location)
+    if status != 202:
+        break
+    time.sleep(0.1)
+assert status == 200, (status, body)
+open(out, 'wb').write(body)
+
+status, body = req('GET', '/stats')
+assert status == 200, (status, body)
+stats = json.loads(body)
+assert stats['jobs']['computed'] == 1, stats
+assert stats['jobs']['failed'] == 0, stats
+assert 'queue_depth' in stats and 'live_claims' in stats['cache'], stats
+
+status, body = req('POST', '/shutdown')
+assert status == 200, (status, body)
+print(f"serve smoke ok: report {len(open(out,'rb').read())} bytes, "
+      f"stats {stats['jobs']}")
+EOF
+wait "$SERVE_PID"
+cmp "$SERVE/cli.json" "$SERVE/served.json"
+rm -rf "$SERVE"
+
 echo "== codec allocation smoke (zero steady-state allocations in FFB decode) =="
 cargo build --release -p diogenes-bench --bin bench_codec
 ./target/release/bench_codec --smoke
