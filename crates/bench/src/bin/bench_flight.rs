@@ -1,0 +1,179 @@
+//! Overhead harness for the always-on flight recorder.
+//!
+//! Measures the per-span cost of `ffm_core::telemetry` in its three
+//! operating modes — collection disabled, flight-recorder-only (how
+//! `diogenes serve` runs), and full profiling — and verifies the
+//! recorder's memory contract: after the ring wraps, recording a span
+//! with no detail label performs **zero heap allocations** (the ring
+//! reuses its capacity; overwrite-oldest is pop-and-drop), and the ring
+//! never exceeds its byte budget. Writes `results/BENCH_flight.json`.
+//!
+//! `--smoke` runs the allocation and budget assertions only. CI runs
+//! this mode.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use ffm_core::{telemetry, Json};
+
+// ---------------------------------------------------------------------------
+// Counting allocator (this binary only)
+// ---------------------------------------------------------------------------
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Heap allocations (calls, bytes) performed by `f`.
+fn count_allocs(mut f: impl FnMut()) -> (u64, u64) {
+    let calls = ALLOC_CALLS.load(Ordering::Relaxed);
+    let bytes = ALLOC_BYTES.load(Ordering::Relaxed);
+    f();
+    (ALLOC_CALLS.load(Ordering::Relaxed) - calls, ALLOC_BYTES.load(Ordering::Relaxed) - bytes)
+}
+
+// ---------------------------------------------------------------------------
+// Workload
+// ---------------------------------------------------------------------------
+
+const BUDGET: usize = 64 * 1024;
+
+/// `n` nested span pairs (an outer with one inner), the daemon's typical
+/// shape. No detail labels, so the steady-state path is allocation-free.
+fn record_spans(n: usize) {
+    for _ in 0..n {
+        let _outer = telemetry::span("flightbench.outer");
+        let _inner = telemetry::span("flightbench.inner");
+    }
+}
+
+/// The memory contract `--smoke` (and CI) asserts.
+fn assert_flight_contract() {
+    telemetry::flight_clear();
+    telemetry::flight_configure(BUDGET);
+    // Warm past wraparound: each event costs ~size_of::<SpanEvent>()
+    // bytes, so this comfortably overflows a 64 KiB ring.
+    record_spans(10_000);
+    let warm = telemetry::flight_stats();
+    assert!(warm.overwritten > 0, "ring never wrapped during warmup: {warm:?}");
+    assert!(warm.bytes <= warm.budget_bytes, "ring over budget: {warm:?}");
+
+    let (calls, bytes) = count_allocs(|| record_spans(1_000));
+    assert_eq!((calls, bytes), (0, 0), "steady-state flight recording must not touch the heap");
+
+    let after = telemetry::flight_stats();
+    assert!(after.bytes <= after.budget_bytes, "ring over budget after steady state: {after:?}");
+    assert!(after.overwritten > warm.overwritten, "steady state kept overwriting oldest");
+
+    // What survived is a coherent suffix: well-formed per track, and
+    // nothing leaked into the profiling sink.
+    let events = telemetry::flight_events();
+    let mut by_track: std::collections::BTreeMap<u32, Vec<ffm_core::SpanEvent>> =
+        std::collections::BTreeMap::new();
+    for (track, e) in events {
+        by_track.entry(track).or_default().push(e);
+    }
+    assert!(!by_track.is_empty(), "ring is empty after recording");
+    for (track, spans) in &by_track {
+        telemetry::spans_well_formed(spans)
+            .unwrap_or_else(|e| panic!("flight track {track} malformed: {e}"));
+    }
+    let snap = telemetry::drain();
+    assert!(snap.tracks.is_empty(), "flight-only mode leaked spans into drain()");
+    telemetry::flight_configure(0);
+    telemetry::flight_clear();
+}
+
+/// Median seconds for one `record_spans(n)` call.
+fn time_median(n: usize, iters: usize) -> f64 {
+    record_spans(n); // warmup
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            record_spans(n);
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        assert_flight_contract();
+        eprintln!("bench_flight --smoke: ok (zero steady-state allocations, ring in budget)");
+        return;
+    }
+
+    assert_flight_contract();
+    const N: usize = 100_000; // span pairs per timed iteration
+    const ITERS: usize = 5;
+
+    // Mode 1: everything off — the fast-path cost the honest tool pays
+    // when nobody is watching.
+    let off_s = time_median(N, ITERS);
+
+    // Mode 2: flight recorder only (how `diogenes serve` runs).
+    telemetry::flight_configure(BUDGET);
+    let flight_s = time_median(N, ITERS);
+    telemetry::flight_configure(0);
+    telemetry::flight_clear();
+
+    // Mode 3: full profiling (--profile).
+    telemetry::set_enabled(true);
+    let profile_s = time_median(N, ITERS);
+    telemetry::set_enabled(false);
+    let _ = telemetry::drain();
+
+    let per_span = |s: f64| s * 1e9 / (2.0 * N as f64);
+    eprintln!(
+        "bench_flight: per-span overhead  disabled {:.1} ns  flight {:.1} ns  profile {:.1} ns",
+        per_span(off_s),
+        per_span(flight_s),
+        per_span(profile_s)
+    );
+    let doc = Json::obj([
+        ("bench", Json::Str("flight-recorder".to_string())),
+        ("meta", diogenes_bench::bench_meta(1, "synthetic-spans")),
+        ("spans_per_iteration", Json::Int(2 * N as i128)),
+        ("iterations", Json::Int(ITERS as i128)),
+        ("budget_bytes", Json::Int(BUDGET as i128)),
+        ("disabled_ns_per_span", Json::Float(per_span(off_s))),
+        ("flight_ns_per_span", Json::Float(per_span(flight_s))),
+        ("profile_ns_per_span", Json::Float(per_span(profile_s))),
+    ]);
+    std::fs::create_dir_all("results").expect("results dir");
+    let path = "results/BENCH_flight.json";
+    std::fs::write(path, doc.to_string_pretty()).expect("write results");
+    eprintln!("bench_flight: wrote {path}");
+}

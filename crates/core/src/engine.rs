@@ -315,6 +315,21 @@ fn as_stage3(a: &Artifact) -> &Stage3Result {
     }
 }
 
+/// Per-stage execution-latency histogram, the source of the
+/// `diogenes_stage_latency_ns{stage=…}` summaries on `/metrics`.
+fn latency_hist(id: StageId) -> &'static str {
+    match id {
+        StageId::Discovery => "stage.discovery.exec_ns",
+        StageId::Stage1 => "stage.stage1.exec_ns",
+        StageId::Stage2 => "stage.stage2.exec_ns",
+        StageId::Stage3a => "stage.stage3a.exec_ns",
+        StageId::Stage3b => "stage.stage3b.exec_ns",
+        StageId::Merge3 => "stage.merge3.exec_ns",
+        StageId::Stage4 => "stage.stage4.exec_ns",
+        StageId::Stage5 => "stage.stage5.exec_ns",
+    }
+}
+
 /// Execute one stage for real (cache already missed). `dep_artifacts`
 /// come in [`deps`] order. Opens the stage's telemetry span, so spans
 /// appear exactly when work happens — a cache hit leaves no span.
@@ -326,7 +341,8 @@ fn execute(
     dep_artifacts: &[Artifact],
 ) -> CudaResult<Artifact> {
     let _s = telemetry::span(id.name());
-    Ok(match id {
+    let t0 = telemetry::collecting().then(std::time::Instant::now);
+    let artifact = match id {
         StageId::Discovery => {
             Artifact::Discovery(Arc::new(identify_sync_function(cfg.cost.clone())?))
         }
@@ -373,7 +389,11 @@ fn execute(
                 jobs,
             )))
         }
-    })
+    };
+    if let Some(t0) = t0 {
+        telemetry::record(latency_hist(id), t0.elapsed().as_nanos() as u64);
+    }
+    Ok(artifact)
 }
 
 /// Consult the store, execute on a miss, record telemetry counters.
@@ -404,10 +424,18 @@ fn obtain(
         match store.try_claim(key, id.kind()) {
             Some(Claim::Acquired(guard)) => claim = Some(guard),
             Some(Claim::Held) => {
+                crate::log_debug!("waiting on rival claim stage={} key={}", id.name(), key.hex());
+                telemetry::counter_add("cache.claim_waits", 1);
                 if let Some(artifact) = store.wait_for_claimed(key, id.kind()) {
+                    telemetry::counter_add("cache.claim_wait_hits", 1);
                     return Ok(artifact);
                 }
                 // The holder died or ran out the TTL without delivering.
+                crate::log_debug!(
+                    "rival claim expired undelivered stage={} key={}; computing locally",
+                    id.name(),
+                    key.hex()
+                );
             }
             None => {}
         }

@@ -67,6 +67,7 @@ pub mod grouping;
 pub mod intern;
 pub mod json;
 pub mod log;
+pub mod metrics;
 pub mod par;
 pub mod pipeline;
 pub mod problem;
@@ -96,6 +97,7 @@ pub use grouping::{
 };
 pub use intern::{intern, intern_static, Sym};
 pub use json::Json;
+pub use metrics::{exposition_well_formed, sanitize_metric_name, PromText, SUMMARY_QUANTILES};
 pub use par::{effective_jobs, join, par_map, try_par_map, Pool, JOBS_ENV};
 pub use pipeline::{
     overhead_factor, run_ffm, run_ffm_with_store, FfmConfig, FfmReport, StageStats,
@@ -115,6 +117,6 @@ pub use sweep::{
     SweepSpec, SweepSummary, SWEEPABLE_FIELDS,
 };
 pub use telemetry::{
-    chrome_duration_event, chrome_metadata_event, snapshot_to_json, spans_well_formed,
-    TelemetrySnapshot,
+    chrome_duration_event, chrome_duration_event_args, chrome_metadata_event, snapshot_to_json,
+    spans_well_formed, SpanEvent, TelemetrySnapshot, TraceId,
 };

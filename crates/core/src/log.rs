@@ -12,8 +12,22 @@
 //! `--json` contract). Progress banners the CLI always prints (run
 //! headers, sweep progress) are product UX, not diagnostics, and stay
 //! plain `eprintln!`.
+//!
+//! Output is structured `key=value` text so daemon logs grep and parse
+//! cleanly:
+//!
+//! ```text
+//! diogenes ts=2026-08-07T12:34:56.789Z level=warn req=00003e2a8c41f77b msg…
+//! ```
+//!
+//! The `req=` field appears only when a request-correlation id is
+//! installed on the emitting thread ([`crate::telemetry::trace_scope`]),
+//! which is how one `grep req=<id>` reconstructs a request's path
+//! through the `diogenes serve` connection handler, job queue, stage
+//! engine, and worker pool.
 
 use std::sync::OnceLock;
+use std::time::SystemTime;
 
 /// Diagnostic severity, ordered so that `level <= max_level()` is the
 /// emission test.
@@ -67,11 +81,39 @@ pub fn enabled(level: Level) -> bool {
     level <= max_level()
 }
 
+/// Render a `SystemTime` as RFC 3339 with millisecond precision
+/// (`2026-08-07T12:34:56.789Z`), no locale, no allocation surprises.
+/// Days-to-civil conversion per Howard Hinnant's algorithm.
+pub fn format_rfc3339_millis(t: SystemTime) -> String {
+    let dur = t.duration_since(SystemTime::UNIX_EPOCH).unwrap_or_default();
+    let secs = dur.as_secs();
+    let millis = dur.subsec_millis();
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (hh, mm, ss) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}.{millis:03}Z")
+}
+
 /// Emit a formatted message (macro backend — call the `log_*!` macros
 /// instead so format arguments are only evaluated when the level is on).
 pub fn emit(level: Level, args: std::fmt::Arguments<'_>) {
-    if enabled(level) {
-        eprintln!("diogenes [{}] {}", level.as_str(), args);
+    if !enabled(level) {
+        return;
+    }
+    let ts = format_rfc3339_millis(SystemTime::now());
+    match crate::telemetry::current_trace() {
+        Some(t) => eprintln!("diogenes ts={ts} level={} req={:016x} {}", level.as_str(), t.0, args),
+        None => eprintln!("diogenes ts={ts} level={} {}", level.as_str(), args),
     }
 }
 
@@ -140,6 +182,19 @@ mod tests {
         // reliably, but the default (no DIOGENES_LOG in the test env, or
         // any valid setting) must always pass errors.
         assert!(enabled(Level::Error));
+    }
+
+    #[test]
+    fn rfc3339_renders_known_instants() {
+        use std::time::Duration;
+        let at = |secs: u64, ms: u32| {
+            SystemTime::UNIX_EPOCH + Duration::from_secs(secs) + Duration::from_millis(ms as u64)
+        };
+        assert_eq!(format_rfc3339_millis(at(0, 0)), "1970-01-01T00:00:00.000Z");
+        // 2000-02-29 (leap day) 12:34:56.789
+        assert_eq!(format_rfc3339_millis(at(951_827_696, 789)), "2000-02-29T12:34:56.789Z");
+        // 2026-08-07 00:00:00
+        assert_eq!(format_rfc3339_millis(at(1_786_060_800, 1)), "2026-08-07T00:00:00.001Z");
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! Prometheus text-exposition (format version 0.0.4) writing and
+//! checking, for the daemon's `GET /metrics` endpoint.
+//!
+//! The writer is deliberately tiny: a builder that emits `# HELP` /
+//! `# TYPE` headers exactly once per metric family and then plain
+//! `name{labels} value` samples, plus a summary helper that renders a
+//! [`Hist`] as the conventional `{quantile="…"}` series with `_sum` and
+//! `_count`. [`exposition_well_formed`] is the matching checker used by
+//! tests and `ci.sh` so a malformed scrape fails loudly instead of being
+//! silently dropped by a collector.
+
+use std::collections::BTreeSet;
+
+use crate::telemetry::Hist;
+
+/// The quantiles every latency summary exposes.
+pub const SUMMARY_QUANTILES: [f64; 3] = [0.5, 0.9, 0.99];
+
+/// Clamp `name` to the Prometheus metric-name charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every invalid byte becomes `_`, and a
+/// leading digit is prefixed. Internal dotted names ("pool.queue_depth")
+/// stay readable as `pool_queue_depth`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builder for one exposition document.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+    declared: BTreeSet<String>,
+}
+
+impl PromText {
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    /// Declare a metric family (`kind` is `counter`, `gauge`, `summary`,
+    /// or `histogram`). Safe to call before every sample: the header is
+    /// emitted only the first time, so loops over label values stay
+    /// simple and the output never repeats a `# TYPE` line (which
+    /// Prometheus rejects).
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        let name = sanitize_metric_name(name);
+        if self.declared.insert(name.clone()) {
+            self.out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        }
+    }
+
+    fn render_labels(labels: &[(&str, &str)]) -> String {
+        if labels.is_empty() {
+            return String::new();
+        }
+        let inner: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("{}=\"{}\"", sanitize_metric_name(k), escape_label_value(v)))
+            .collect();
+        format!("{{{}}}", inner.join(","))
+    }
+
+    /// One integer-valued sample.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        let name = sanitize_metric_name(name);
+        self.out.push_str(&format!("{name}{} {value}\n", Self::render_labels(labels)));
+    }
+
+    /// One float-valued sample (quantile estimates, ratios).
+    pub fn sample_f64(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let name = sanitize_metric_name(name);
+        let rendered = if value.is_nan() {
+            "NaN".to_string()
+        } else if value.is_infinite() {
+            if value > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+        } else {
+            format!("{value}")
+        };
+        self.out.push_str(&format!("{name}{} {rendered}\n", Self::render_labels(labels)));
+    }
+
+    /// Render a [`Hist`] as a Prometheus summary: one sample per
+    /// [`SUMMARY_QUANTILES`] entry plus `_sum` and `_count`. The family
+    /// header must cover all label sets, so declare via [`Self::family`]
+    /// first (this helper does it for you with the given help string).
+    pub fn summary(&mut self, name: &str, help: &str, labels: &[(&str, &str)], hist: &Hist) {
+        self.family(name, "summary", help);
+        for q in SUMMARY_QUANTILES {
+            let mut with_q: Vec<(&str, &str)> = labels.to_vec();
+            let q_str = format!("{q}");
+            with_q.push(("quantile", &q_str));
+            self.sample_f64(name, &with_q, hist.quantile(q) as f64);
+        }
+        self.sample(&format!("{name}_sum"), labels, hist.sum);
+        self.sample(&format!("{name}_count"), labels, hist.count);
+    }
+
+    /// The finished document. Prometheus requires the body to end with a
+    /// newline (every emit above appends one).
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Strip the sample-name suffixes that belong to a declared summary or
+/// histogram family (`_sum`, `_count`, `_bucket`).
+fn family_of(sample_name: &str) -> &str {
+    for suffix in ["_sum", "_count", "_bucket"] {
+        if let Some(base) = sample_name.strip_suffix(suffix) {
+            return base;
+        }
+    }
+    sample_name
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+/// Validate an exposition body: every line is a comment, blank, or a
+/// `name{labels} value` sample; names use the legal charset; label
+/// strings are quoted and brace-balanced; values parse as numbers; every
+/// sample belongs to a `# TYPE`-declared family and no family is
+/// declared twice. Returns the number of samples on success.
+pub fn exposition_well_formed(body: &str) -> Result<usize, String> {
+    if !body.is_empty() && !body.ends_with('\n') {
+        return Err("exposition body must end with a newline".to_string());
+    }
+    let mut declared: BTreeSet<&str> = BTreeSet::new();
+    let mut samples = 0usize;
+    for (ln, line) in body.lines().enumerate() {
+        let err = |msg: &str| Err(format!("line {}: {msg}: {line:?}", ln + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            let tail = parts.next().unwrap_or("");
+            match keyword {
+                "TYPE" => {
+                    if !valid_metric_name(name) {
+                        return err("TYPE for invalid metric name");
+                    }
+                    if !["counter", "gauge", "summary", "histogram", "untyped"].contains(&tail) {
+                        return err("unknown metric kind");
+                    }
+                    if !declared.insert(name) {
+                        return err("family declared twice");
+                    }
+                }
+                "HELP" => {
+                    if !valid_metric_name(name) {
+                        return err("HELP for invalid metric name");
+                    }
+                }
+                _ => return err("unknown comment keyword"),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        // Sample: name[{labels}] value
+        let (name_part, value_part) = match line.find('{') {
+            Some(brace) => {
+                let close = match line.rfind('}') {
+                    Some(c) if c > brace => c,
+                    _ => return err("unbalanced braces"),
+                };
+                let labels = &line[brace + 1..close];
+                // Label syntax: k="v" pairs; quotes must pair up.
+                if labels.matches('"').count() % 2 != 0 {
+                    return err("unpaired quote in labels");
+                }
+                for pair in split_label_pairs(labels) {
+                    let Some((k, v)) = pair.split_once('=') else {
+                        return err("label without '='");
+                    };
+                    if !valid_metric_name(k) {
+                        return err("invalid label name");
+                    }
+                    if !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                        return err("label value not quoted");
+                    }
+                }
+                (&line[..brace], line[close + 1..].trim())
+            }
+            None => match line.split_once(' ') {
+                Some((n, v)) => (n, v.trim()),
+                None => return err("sample without value"),
+            },
+        };
+        if !valid_metric_name(name_part) {
+            return err("invalid sample name");
+        }
+        let value = value_part.split(' ').next().unwrap_or("");
+        if !(value == "+Inf" || value == "-Inf" || value == "NaN" || value.parse::<f64>().is_ok()) {
+            return err("value is not a number");
+        }
+        if !declared.contains(family_of(name_part)) && !declared.contains(name_part) {
+            return err("sample without a TYPE-declared family");
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+/// Split `k1="v1",k2="v2"` on commas outside quotes (label values may
+/// contain escaped quotes and commas).
+fn split_label_pairs(labels: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let (mut start, mut in_quotes, mut escaped) = (0usize, false, false);
+    for (i, c) in labels.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                if i > start {
+                    out.push(&labels[start..i]);
+                }
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < labels.len() {
+        out.push(&labels[start..]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_names_to_the_legal_charset() {
+        assert_eq!(sanitize_metric_name("pool.queue_depth"), "pool_queue_depth");
+        assert_eq!(
+            sanitize_metric_name("cache.stage1-baseline.hits"),
+            "cache_stage1_baseline_hits"
+        );
+        assert_eq!(sanitize_metric_name("9lives"), "_lives");
+        assert_eq!(sanitize_metric_name("ok_name:total"), "ok_name:total");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn families_declare_once_and_samples_render() {
+        let mut p = PromText::new();
+        p.family("diogenes_jobs_total", "counter", "Jobs submitted.");
+        p.family("diogenes_jobs_total", "counter", "Jobs submitted.");
+        p.sample("diogenes_jobs_total", &[("state", "done")], 3);
+        p.sample("diogenes_jobs_total", &[("state", "odd \"quoted\"\npath\\x")], 1);
+        let body = p.finish();
+        assert_eq!(body.matches("# TYPE diogenes_jobs_total counter").count(), 1);
+        assert!(body.contains("diogenes_jobs_total{state=\"done\"} 3\n"), "{body}");
+        assert!(body.contains("\\\"quoted\\\"\\npath\\\\x"), "escapes: {body}");
+        assert_eq!(exposition_well_formed(&body), Ok(2));
+    }
+
+    #[test]
+    fn summaries_render_quantiles_sum_and_count() {
+        let mut h = Hist::default();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        let mut p = PromText::new();
+        p.summary("req_ns", "Latency.", &[("route", "GET /x")], &h);
+        let body = p.finish();
+        assert!(body.contains("# TYPE req_ns summary"), "{body}");
+        assert!(body.contains("req_ns{route=\"GET /x\",quantile=\"0.5\"}"), "{body}");
+        assert!(body.contains("req_ns_sum{route=\"GET /x\"} 1100\n"), "{body}");
+        assert!(body.contains("req_ns_count{route=\"GET /x\"} 5\n"), "{body}");
+        assert_eq!(exposition_well_formed(&body), Ok(5));
+    }
+
+    #[test]
+    fn checker_rejects_malformed_expositions() {
+        for (bad, why) in [
+            ("no_type_decl 1\n", "undeclared family"),
+            ("# TYPE a counter\na{x=unquoted} 1\n", "unquoted label"),
+            ("# TYPE a counter\na{x=\"y\" 1\n", "unbalanced braces"),
+            ("# TYPE a counter\na not-a-number\n", "bad value"),
+            ("# TYPE a counter\n# TYPE a counter\n", "duplicate TYPE"),
+            ("# TYPE a widget\n", "unknown kind"),
+            ("# TYPE 9bad counter\n", "bad name"),
+            ("# TYPE a counter\na 1", "missing trailing newline"),
+        ] {
+            assert!(exposition_well_formed(bad).is_err(), "accepted {why}: {bad:?}");
+        }
+        assert_eq!(exposition_well_formed(""), Ok(0));
+        let ok = "# HELP up Is it.\n# TYPE up gauge\nup 1\nup{host=\"a\"} +Inf\n";
+        assert_eq!(exposition_well_formed(ok), Ok(2));
+    }
+}

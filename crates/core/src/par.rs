@@ -123,6 +123,10 @@ struct Batch {
     done_cv: Condvar,
     /// First panic payload from any task, re-raised on the submitter.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Request-correlation id captured from the submitting thread, so
+    /// helper threads attribute their spans and log lines to the same
+    /// request ([`telemetry::trace_scope`]).
+    trace: Option<telemetry::TraceId>,
 }
 
 impl Batch {
@@ -145,6 +149,11 @@ impl Batch {
     /// (`helper = true`); the distinction feeds the stolen-vs-self-run
     /// task counters.
     fn run_claimed(&self, helper: bool) {
+        // Helpers inherit the submitter's request id for the duration of
+        // this batch; the guard restores the helper's previous (usually
+        // absent) id when the batch is exhausted. On the submitter this
+        // reinstalls the id it already has — harmless.
+        let _trace = telemetry::trace_scope(self.trace);
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.count {
@@ -318,6 +327,7 @@ impl Pool {
             completed: Mutex::new(0),
             done_cv: Condvar::new(),
             panic: Mutex::new(None),
+            trace: telemetry::current_trace(),
         });
         {
             let mut q = self.shared.queue.lock().unwrap();
@@ -421,7 +431,7 @@ fn worker_loop(shared: Arc<PoolShared>) {
                 match joined {
                     Some(b) => break b,
                     None => {
-                        let parked = telemetry::enabled().then(Instant::now);
+                        let parked = telemetry::collecting().then(Instant::now);
                         q = shared.work_cv.wait(q).unwrap();
                         if let Some(t0) = parked {
                             telemetry::counter_add(
@@ -433,7 +443,7 @@ fn worker_loop(shared: Arc<PoolShared>) {
                 }
             }
         };
-        let running = telemetry::enabled().then(Instant::now);
+        let running = telemetry::collecting().then(Instant::now);
         batch.run_claimed(true);
         if let Some(t0) = running {
             telemetry::counter_add("pool.worker_busy_ns", t0.elapsed().as_nanos() as u64);
@@ -622,6 +632,18 @@ mod tests {
             p2.map(vec![10u64, 20], 2, move |y| x + y).into_iter().sum::<u64>()
         });
         assert_eq!(out, vec![32, 34, 36]);
+    }
+
+    #[test]
+    fn helpers_inherit_the_submitters_trace_id() {
+        let pool = Pool::new();
+        let _scope = telemetry::trace_scope(Some(telemetry::TraceId(77)));
+        let traces =
+            pool.map((0..32).collect::<Vec<_>>(), 4, |_| telemetry::current_trace().map(|t| t.0));
+        assert!(
+            traces.iter().all(|&t| t == Some(77)),
+            "every task (submitter- or helper-run) sees the request id: {traces:?}"
+        );
     }
 
     #[test]

@@ -326,6 +326,7 @@ impl ArtifactStore {
                     if attempt == 0 && claim_age(&path).is_none_or(|age| age > self.claim_ttl) {
                         // Stale (or vanished mid-race): break it and retry
                         // the exclusive create once.
+                        crate::log_debug!("breaking stale claim {}", path.display());
                         let _ = std::fs::remove_file(&path);
                         continue;
                     }

@@ -420,7 +420,11 @@ pub fn run_sweep_with_store(
         // budget; nested fan-out shares the same pool, and `jobs = 1`
         // keeps everything on this thread.
         let cfg = FfmConfig { jobs, ..p.cfg };
+        let t0 = telemetry::collecting().then(std::time::Instant::now);
         let report = run_ffm_with_store(app, &cfg, store)?;
+        if let Some(t0) = t0 {
+            telemetry::record("sweep.cell.exec_ns", t0.elapsed().as_nanos() as u64);
+        }
         telemetry::counter_add("sweep.cells_completed", 1);
         Ok(SweepCell::from_report(i, p.assignment, &report))
     })

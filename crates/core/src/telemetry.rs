@@ -34,9 +34,9 @@
 //! non-deterministic — which is exactly why it lives in separate
 //! artifacts and never inside `FfmReport` / `SweepMatrix` JSON.
 
-use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -69,6 +69,81 @@ pub fn set_enabled(on: bool) {
 }
 
 // ---------------------------------------------------------------------------
+// Flight recorder flag + trace correlation — the always-on layer.
+// ---------------------------------------------------------------------------
+
+/// Total byte budget of the flight-recorder ring; `0` = off (the
+/// default, so one-shot CLI runs pay nothing).
+static FLIGHT_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether the flight recorder is retaining recent spans.
+#[inline]
+pub fn flight_enabled() -> bool {
+    FLIGHT_BYTES.load(Ordering::Relaxed) != 0
+}
+
+/// Whether *any* sink wants span data: the drainable profiling sink
+/// (`--profile`) or the always-on flight recorder. One or two relaxed
+/// loads — this is the no-op fast path of every entry point.
+#[inline]
+pub fn collecting() -> bool {
+    enabled() || flight_enabled()
+}
+
+/// Set the flight recorder's total byte budget (`diogenes serve
+/// --flight-recorder-bytes`). `0` disables it. The budget bounds resident
+/// memory: once full, the oldest spans are overwritten.
+pub fn flight_configure(total_bytes: usize) {
+    FLIGHT_BYTES.store(total_bytes, Ordering::Relaxed);
+}
+
+/// A request-correlation id minted at an entry point (one per HTTP
+/// request or job in `diogenes serve`) and carried via a thread-local so
+/// every span recorded and every log line emitted while it is installed
+/// can be attributed to the request. `0` is reserved for "untraced".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(pub u64);
+
+thread_local! {
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The trace id installed on the current thread, if any. Safe to call
+/// from anywhere (including thread teardown): absent a scope it is
+/// `None`.
+#[inline]
+pub fn current_trace() -> Option<TraceId> {
+    let raw = CURRENT_TRACE.try_with(Cell::get).unwrap_or(0);
+    if raw == 0 {
+        None
+    } else {
+        Some(TraceId(raw))
+    }
+}
+
+/// RAII guard restoring the previously installed trace id on drop.
+#[must_use = "the trace id is uninstalled when the scope drops"]
+pub struct TraceScope {
+    prev: u64,
+}
+
+/// Install `trace` (or clear it, for `None`) as the current thread's
+/// trace id until the returned scope drops. Scopes nest; the previous id
+/// is restored on drop. Two thread-local cell accesses — cheap enough
+/// for per-task use.
+pub fn trace_scope(trace: Option<TraceId>) -> TraceScope {
+    let next = trace.map_or(0, |t| t.0);
+    let prev = CURRENT_TRACE.try_with(|c| c.replace(next)).unwrap_or(0);
+    TraceScope { prev }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        let _ = CURRENT_TRACE.try_with(|c| c.set(self.prev));
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The sink: per-thread shards registered in a global list.
 // ---------------------------------------------------------------------------
 
@@ -84,11 +159,24 @@ pub struct SpanEvent {
     pub dur_ns: u64,
     /// Nesting depth at entry (0 = top level on this thread).
     pub depth: u32,
+    /// Request-correlation id installed when the span closed
+    /// ([`trace_scope`]); `0` = untraced.
+    pub trace: u64,
 }
 
 impl SpanEvent {
     pub fn end_ns(&self) -> u64 {
         self.start_ns + self.dur_ns
+    }
+
+    /// Display label: the static name, plus the per-instance detail in
+    /// brackets when present (`"serve.job [4f0e...]"`). Trace exports
+    /// and well-formedness diagnostics both use this form.
+    pub fn label(&self) -> String {
+        match &self.detail {
+            Some(d) => format!("{} [{}]", self.name, d),
+            None => self.name.to_string(),
+        }
     }
 }
 
@@ -145,13 +233,63 @@ impl Hist {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Inclusive upper bound of bucket `i` (the largest value it holds).
+    fn bucket_hi(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            63 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// Lower bound of bucket `i`.
+    fn bucket_lo(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) from the log2 buckets.
+    ///
+    /// The rank-holding bucket is found by a cumulative walk, then the
+    /// value is linearly interpolated inside the bucket's `[lo, hi]`
+    /// range and clamped to the exact observed `[min, max]`. Guarantees
+    /// (pinned by property tests): the estimate always lies in
+    /// `[min, max]`, and it is monotone non-decreasing in `q`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let lo = Self::bucket_lo(i);
+                let hi = Self::bucket_hi(i);
+                let frac = (rank - cum) as f64 / c as f64;
+                let est = lo as f64 + (hi - lo) as f64 * frac;
+                return (est as u64).clamp(self.min, self.max);
+            }
+            cum += c;
+        }
+        self.max
+    }
 }
 
 /// One thread's shard of the sink. Only the owning thread writes; the
 /// drainer locks briefly to take the accumulated data, so the mutexes
 /// are uncontended in steady state.
 struct ThreadShard {
-    thread: String,
+    /// Owning thread's name. Mutable because shards of dead threads are
+    /// recycled (see [`Registry::free`]) and renamed by their new owner.
+    thread: Mutex<String>,
     track: u32,
     events: Mutex<Vec<SpanEvent>>,
     counters: Mutex<HashMap<&'static str, u64>>,
@@ -161,11 +299,21 @@ struct ThreadShard {
 struct Registry {
     epoch: Instant,
     shards: Mutex<Vec<Arc<ThreadShard>>>,
+    /// Shards whose owning thread exited, available for reuse. Without
+    /// recycling, a thread-per-connection daemon with the flight
+    /// recorder on would register one shard per connection and grow the
+    /// registry without bound; with it, the shard count is bounded by
+    /// the maximum number of concurrently live recording threads.
+    free: Mutex<Vec<Arc<ThreadShard>>>,
 }
 
 fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
-    REGISTRY.get_or_init(|| Registry { epoch: Instant::now(), shards: Mutex::new(Vec::new()) })
+    REGISTRY.get_or_init(|| Registry {
+        epoch: Instant::now(),
+        shards: Mutex::new(Vec::new()),
+        free: Mutex::new(Vec::new()),
+    })
 }
 
 fn now_ns() -> u64 {
@@ -182,6 +330,15 @@ struct Local {
 impl Local {
     fn register() -> Local {
         let reg = registry();
+        if let Some(shard) = reg.free.lock().unwrap().pop() {
+            // Recycle a dead thread's shard: same track id, new name.
+            let name = std::thread::current()
+                .name()
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| format!("thread-{}", shard.track));
+            *shard.thread.lock().unwrap() = name;
+            return Local { shard, buf: Vec::new(), depth: 0 };
+        }
         let mut shards = reg.shards.lock().unwrap();
         let track = shards.len() as u32;
         let thread = std::thread::current()
@@ -189,7 +346,7 @@ impl Local {
             .map(|n| n.to_string())
             .unwrap_or_else(|| format!("thread-{track}"));
         let shard = Arc::new(ThreadShard {
-            thread,
+            thread: Mutex::new(thread),
             track,
             events: Mutex::new(Vec::new()),
             counters: Mutex::new(HashMap::new()),
@@ -209,6 +366,10 @@ impl Local {
 impl Drop for Local {
     fn drop(&mut self) {
         self.flush();
+        // Return the shard for reuse by the next registering thread. Any
+        // not-yet-drained data stays on the shard and is attributed to
+        // its track as usual.
+        registry().free.lock().unwrap().push(Arc::clone(&self.shard));
     }
 }
 
@@ -245,17 +406,17 @@ struct ActiveSpan {
 /// Open a span named `name` on the current thread's track.
 #[inline]
 pub fn span(name: &'static str) -> Span {
-    if !enabled() {
+    if !collecting() {
         return Span { active: None };
     }
     open_span(name, None)
 }
 
 /// Open a span with a per-instance label; `detail` is only invoked while
-/// telemetry is enabled, so label formatting is free on the no-op path.
+/// a sink is collecting, so label formatting is free on the no-op path.
 #[inline]
 pub fn span_detail(name: &'static str, detail: impl FnOnce() -> String) -> Span {
-    if !enabled() {
+    if !collecting() {
         return Span { active: None };
     }
     open_span(name, Some(detail()))
@@ -270,15 +431,30 @@ impl Drop for Span {
     fn drop(&mut self) {
         let Some(a) = self.active.take() else { return };
         let end = now_ns();
+        let trace = current_trace().map_or(0, |t| t.0);
         with_local(move |l| {
             l.depth = l.depth.saturating_sub(1);
-            l.buf.push(SpanEvent {
+            let ev = SpanEvent {
                 name: a.name,
                 detail: a.detail,
                 start_ns: a.start_ns,
                 dur_ns: end.saturating_sub(a.start_ns),
                 depth: l.depth,
-            });
+                trace,
+            };
+            // Spans close child-before-parent, so each sink receives a
+            // post-order stream: this is what lets the flight ring's
+            // drop-oldest policy preserve well-formed nesting (evicting
+            // a prefix removes children before their parents).
+            match (enabled(), flight_enabled()) {
+                (true, true) => {
+                    flight_push(l.shard.track, ev.clone());
+                    l.buf.push(ev);
+                }
+                (true, false) => l.buf.push(ev),
+                (false, true) => flight_push(l.shard.track, ev),
+                (false, false) => {}
+            }
             // Flushing at depth 0 keeps parked pool workers' shards
             // complete: a worker is only ever idle between tasks, i.e.
             // with no span open.
@@ -298,7 +474,7 @@ impl Drop for Span {
 /// merged value is worker-count independent).
 #[inline]
 pub fn counter_add(name: &'static str, n: u64) {
-    if !enabled() {
+    if !collecting() {
         return;
     }
     with_local(|l| *l.shard.counters.lock().unwrap().entry(name).or_insert(0) += n);
@@ -309,7 +485,7 @@ pub fn counter_add(name: &'static str, n: u64) {
 /// magnitudes otherwise (queue depth, batch size).
 #[inline]
 pub fn record(name: &'static str, value: u64) {
-    if !enabled() {
+    if !collecting() {
         return;
     }
     with_local(|l| l.shard.hists.lock().unwrap().entry(name).or_default().record(value));
@@ -391,7 +567,7 @@ pub fn drain() -> TelemetrySnapshot {
         let events = std::mem::take(&mut *shard.events.lock().unwrap());
         if !events.is_empty() {
             snap.tracks.push(TrackSnapshot {
-                thread: shard.thread.clone(),
+                thread: shard.thread.lock().unwrap().clone(),
                 track: shard.track,
                 events,
             });
@@ -405,6 +581,214 @@ pub fn drain() -> TelemetrySnapshot {
     }
     snap.tracks.sort_by_key(|t| t.track);
     snap
+}
+
+/// Fold every shard's accumulated counters and histograms into a
+/// process-global running total and return a copy. Unlike [`drain`]
+/// (which hands the data to one caller and resets everything), the
+/// running total is left in place, so repeated `/metrics` scrapes see
+/// monotone counters — the Prometheus contract. Span events are *not*
+/// consumed; the flight recorder owns those.
+///
+/// `gather_metrics` and `drain` take from the same shard accumulators,
+/// so a process should use one or the other (`serve` gathers; the CLI's
+/// `--profile` drains).
+pub fn gather_metrics() -> MetricsTotals {
+    static TOTALS: OnceLock<Mutex<MetricsTotals>> = OnceLock::new();
+    let totals = TOTALS.get_or_init(|| Mutex::new(MetricsTotals::default()));
+    let shards: Vec<Arc<ThreadShard>> = registry().shards.lock().unwrap().clone();
+    let mut totals = totals.lock().unwrap();
+    for shard in shards {
+        for (name, v) in std::mem::take(&mut *shard.counters.lock().unwrap()) {
+            *totals.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, h) in std::mem::take(&mut *shard.hists.lock().unwrap()) {
+            totals.hists.entry(name).or_default().merge(&h);
+        }
+    }
+    totals.clone()
+}
+
+/// Cumulative counter / histogram totals since process start (the
+/// `/metrics` view of the sink). See [`gather_metrics`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsTotals {
+    pub counters: BTreeMap<&'static str, u64>,
+    pub hists: BTreeMap<&'static str, Hist>,
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder: a bounded ring of the most recent spans.
+// ---------------------------------------------------------------------------
+
+/// Lock shards for the flight ring. Tracks map to shards by modulo, so
+/// one track's events always live in one shard in push (= post-) order.
+const FLIGHT_SHARDS: usize = 8;
+
+struct FlightEvent {
+    track: u32,
+    event: SpanEvent,
+}
+
+impl FlightEvent {
+    /// Bytes this entry is charged against the ring budget: the inline
+    /// struct plus the heap detail string. (`VecDeque` slack and the
+    /// small per-shard fixed overhead are not charged; the budget bounds
+    /// the dominant, workload-proportional cost.)
+    fn cost(&self) -> usize {
+        std::mem::size_of::<FlightEvent>() + self.event.detail.as_ref().map_or(0, |d| d.len())
+    }
+}
+
+#[derive(Default)]
+struct FlightShard {
+    ring: VecDeque<FlightEvent>,
+    bytes: usize,
+    overwritten: u64,
+}
+
+fn flight_shards() -> &'static [Mutex<FlightShard>; FLIGHT_SHARDS] {
+    static SHARDS: OnceLock<[Mutex<FlightShard>; FLIGHT_SHARDS]> = OnceLock::new();
+    SHARDS.get_or_init(|| std::array::from_fn(|_| Mutex::new(FlightShard::default())))
+}
+
+/// Append one closed span to its track's ring shard, evicting the
+/// oldest entries past the per-shard byte budget. Spans arrive in
+/// post-order (children close before parents), so eviction removes
+/// children before their parents and each track's surviving suffix
+/// still passes [`spans_well_formed`] once all its open spans close.
+fn flight_push(track: u32, event: SpanEvent) {
+    let budget = (FLIGHT_BYTES.load(Ordering::Relaxed) / FLIGHT_SHARDS).max(1);
+    let mut s = flight_shards()[track as usize % FLIGHT_SHARDS].lock().unwrap();
+    let ev = FlightEvent { track, event };
+    s.bytes += ev.cost();
+    s.ring.push_back(ev);
+    while s.bytes > budget {
+        // Guaranteed to terminate: the ring is non-empty (we just
+        // pushed) and popping the last entry takes bytes to zero — an
+        // oversized single event evicts itself.
+        let old = s.ring.pop_front().expect("bytes > 0 implies a resident event");
+        s.bytes -= old.cost();
+        s.overwritten += 1;
+    }
+}
+
+/// Flight-recorder occupancy, for `/metrics`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlightStats {
+    /// Resident bytes across all shards (always ≤ `budget_bytes` once
+    /// the budget is ≥ [`FLIGHT_SHARDS`], the practical regime).
+    pub bytes: usize,
+    /// The configured total budget ([`flight_configure`]).
+    pub budget_bytes: usize,
+    /// Spans currently resident.
+    pub events: usize,
+    /// Spans overwritten (evicted) since process start.
+    pub overwritten: u64,
+}
+
+pub fn flight_stats() -> FlightStats {
+    let mut st = FlightStats {
+        budget_bytes: FLIGHT_BYTES.load(Ordering::Relaxed),
+        ..FlightStats::default()
+    };
+    for shard in flight_shards() {
+        let s = shard.lock().unwrap();
+        st.bytes += s.bytes;
+        st.events += s.ring.len();
+        st.overwritten += s.overwritten;
+    }
+    st
+}
+
+/// Empty the ring (tests; the daemon never clears it).
+pub fn flight_clear() {
+    for shard in flight_shards() {
+        let mut s = shard.lock().unwrap();
+        s.ring.clear();
+        s.bytes = 0;
+        s.overwritten = 0;
+    }
+}
+
+/// Copy out the resident spans, grouped by track and ordered for the
+/// nesting validator: `(track, start, Reverse(end), depth)`.
+pub fn flight_events() -> Vec<(u32, SpanEvent)> {
+    let mut all = Vec::new();
+    for shard in flight_shards() {
+        let s = shard.lock().unwrap();
+        all.extend(s.ring.iter().map(|fe| (fe.track, fe.event.clone())));
+    }
+    all.sort_by(|(ta, a), (tb, b)| {
+        (ta, a.start_ns, std::cmp::Reverse(a.end_ns()), a.depth).cmp(&(
+            tb,
+            b.start_ns,
+            std::cmp::Reverse(b.end_ns()),
+            b.depth,
+        ))
+    });
+    all
+}
+
+/// Thread names for every registered track (recycled shards report
+/// their current owner).
+fn track_names() -> HashMap<u32, String> {
+    registry()
+        .shards
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|s| (s.track, s.thread.lock().unwrap().clone()))
+        .collect()
+}
+
+/// Render the flight ring as a Perfetto-openable Chrome trace document
+/// (`GET /trace`). With `filter`, only spans carrying that request id
+/// are included (`/trace?job=<id>`). Each event carries its nesting
+/// depth and request id in `args`.
+///
+/// Spans are recorded when they *close*, so a dump taken while requests
+/// or jobs are mid-flight can contain child spans whose still-open
+/// parents are absent; a dump from a quiescent daemon passes
+/// [`spans_well_formed`] per track (what `diogenes trace-check`
+/// verifies).
+pub fn flight_trace_json(filter: Option<TraceId>) -> Json {
+    let names = track_names();
+    let mut events =
+        vec![chrome_metadata_event("process_name", SELF_TRACE_PID, 0, "diogenes-serve")];
+    let mut last_track = None;
+    for (track, e) in flight_events() {
+        if let Some(f) = filter {
+            if e.trace != f.0 {
+                continue;
+            }
+        }
+        if last_track != Some(track) {
+            last_track = Some(track);
+            let fallback;
+            let label = match names.get(&track) {
+                Some(n) => n.as_str(),
+                None => {
+                    fallback = format!("track-{track}");
+                    &fallback
+                }
+            };
+            events.push(chrome_metadata_event("thread_name", SELF_TRACE_PID, track, label));
+        }
+        events.push(chrome_duration_event_args(
+            e.label(),
+            "flight",
+            SELF_TRACE_PID,
+            track,
+            e.start_ns as f64 / 1_000.0,
+            (e.dur_ns.max(1)) as f64 / 1_000.0,
+            Json::obj([
+                ("depth", Json::Int(e.depth as i128)),
+                ("trace", Json::Str(format!("{:016x}", e.trace))),
+            ]),
+        ));
+    }
+    Json::obj([("traceEvents", Json::Arr(events)), ("displayTimeUnit", "ns".into())])
 }
 
 // ---------------------------------------------------------------------------
@@ -431,7 +815,7 @@ pub fn spans_well_formed(events: &[SpanEvent]) -> Result<(), String> {
             if e.end_ns() > top_end {
                 return Err(format!(
                     "span {:?} [{}, {}) partially overlaps its enclosing span ending at {}",
-                    e.name,
+                    e.label(),
                     e.start_ns,
                     e.end_ns(),
                     top_end
@@ -441,7 +825,7 @@ pub fn spans_well_formed(events: &[SpanEvent]) -> Result<(), String> {
         if e.depth as usize != stack.len() {
             return Err(format!(
                 "span {:?} recorded depth {} but interval nesting implies {}",
-                e.name,
+                e.label(),
                 e.depth,
                 stack.len()
             ));
@@ -480,6 +864,24 @@ pub fn chrome_duration_event(
     ])
 }
 
+/// [`chrome_duration_event`] plus an `args` object — per-event metadata
+/// (nesting depth, request id) shown in the viewer's detail panel.
+pub fn chrome_duration_event_args(
+    name: String,
+    cat: &str,
+    pid: u32,
+    tid: u32,
+    ts_us: f64,
+    dur_us: f64,
+    args: Json,
+) -> Json {
+    let Json::Obj(mut fields) = chrome_duration_event(name, cat, pid, tid, ts_us, dur_us) else {
+        unreachable!("chrome_duration_event returns an object")
+    };
+    fields.push(("args".to_string(), args));
+    Json::Obj(fields)
+}
+
 /// A metadata (`ph:"M"`) event labeling a process or thread track, so
 /// viewers show `ffm-pool-2` instead of a raw tid integer. `what` is
 /// `"process_name"` or `"thread_name"`.
@@ -502,12 +904,8 @@ pub fn self_trace_events(snap: &TelemetrySnapshot) -> Vec<Json> {
     for t in &snap.tracks {
         events.push(chrome_metadata_event("thread_name", SELF_TRACE_PID, t.track, &t.thread));
         for e in &t.events {
-            let name = match &e.detail {
-                Some(d) => format!("{} [{}]", e.name, d),
-                None => e.name.to_string(),
-            };
             events.push(chrome_duration_event(
-                name,
+                e.label(),
                 "tool",
                 SELF_TRACE_PID,
                 t.track,
@@ -658,16 +1056,26 @@ mod tests {
     fn worker_threads_get_their_own_tracks() {
         let _g = test_lock();
         set_enabled(true);
-        std::thread::Builder::new()
+        // Keep the worker alive across the drain: a dead thread's shard
+        // enters the recycling free list and may be renamed by its next
+        // owner, so the name is only stable while the thread lives.
+        let (recorded_tx, recorded_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let worker = std::thread::Builder::new()
             .name("tele-worker".to_string())
-            .spawn(|| {
-                let _s = span("tele.on_worker");
+            .spawn(move || {
+                {
+                    let _s = span("tele.on_worker");
+                }
+                recorded_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
             })
-            .unwrap()
-            .join()
             .unwrap();
+        recorded_rx.recv().unwrap();
         set_enabled(false);
         let snap = drain();
+        release_tx.send(()).unwrap();
+        worker.join().unwrap();
         let track = snap
             .tracks
             .iter()
@@ -717,6 +1125,118 @@ mod tests {
     }
 
     #[test]
+    fn trace_scopes_nest_and_restore() {
+        assert_eq!(current_trace(), None);
+        {
+            let _a = trace_scope(Some(TraceId(7)));
+            assert_eq!(current_trace(), Some(TraceId(7)));
+            {
+                let _b = trace_scope(Some(TraceId(9)));
+                assert_eq!(current_trace(), Some(TraceId(9)));
+                let _c = trace_scope(None);
+                assert_eq!(current_trace(), None);
+            }
+            assert_eq!(current_trace(), Some(TraceId(7)));
+        }
+        assert_eq!(current_trace(), None);
+    }
+
+    #[test]
+    fn quantiles_stay_in_observed_range_and_are_monotone() {
+        assert_eq!(Hist::default().quantile(0.5), 0, "empty hist");
+        let mut one = Hist::default();
+        one.record(42);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 42, "single-value hist at q={q}");
+        }
+        let mut h = Hist::default();
+        for v in [3u64, 9, 17, 1_000, 65_536] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), h.min);
+        assert_eq!(h.quantile(1.0), h.max);
+        let mut prev = 0;
+        for i in 0..=20 {
+            let q = h.quantile(i as f64 / 20.0);
+            assert!((h.min..=h.max).contains(&q), "q estimate {q} outside [min, max]");
+            assert!(q >= prev, "quantile must be monotone in q");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn flight_ring_bounds_bytes_and_survives_wraparound() {
+        let _g = test_lock();
+        set_enabled(false);
+        let budget = 16 * 1024;
+        flight_configure(budget);
+        flight_clear();
+        // Push far more span bytes than the budget holds; every
+        // iteration closes a complete `[outer [inner]]` tree under a
+        // distinct trace id.
+        std::thread::Builder::new()
+            .name("flight-test".to_string())
+            .spawn(|| {
+                for i in 0..4000u64 {
+                    let _t = trace_scope(Some(TraceId(i + 1)));
+                    let _outer = span_detail("flight.outer", || format!("iter-{i}"));
+                    let _inner = span("flight.inner");
+                }
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        let st = flight_stats();
+        assert!(st.bytes <= budget, "resident {} bytes exceed the {budget} budget", st.bytes);
+        assert!(st.overwritten > 0, "8000 spans into 16KiB must wrap");
+        assert!(st.events > 0, "the ring retains a recent suffix");
+        // The surviving suffix of the test thread's track is still a
+        // well-formed hierarchy, and every span carries its trace id.
+        let evs: Vec<SpanEvent> = flight_events()
+            .into_iter()
+            .filter(|(_, e)| e.name.starts_with("flight."))
+            .map(|(_, e)| e)
+            .collect();
+        assert!(!evs.is_empty());
+        spans_well_formed(&evs).unwrap();
+        assert!(evs.iter().all(|e| e.trace != 0), "spans inherit the installed trace id");
+        // Nothing leaked into the drainable profiling sink: telemetry
+        // proper was off the whole time.
+        assert!(drain()
+            .tracks
+            .iter()
+            .all(|t| t.events.iter().all(|e| !e.name.starts_with("flight."))));
+        flight_configure(0);
+        flight_clear();
+    }
+
+    #[test]
+    fn flight_trace_json_is_perfetto_shaped_and_filters_by_trace() {
+        let _g = test_lock();
+        set_enabled(false);
+        flight_configure(64 * 1024);
+        flight_clear();
+        {
+            let _t = trace_scope(Some(TraceId(0xabcd)));
+            let _s = span("flight.wanted");
+        }
+        {
+            let _t = trace_scope(Some(TraceId(0x1234)));
+            let _s = span("flight.other");
+        }
+        let all = flight_trace_json(None).to_string_compact();
+        assert!(all.contains("\"traceEvents\""), "{all}");
+        assert!(all.contains("flight.wanted") && all.contains("flight.other"), "{all}");
+        assert!(all.contains("\"process_name\""), "{all}");
+        let filtered = flight_trace_json(Some(TraceId(0xabcd))).to_string_compact();
+        assert!(filtered.contains("flight.wanted"), "{filtered}");
+        assert!(!filtered.contains("flight.other"), "{filtered}");
+        assert!(filtered.contains("000000000000abcd"), "args carry the request id: {filtered}");
+        flight_configure(0);
+        flight_clear();
+    }
+
+    #[test]
     fn nesting_validator_accepts_proper_hierarchies() {
         let ev = |name, start, dur, depth| SpanEvent {
             name,
@@ -724,6 +1244,7 @@ mod tests {
             start_ns: start,
             dur_ns: dur,
             depth,
+            trace: 0,
         };
         // [a [b] [c]] [d]
         let good =
@@ -740,6 +1261,7 @@ mod tests {
             start_ns: start,
             dur_ns: dur,
             depth,
+            trace: 0,
         };
         let overlap = vec![ev("a", 0, 50, 0), ev("b", 25, 50, 1)];
         assert!(spans_well_formed(&overlap).is_err(), "partial overlap must be rejected");
@@ -771,6 +1293,7 @@ mod tests {
                     start_ns: 5,
                     dur_ns: 100,
                     depth: 0,
+                    trace: 0,
                 }],
             }],
             counters: [("graph.nodes", 42u64)].into_iter().collect(),

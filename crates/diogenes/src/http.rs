@@ -33,8 +33,10 @@ pub const READ_TIMEOUT: Duration = Duration::from_secs(30);
 pub struct Request {
     /// Upper-cased method (`GET`, `POST`, ...).
     pub method: String,
-    /// Path component of the request target, query string stripped.
+    /// Path component of the request target, query string split off.
     pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
     /// Raw header pairs, names lower-cased.
     pub headers: Vec<(String, String)>,
     pub body: Vec<u8>,
@@ -45,6 +47,52 @@ impl Request {
     pub fn header(&self, name: &str) -> Option<&str> {
         self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
     }
+
+    /// First query parameter with this name (`/trace?job=<id>`).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Split a query string into pairs, percent-decoding both halves. A
+/// bare token (`?verbose`) becomes `("verbose", "")`.
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(part), String::new()),
+        })
+        .collect()
+}
+
+/// Minimal percent-decoding (`%2F` → `/`, `+` → space). Malformed
+/// escapes pass through literally — query parsing must never fail a
+/// request.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let decoded = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok());
+                match decoded {
+                    Some(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 /// Read and parse one request. `Ok(None)` means the peer closed the
@@ -81,7 +129,10 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, String> {
     if !version.starts_with("HTTP/1.") {
         return Err(format!("unsupported version {version:?}"));
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
 
     let mut headers = Vec::new();
     for line in lines {
@@ -113,7 +164,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, String> {
     }
     body.truncate(content_length);
 
-    Ok(Some(Request { method, path, headers, body }))
+    Ok(Some(Request { method, path, query, headers, body }))
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -128,6 +179,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -186,9 +238,24 @@ mod tests {
         .unwrap()
         .unwrap();
         assert_eq!(req.method, "POST");
-        assert_eq!(req.path, "/run", "query string stripped");
+        assert_eq!(req.path, "/run", "query string split off the path");
+        assert_eq!(req.query_param("trace"), Some("1"));
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.body, b"{\"app\": \"als\"}");
+    }
+
+    #[test]
+    fn query_strings_decode_into_parameters() {
+        let req =
+            parse_raw(b"GET /trace?job=ab%2Fcd&flag&x=a+b HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.path, "/trace");
+        assert_eq!(req.query_param("job"), Some("ab/cd"));
+        assert_eq!(req.query_param("flag"), Some(""));
+        assert_eq!(req.query_param("x"), Some("a b"));
+        assert_eq!(req.query_param("missing"), None);
+        // Malformed escapes pass through rather than erroring.
+        let req = parse_raw(b"GET /trace?job=%zz%2 HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.query_param("job"), Some("%zz%2"));
     }
 
     #[test]

@@ -48,4 +48,4 @@ pub use sweep::{
     parse_axis_arg, parse_shard_arg, run_sweep_cli, shard_out_path,
 };
 pub use tool::{run_diogenes, DiogenesConfig, DiogenesResult};
-pub use traceviz::chrome_trace;
+pub use traceviz::{check_chrome_trace, chrome_trace, TraceCheck};

@@ -67,7 +67,9 @@ fn usage() -> ! {
          \x20      diogenes convert <in> <out>   (.ffb out = binary, else JSON)\n\
          \x20      diogenes cache [--dir <dir>] [--clear-stale] [--clear-all]\n\
          \x20      diogenes serve [--addr HOST:PORT] [--jobs N] [--executors N] \
-         [--cache-dir <dir>] [--no-cache] [--profile]"
+         [--cache-dir <dir>] [--no-cache] [--max-queue N] [--max-done N] \
+         [--flight-recorder-bytes N] [--profile]\n\
+         \x20      diogenes trace-check <trace.json>   (validate a Chrome trace dump)"
     );
     std::process::exit(2);
 }
@@ -168,6 +170,19 @@ fn serve_main(args: &[String]) -> ! {
                 cfg.cache_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()).into());
             }
             "--no-cache" => cfg.cache_dir = None,
+            "--max-queue" => {
+                i += 1;
+                cfg.max_queue = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--max-done" => {
+                i += 1;
+                cfg.max_done = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--flight-recorder-bytes" => {
+                i += 1;
+                cfg.flight_recorder_bytes =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
             "--profile" => profile = true,
             _ => usage(),
         }
@@ -388,6 +403,33 @@ fn sweep_main(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `diogenes trace-check <file>` — validate a Chrome trace document
+/// (e.g. the daemon's `/trace` flight dump): required fields present,
+/// spans on each track properly nested. Exit 0 on a clean trace.
+fn trace_check_main(args: &[String]) -> ! {
+    let [path] = args else { usage() };
+    let doc = match diogenes::load_doc(path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            log_error!("trace-check: {e}");
+            std::process::exit(1);
+        }
+    };
+    match diogenes::check_chrome_trace(&doc) {
+        Ok(check) => {
+            println!(
+                "trace-check {path}: ok ({} events across {} tracks)",
+                check.events, check.tracks
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            log_error!("trace-check: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -395,6 +437,9 @@ fn main() {
     }
     if args[0] == "sweep" {
         sweep_main(&args[1..]);
+    }
+    if args[0] == "trace-check" {
+        trace_check_main(&args[1..]);
     }
     if args[0] == "cache" {
         cache_main(&args[1..]);

@@ -45,9 +45,11 @@ use std::time::Instant;
 
 use cuda_driver::GpuApp;
 use diogenes_apps::*;
+use ffm_core::telemetry::TraceId;
 use ffm_core::{
-    decode_any_doc, is_ffb, report_to_json, run_ffm_with_store, run_sweep_with_store,
-    sweep_to_json, telemetry, ArtifactStore, Axis, CacheMode, FfmConfig, Json, KeyHasher, Pool,
+    decode_any_doc, is_ffb, log_debug, log_info, log_warn, report_to_json, run_ffm_with_store,
+    run_sweep_with_store, sweep_to_json, telemetry, ArtifactStore, Axis, CacheMode, FfmConfig,
+    Json, KeyHasher, Pool, PromText,
 };
 
 use crate::http::{read_request, write_response, Request};
@@ -84,6 +86,18 @@ pub struct ServeConfig {
     pub executors: usize,
     /// Stage-artifact cache directory; `None` = memory-only store.
     pub cache_dir: Option<PathBuf>,
+    /// Backpressure bound: submissions that would push the job queue
+    /// past this depth are refused with `429` instead of queueing
+    /// unboundedly (`--max-queue`).
+    pub max_queue: usize,
+    /// Completed (done or failed) jobs retained in the job table; the
+    /// least-recently-accessed past this count are evicted
+    /// (`--max-done`). Evicted results are reconstructible: resubmitting
+    /// the same spec replays through the artifact store's caches.
+    pub max_done: usize,
+    /// Byte budget for the always-on flight recorder (`0` disables;
+    /// `--flight-recorder-bytes`).
+    pub flight_recorder_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +107,9 @@ impl Default for ServeConfig {
             jobs: 0,
             executors: 2,
             cache_dir: Some(PathBuf::from("results/cache")),
+            max_queue: 256,
+            max_done: 64,
+            flight_recorder_bytes: 1 << 20,
         }
     }
 }
@@ -169,6 +186,20 @@ struct Job {
     /// Result bytes (the exact artifact the offline CLI would write).
     result: Option<Arc<Vec<u8>>>,
     error: Option<String>,
+    /// Correlation id installed while the job executes (derived from the
+    /// job id, so `/trace?job=<id>` can find its spans).
+    trace: TraceId,
+    /// Monotone access tick ([`Shared::access_tick`]) bumped on
+    /// submission and fetch — the LRU key for done-job eviction.
+    last_access: u64,
+}
+
+/// Correlation id for a job: the leading 64 bits of its content digest.
+/// Never 0 (0 means "untraced"); the all-zero prefix is unreachable in
+/// practice but mapped away anyway.
+fn job_trace(id: &str) -> TraceId {
+    let raw = id.get(..16).and_then(|h| u64::from_str_radix(h, 16).ok()).unwrap_or(1);
+    TraceId(if raw == 0 { 1 } else { raw })
 }
 
 struct ServeState {
@@ -178,13 +209,15 @@ struct ServeState {
 }
 
 /// Request routes with dedicated telemetry aggregates.
-const ROUTES: [&str; 8] = [
+const ROUTES: [&str; 10] = [
     "POST /run",
     "POST /sweep",
     "GET /report",
     "GET /sweep",
     "GET /stats",
     "GET /telemetry",
+    "GET /metrics",
+    "GET /trace",
     "POST /shutdown",
     "other",
 ];
@@ -193,6 +226,9 @@ const ROUTES: [&str; 8] = [
 struct RouteStats {
     count: AtomicU64,
     total_ns: AtomicU64,
+    /// Latency distribution behind the `/metrics` quantile summaries.
+    /// Uncontended except when the same route is hit concurrently.
+    hist: Mutex<telemetry::Hist>,
 }
 
 struct Shared {
@@ -200,14 +236,30 @@ struct Shared {
     work_cv: Condvar,
     store: ArtifactStore,
     default_jobs: usize,
+    executors: usize,
+    max_queue: usize,
+    max_done: usize,
     started: Instant,
     submissions: AtomicU64,
     dedup_hits: AtomicU64,
     computed: AtomicU64,
     failed: AtomicU64,
+    rejected: AtomicU64,
+    evicted: AtomicU64,
     in_flight: AtomicU64,
     bytes_served: AtomicU64,
+    /// Source of request-correlation ids for HTTP connections (job
+    /// executions use [`job_trace`] instead).
+    next_trace: AtomicU64,
+    /// Monotone clock for job-table LRU ordering.
+    access_tick: AtomicU64,
     routes: [RouteStats; ROUTES.len()],
+}
+
+impl Shared {
+    fn tick(&self) -> u64 {
+        self.access_tick.fetch_add(1, Ordering::Relaxed)
+    }
 }
 
 /// A bound, not-yet-running daemon. Splitting bind from run lets callers
@@ -227,6 +279,10 @@ impl Server {
             Some(dir) => ArtifactStore::with_disk(dir.clone()),
             None => ArtifactStore::in_memory(),
         };
+        // The flight recorder is process-global (spans record from every
+        // thread); the daemon owns its configuration.
+        telemetry::flight_configure(cfg.flight_recorder_bytes);
+        let executors = cfg.executors.max(1);
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -238,16 +294,23 @@ impl Server {
                 work_cv: Condvar::new(),
                 store,
                 default_jobs: cfg.jobs,
+                executors,
+                max_queue: cfg.max_queue.max(1),
+                max_done: cfg.max_done.max(1),
                 started: Instant::now(),
                 submissions: AtomicU64::new(0),
                 dedup_hits: AtomicU64::new(0),
                 computed: AtomicU64::new(0),
                 failed: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                evicted: AtomicU64::new(0),
                 in_flight: AtomicU64::new(0),
                 bytes_served: AtomicU64::new(0),
+                next_trace: AtomicU64::new(1),
+                access_tick: AtomicU64::new(1),
                 routes: Default::default(),
             }),
-            executors: cfg.executors.max(1),
+            executors,
         })
     }
 
@@ -299,7 +362,7 @@ pub fn serve(cfg: ServeConfig) -> Result<(), String> {
     println!("diogenes serve: listening on {addr}");
     eprintln!(
         "diogenes serve: POST /run | POST /sweep | GET /report/<id> | GET /sweep/<id> | \
-         GET /stats | GET /telemetry | POST /shutdown"
+         GET /stats | GET /telemetry | GET /metrics | GET /trace[?job=<id>] | POST /shutdown"
     );
     server.run()
 }
@@ -325,14 +388,33 @@ fn executor_loop(shared: &Shared) {
                 st = shared.work_cv.wait(st).unwrap();
             }
         };
-        let spec = match shared.state.lock().unwrap().jobs.get(&id) {
-            Some(job) => job.spec.clone(),
+        let (spec, trace) = match shared.state.lock().unwrap().jobs.get(&id) {
+            Some(job) => (job.spec.clone(), job.trace),
             None => continue,
         };
         shared.in_flight.fetch_add(1, Ordering::Relaxed);
         let outcome = {
-            let _span = telemetry::span("serve.job");
-            execute_job(&spec, shared)
+            // All spans and log lines under this job — pool helpers
+            // included, via `par`'s trace inheritance — carry the job's
+            // correlation id, so `/trace?job=<id>` finds them.
+            let _trace = telemetry::trace_scope(Some(trace));
+            let _span = {
+                let id = id.clone();
+                telemetry::span_detail("serve.job", move || id)
+            };
+            log_info!("job start kind={} id={id}", spec.kind());
+            let t0 = Instant::now();
+            let outcome = execute_job(&spec, shared);
+            match &outcome {
+                Ok(bytes) => log_info!(
+                    "job done kind={} id={id} bytes={} elapsed_ms={}",
+                    spec.kind(),
+                    bytes.len(),
+                    t0.elapsed().as_millis()
+                ),
+                Err(e) => log_warn!("job failed kind={} id={id}: {e}", spec.kind()),
+            }
+            outcome
         };
         shared.in_flight.fetch_sub(1, Ordering::Relaxed);
         let mut st = shared.state.lock().unwrap();
@@ -350,6 +432,36 @@ fn executor_loop(shared: &Shared) {
                 }
             }
         }
+        evict_done(&mut st, shared);
+    }
+}
+
+/// LRU eviction of completed jobs: whenever the table holds more than
+/// `max_done` done/failed entries, drop the least-recently-accessed
+/// until back under the cap. Queued and running jobs are never evicted.
+/// An evicted result is not lost work — resubmitting the same spec
+/// replays through the artifact store, which still holds the stage
+/// artifacts.
+fn evict_done(st: &mut ServeState, shared: &Shared) {
+    loop {
+        let done: Vec<(&String, u64)> = st
+            .jobs
+            .iter()
+            .filter(|(_, j)| matches!(j.status, JobStatus::Done | JobStatus::Failed))
+            .map(|(id, j)| (id, j.last_access))
+            .collect();
+        if done.len() <= shared.max_done {
+            return;
+        }
+        let victim = done
+            .iter()
+            .min_by_key(|(_, tick)| *tick)
+            .map(|(id, _)| (*id).clone())
+            .expect("non-empty by the cap check");
+        st.jobs.remove(&victim);
+        shared.evicted.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter_add("serve.jobs_evicted", 1);
+        log_debug!("evicted completed job id={victim} (table over --max-done)");
     }
 }
 
@@ -402,6 +514,8 @@ fn route_index(method: &str, path: &str) -> usize {
         ("POST", "/shutdown") => "POST /shutdown",
         ("GET", "/stats") => "GET /stats",
         ("GET", "/telemetry") => "GET /telemetry",
+        ("GET", "/metrics") => "GET /metrics",
+        ("GET", "/trace") => "GET /trace",
         ("GET", p) if p.starts_with("/report/") => "GET /report",
         ("GET", p) if p.starts_with("/sweep/") => "GET /sweep",
         _ => "other",
@@ -420,13 +534,26 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, self_addr: std::net
         }
     };
     let t0 = Instant::now();
+    // Every request gets a fresh correlation id; log lines and spans on
+    // this connection carry it until the response is written. Job
+    // execution swaps in the job-derived id on the executor thread.
+    let trace = TraceId(shared.next_trace.fetch_add(1, Ordering::Relaxed));
+    let _trace = telemetry::trace_scope(Some(trace));
     let _span = telemetry::span("serve.request");
+    log_debug!("request {} {}", req.method, req.path);
     let (status, body) = respond(&req, shared, self_addr);
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
     let ri = route_index(&req.method, &req.path);
     shared.routes[ri].count.fetch_add(1, Ordering::Relaxed);
-    shared.routes[ri].total_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    shared.routes[ri].total_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+    shared.routes[ri].hist.lock().unwrap().record(elapsed_ns);
     shared.bytes_served.fetch_add(body.len() as u64, Ordering::Relaxed);
-    let _ = write_response(&mut stream, status, "application/json", &body);
+    let content_type = if req.method == "GET" && req.path == "/metrics" {
+        "text/plain; version=0.0.4"
+    } else {
+        "application/json"
+    };
+    let _ = write_response(&mut stream, status, content_type, &body);
 }
 
 fn error_body(msg: &str) -> Vec<u8> {
@@ -439,6 +566,8 @@ fn respond(req: &Request, shared: &Shared, self_addr: std::net::SocketAddr) -> (
         ("POST", "/sweep") => submit(req, shared, true),
         ("GET", "/stats") => (200, stats_doc(shared).to_string_pretty().into_bytes()),
         ("GET", "/telemetry") => (200, telemetry_doc(shared).to_string_pretty().into_bytes()),
+        ("GET", "/metrics") => (200, render_metrics(shared).into_bytes()),
+        ("GET", "/trace") => trace_dump(req),
         ("POST", "/shutdown") => shutdown(shared, self_addr),
         ("GET", path) if path.starts_with("/report/") => {
             fetch(shared, &path["/report/".len()..], "run")
@@ -540,17 +669,42 @@ fn submit(req: &Request, shared: &Shared, sweep: bool) -> (u16, Vec<u8>) {
     if st.draining {
         return (503, error_body("daemon is draining; no new submissions"));
     }
-    let status = match st.jobs.get(&id) {
+    let tick = shared.tick();
+    let status = match st.jobs.get_mut(&id) {
         Some(job) => {
             // Identical submission: attach to the existing job — this is
-            // the daemon-level dedupe (one computation, N clients).
+            // the daemon-level dedupe (one computation, N clients). A
+            // dedupe attach costs nothing, so it bypasses backpressure.
             shared.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            job.last_access = tick;
             job.status
         }
         None => {
+            // Backpressure: a genuinely new job would grow the queue, so
+            // refuse it once the queue is at the bound. Clients retry.
+            if st.queue.len() >= shared.max_queue {
+                shared.rejected.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add("serve.jobs_rejected", 1);
+                drop(st);
+                log_warn!("queue full ({} jobs); rejecting submission id={id}", shared.max_queue);
+                return (
+                    429,
+                    error_body(&format!(
+                        "job queue full ({} queued); retry later",
+                        shared.max_queue
+                    )),
+                );
+            }
             st.jobs.insert(
                 id.clone(),
-                Job { spec, status: JobStatus::Queued, result: None, error: None },
+                Job {
+                    spec,
+                    status: JobStatus::Queued,
+                    result: None,
+                    error: None,
+                    trace: job_trace(&id),
+                    last_access: tick,
+                },
             );
             st.queue.push_back(id.clone());
             shared.work_cv.notify_one();
@@ -568,10 +722,12 @@ fn submit(req: &Request, shared: &Shared, sweep: bool) -> (u16, Vec<u8>) {
 }
 
 fn fetch(shared: &Shared, id: &str, want_kind: &str) -> (u16, Vec<u8>) {
-    let st = shared.state.lock().unwrap();
-    let Some(job) = st.jobs.get(id) else {
+    let tick = shared.tick();
+    let mut st = shared.state.lock().unwrap();
+    let Some(job) = st.jobs.get_mut(id) else {
         return (404, error_body(&format!("no job {id:?}")));
     };
+    job.last_access = tick;
     if job.spec.kind() != want_kind {
         let err = format!(
             "job {id:?} is a {}; fetch it from /{}/{id}",
@@ -633,6 +789,8 @@ fn stats_doc(shared: &Shared) -> Json {
                 ("deduped", Json::Int(shared.dedup_hits.load(Ordering::Relaxed) as i128)),
                 ("computed", Json::Int(shared.computed.load(Ordering::Relaxed) as i128)),
                 ("failed", Json::Int(shared.failed.load(Ordering::Relaxed) as i128)),
+                ("rejected", Json::Int(shared.rejected.load(Ordering::Relaxed) as i128)),
+                ("evicted", Json::Int(shared.evicted.load(Ordering::Relaxed) as i128)),
                 ("in_flight", Json::Int(shared.in_flight.load(Ordering::Relaxed) as i128)),
                 ("known", Json::Int(jobs_total as i128)),
             ]),
@@ -649,6 +807,162 @@ fn stats_doc(shared: &Shared) -> Json {
             ]),
         ),
     ])
+}
+
+/// Render the `/metrics` Prometheus text exposition. Counters are
+/// cumulative over the daemon's life (the gathered telemetry totals are
+/// monotone by construction — see `telemetry::gather_metrics`).
+fn render_metrics(shared: &Shared) -> String {
+    let mut p = PromText::new();
+
+    p.family("diogenes_uptime_seconds", "gauge", "Seconds since the daemon started.");
+    p.sample_f64("diogenes_uptime_seconds", &[], shared.started.elapsed().as_secs_f64());
+
+    // -- HTTP --------------------------------------------------------------
+    p.family("diogenes_http_requests_total", "counter", "Requests served, by route.");
+    for (route, rs) in ROUTES.iter().zip(&shared.routes) {
+        p.sample(
+            "diogenes_http_requests_total",
+            &[("route", route)],
+            rs.count.load(Ordering::Relaxed),
+        );
+    }
+    for (route, rs) in ROUTES.iter().zip(&shared.routes) {
+        let hist = rs.hist.lock().unwrap().clone();
+        if hist.count > 0 {
+            p.summary(
+                "diogenes_http_request_duration_ns",
+                "Request latency by route (log2-bucket quantile estimates).",
+                &[("route", route)],
+                &hist,
+            );
+        }
+    }
+    p.family("diogenes_http_bytes_served_total", "counter", "Response body bytes written.");
+    p.sample("diogenes_http_bytes_served_total", &[], shared.bytes_served.load(Ordering::Relaxed));
+
+    // -- Jobs --------------------------------------------------------------
+    let lifecycle: [(&str, &AtomicU64); 6] = [
+        ("diogenes_jobs_submitted_total", &shared.submissions),
+        ("diogenes_jobs_deduped_total", &shared.dedup_hits),
+        ("diogenes_jobs_computed_total", &shared.computed),
+        ("diogenes_jobs_failed_total", &shared.failed),
+        ("diogenes_jobs_rejected_total", &shared.rejected),
+        ("diogenes_jobs_evicted_total", &shared.evicted),
+    ];
+    for (name, v) in lifecycle {
+        p.family(name, "counter", "Job lifecycle counter.");
+        p.sample(name, &[], v.load(Ordering::Relaxed));
+    }
+    let (queue_depth, by_state) = {
+        let st = shared.state.lock().unwrap();
+        let mut by_state = [0u64; 4];
+        for job in st.jobs.values() {
+            by_state[job.status as usize] += 1;
+        }
+        (st.queue.len() as u64, by_state)
+    };
+    p.family("diogenes_jobs", "gauge", "Jobs currently in the table, by state.");
+    for (status, n) in [JobStatus::Queued, JobStatus::Running, JobStatus::Done, JobStatus::Failed]
+        .iter()
+        .zip(by_state)
+    {
+        p.sample("diogenes_jobs", &[("state", status.as_str())], n);
+    }
+    p.family("diogenes_queue_depth", "gauge", "Jobs waiting for an executor.");
+    p.sample("diogenes_queue_depth", &[], queue_depth);
+    p.family("diogenes_queue_limit", "gauge", "Backpressure bound (--max-queue).");
+    p.sample("diogenes_queue_limit", &[], shared.max_queue as u64);
+    p.family("diogenes_executors", "gauge", "Executor threads.");
+    p.sample("diogenes_executors", &[], shared.executors as u64);
+    p.family("diogenes_executors_busy", "gauge", "Executors currently running a job.");
+    p.sample("diogenes_executors_busy", &[], shared.in_flight.load(Ordering::Relaxed));
+
+    // -- Worker pool -------------------------------------------------------
+    p.family("diogenes_pool_workers", "gauge", "Workers in the shared compute pool.");
+    p.sample("diogenes_pool_workers", &[], Pool::global().workers() as u64);
+    p.family("diogenes_pool_queue_depth", "gauge", "Tasks queued on the shared pool.");
+    p.sample("diogenes_pool_queue_depth", &[], Pool::global().queue_depth() as u64);
+
+    // -- Artifact store ----------------------------------------------------
+    let cache = shared.store.stats();
+    p.family("diogenes_cache_hits_total", "counter", "Stage-artifact cache hits, by layer.");
+    p.sample("diogenes_cache_hits_total", &[("layer", "mem")], cache.mem_hits);
+    p.sample("diogenes_cache_hits_total", &[("layer", "disk")], cache.disk_hits);
+    p.family("diogenes_cache_misses_total", "counter", "Stage-artifact cache misses.");
+    p.sample("diogenes_cache_misses_total", &[], cache.misses);
+    p.family("diogenes_cache_puts_total", "counter", "Stage artifacts stored.");
+    p.sample("diogenes_cache_puts_total", &[], cache.puts);
+    p.family("diogenes_cache_live_claims", "gauge", "Disk claims currently held.");
+    p.sample("diogenes_cache_live_claims", &[], shared.store.live_claims() as u64);
+
+    // -- Gathered telemetry: stage latency summaries + counters ------------
+    let totals = telemetry::gather_metrics();
+    for (name, hist) in &totals.hists {
+        if let Some(stage) =
+            name.strip_prefix("stage.").and_then(|rest| rest.strip_suffix(".exec_ns"))
+        {
+            p.summary(
+                "diogenes_stage_latency_ns",
+                "Pipeline stage execution latency (log2-bucket quantile estimates).",
+                &[("stage", stage)],
+                hist,
+            );
+        } else {
+            let metric = format!("diogenes_{}", ffm_core::sanitize_metric_name(name));
+            p.summary(&metric, "Telemetry histogram.", &[], hist);
+        }
+    }
+    p.family(
+        "diogenes_counter_total",
+        "counter",
+        "Internal telemetry counters (cache hits per stage, pool batches, ...).",
+    );
+    for (name, v) in &totals.counters {
+        p.sample("diogenes_counter_total", &[("name", name)], *v);
+    }
+
+    // -- Flight recorder ---------------------------------------------------
+    let fs = telemetry::flight_stats();
+    p.family("diogenes_flight_recorder_bytes", "gauge", "Bytes held in the flight ring.");
+    p.sample("diogenes_flight_recorder_bytes", &[], fs.bytes as u64);
+    p.family("diogenes_flight_recorder_budget_bytes", "gauge", "Flight ring byte budget.");
+    p.sample("diogenes_flight_recorder_budget_bytes", &[], fs.budget_bytes as u64);
+    p.family("diogenes_flight_recorder_events", "gauge", "Span events held in the flight ring.");
+    p.sample("diogenes_flight_recorder_events", &[], fs.events as u64);
+    p.family(
+        "diogenes_flight_recorder_overwritten_total",
+        "counter",
+        "Span events dropped from the ring to stay in budget.",
+    );
+    p.sample("diogenes_flight_recorder_overwritten_total", &[], fs.overwritten);
+
+    p.finish()
+}
+
+/// `GET /trace[?job=<id>]`: dump the flight recorder as a Chrome trace
+/// (open in Perfetto / chrome://tracing). With `job=`, only spans that
+/// executed under that job's correlation id are kept.
+fn trace_dump(req: &Request) -> (u16, Vec<u8>) {
+    let filter = match req.query_param("job") {
+        None => None,
+        Some(id)
+            if !id.is_empty()
+                && id.len() >= 16
+                && id[..16].bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            Some(job_trace(id))
+        }
+        Some(id) => {
+            return (400, error_body(&format!("job filter {id:?} is not a job id")));
+        }
+    };
+    let doc = telemetry::flight_trace_json(filter);
+    let mut bytes = Vec::new();
+    match doc.write_pretty(&mut bytes) {
+        Ok(()) => (200, bytes),
+        Err(e) => (500, error_body(&format!("render trace: {e}"))),
+    }
 }
 
 fn telemetry_doc(shared: &Shared) -> Json {
@@ -771,6 +1085,119 @@ mod tests {
         }
         let doc = Json::parse(r#"{"app": "als", "axes": [{"field": "x", "values": []}]}"#).unwrap();
         assert!(parse_spec(&doc, true).is_err(), "empty axis values rejected");
+    }
+
+    /// A bound-but-not-running server: no executors drain the queue, so
+    /// queue depth is fully deterministic.
+    fn idle_server(max_queue: usize, max_done: usize) -> Server {
+        Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            cache_dir: None,
+            max_queue,
+            max_done,
+            flight_recorder_bytes: 0,
+            ..ServeConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            query: Vec::new(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_new_jobs_with_429_but_dedupes_existing() {
+        let server = idle_server(2, 64);
+        let shared = &server.shared;
+        let (s1, _) = submit(&post("/run", r#"{"app": "als"}"#), shared, false);
+        let (s2, _) = submit(&post("/run", r#"{"app": "amg"}"#), shared, false);
+        assert_eq!((s1, s2), (200, 200), "queue has room for two");
+        let (s3, body) = submit(&post("/run", r#"{"app": "cuibm"}"#), shared, false);
+        assert_eq!(s3, 429, "third distinct job exceeds --max-queue");
+        assert!(String::from_utf8(body).unwrap().contains("queue full"));
+        assert_eq!(shared.rejected.load(Ordering::Relaxed), 1);
+        // A duplicate of a queued job attaches without growing the
+        // queue, so it must not be rejected.
+        let (s4, _) = submit(&post("/run", r#"{"app": "als"}"#), shared, false);
+        assert_eq!(s4, 200, "dedupe attach bypasses backpressure");
+        assert_eq!(shared.dedup_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.state.lock().unwrap().queue.len(), 2);
+    }
+
+    #[test]
+    fn eviction_drops_least_recently_accessed_completed_jobs() {
+        let server = idle_server(256, 2);
+        let shared = &server.shared;
+        for app in ["als", "amg", "cuibm", "gaussian"] {
+            let (s, _) = submit(&post("/run", &format!(r#"{{"app": "{app}"}}"#)), shared, false);
+            assert_eq!(s, 200);
+        }
+        let ids: Vec<String> = {
+            let mut st = shared.state.lock().unwrap();
+            let ids: Vec<String> = st.queue.iter().cloned().collect();
+            // Complete the first three in queue order (ascending
+            // last_access from submission); the fourth stays queued.
+            for id in &ids[..3] {
+                let job = st.jobs.get_mut(id).unwrap();
+                job.status = JobStatus::Done;
+                job.result = Some(Arc::new(Vec::new()));
+            }
+            evict_done(&mut st, shared);
+            ids
+        };
+        let st = shared.state.lock().unwrap();
+        assert!(!st.jobs.contains_key(&ids[0]), "oldest completed job evicted");
+        assert!(st.jobs.contains_key(&ids[1]) && st.jobs.contains_key(&ids[2]));
+        assert!(st.jobs.contains_key(&ids[3]), "queued jobs are never evicted");
+        assert_eq!(shared.evicted.load(Ordering::Relaxed), 1);
+        drop(st);
+        // Fetching bumps recency: touch ids[1], complete ids[3], and the
+        // next eviction must pick ids[2].
+        let _ = fetch(shared, &ids[1], "run");
+        let mut st = shared.state.lock().unwrap();
+        let job = st.jobs.get_mut(&ids[3]).unwrap();
+        job.status = JobStatus::Done;
+        job.result = Some(Arc::new(Vec::new()));
+        evict_done(&mut st, shared);
+        assert!(!st.jobs.contains_key(&ids[2]), "least-recently-accessed evicted");
+        assert!(st.jobs.contains_key(&ids[1]), "fetch refreshed recency");
+        assert_eq!(shared.evicted.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn job_traces_derive_from_the_id_prefix_and_are_never_zero() {
+        assert_eq!(job_trace("00000000000000ffdeadbeefdeadbeef"), TraceId(0xff));
+        assert_eq!(job_trace("0000000000000000deadbeefdeadbeef"), TraceId(1), "0 means untraced");
+        assert_eq!(job_trace("short"), TraceId(1), "malformed ids fall back");
+        let spec = JobSpec::Run { app: "als".into(), paper: false, jobs: 0 };
+        assert_ne!(job_trace(&spec.id()).0, 0);
+    }
+
+    #[test]
+    fn metrics_exposition_is_well_formed_while_idle() {
+        let server = idle_server(256, 64);
+        let (s, _) = submit(&post("/run", r#"{"app": "als"}"#), &server.shared, false);
+        assert_eq!(s, 200);
+        server.shared.routes[0].count.fetch_add(1, Ordering::Relaxed);
+        server.shared.routes[0].hist.lock().unwrap().record(12_345);
+        let text = render_metrics(&server.shared);
+        let samples = ffm_core::exposition_well_formed(&text)
+            .unwrap_or_else(|e| panic!("exposition rejected: {e}\n{text}"));
+        assert!(samples > 20, "expected a substantive exposition, got {samples} samples");
+        assert!(text.contains("diogenes_jobs{state=\"queued\"} 1"), "{text}");
+        assert!(text.contains("diogenes_queue_limit 256"), "{text}");
+        assert!(
+            text.contains(
+                "diogenes_http_request_duration_ns{route=\"POST /run\",quantile=\"0.5\"}"
+            ),
+            "{text}"
+        );
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //! reasons about, which makes the before/after of a fix visible at a
 //! glance.
 
+use std::collections::BTreeMap;
+
 use cuda_driver::Cuda;
-use ffm_core::{chrome_duration_event, chrome_metadata_event, Json};
+use ffm_core::{chrome_duration_event, chrome_metadata_event, spans_well_formed, Json, SpanEvent};
 use gpu_sim::{CpuEventKind, EngineClass};
 
 /// Pid for the simulated application's tracks.
@@ -84,6 +86,104 @@ pub fn chrome_trace(cuda: &Cuda) -> Json {
     ])
 }
 
+/// What [`check_chrome_trace`] verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Distinct `(pid, tid)` tracks carrying duration events.
+    pub tracks: usize,
+    /// Duration (`ph: "X"`) events checked.
+    pub events: usize,
+}
+
+/// Validate a Chrome trace-event document (ours or the daemon's
+/// `/trace` flight dump): every duration event must carry the fields
+/// viewers require, and per track the spans must nest properly — no
+/// partial overlaps — per `ffm_core::spans_well_formed`. Used by
+/// `diogenes trace-check` so CI can assert a dumped trace is openable,
+/// not just syntactically JSON.
+pub fn check_chrome_trace(doc: &Json) -> Result<TraceCheck, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("document has no \"traceEvents\" array")?;
+    // (start_ns, dur_ns, label, recorded depth if the event carried one)
+    type Raw = (u64, u64, String, Option<u32>);
+    let mut tracks: BTreeMap<(i128, i128), Vec<Raw>> = BTreeMap::new();
+    let mut checked = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i} has no \"ph\" phase"))?;
+        let pid = e.get("pid").and_then(Json::as_i128).ok_or_else(|| format!("event {i}: pid"))?;
+        let tid = e.get("tid").and_then(Json::as_i128).ok_or_else(|| format!("event {i}: tid"))?;
+        match ph {
+            "M" => {
+                e.get("name").and_then(Json::as_str).ok_or_else(|| format!("event {i}: name"))?;
+            }
+            "X" => {
+                let name = e
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("event {i}: name"))?;
+                let ts = e
+                    .get("ts")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i} ({name}): ts"))?;
+                let dur = e
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i} ({name}): dur"))?;
+                if !(ts >= 0.0 && dur > 0.0 && ts.is_finite() && dur.is_finite()) {
+                    return Err(format!("event {i} ({name}): ts={ts} dur={dur} out of range"));
+                }
+                let depth = e
+                    .get("args")
+                    .and_then(|a| a.get("depth"))
+                    .and_then(Json::as_i128)
+                    .map(|d| d as u32);
+                // Microsecond floats back to the integer-ns domain the
+                // span checker works in.
+                tracks.entry((pid, tid)).or_default().push((
+                    (ts * 1_000.0).round() as u64,
+                    (dur * 1_000.0).round() as u64,
+                    name.to_string(),
+                    depth,
+                ));
+                checked += 1;
+            }
+            other => return Err(format!("event {i}: unsupported phase {other:?}")),
+        }
+    }
+    for ((pid, tid), raw) in &mut tracks {
+        // Flight-dump events record their true depth in args; plain
+        // visualization traces don't, so infer it from interval nesting
+        // (the same parenthesization `spans_well_formed` re-derives).
+        raw.sort_by_key(|(start, dur, _, _)| (*start, std::cmp::Reverse(start + dur)));
+        let mut stack: Vec<u64> = Vec::new();
+        let spans: Vec<SpanEvent> = raw
+            .iter()
+            .map(|(start, dur, label, depth)| {
+                while stack.last().is_some_and(|&end| end <= *start) {
+                    stack.pop();
+                }
+                let implied = stack.len() as u32;
+                stack.push(start + dur);
+                SpanEvent {
+                    name: "trace-check",
+                    detail: Some(label.clone()),
+                    start_ns: *start,
+                    dur_ns: *dur,
+                    depth: depth.unwrap_or(implied),
+                    trace: 0,
+                }
+            })
+            .collect();
+        spans_well_formed(&spans).map_err(|e| format!("track pid={pid} tid={tid}: {e}"))?;
+    }
+    Ok(TraceCheck { tracks: tracks.len(), events: checked })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +220,38 @@ mod tests {
         for label in ["simulated-app", "host", "gpu-compute", "gpu-copy"] {
             assert!(doc.contains(&format!("{{\"name\":\"{label}\"}}")), "missing {label}: {doc}");
         }
+    }
+
+    #[test]
+    fn checker_accepts_real_traces_and_rejects_malformed_ones() {
+        let mut cuda = Cuda::new(CostModel::pascal_like());
+        let s = SourceLoc::new("t.cu", 1);
+        let d = cuda.malloc(4096, s).unwrap();
+        let h = cuda.host_malloc(4096);
+        cuda.memcpy_htod(d, h, 4096, s).unwrap();
+        let k = KernelDesc::compute("viz_kernel", 10_000);
+        cuda.launch_kernel(&k, StreamId::DEFAULT, s).unwrap();
+        cuda.device_synchronize(s).unwrap();
+        let check = check_chrome_trace(&chrome_trace(&cuda)).expect("real trace validates");
+        assert!(check.tracks >= 2, "host + at least one engine, got {}", check.tracks);
+        assert!(check.events > 4, "got {}", check.events);
+
+        assert!(check_chrome_trace(&Json::obj([])).is_err(), "no traceEvents");
+        let dur = |ts: f64, dur: f64| chrome_duration_event("e".into(), "c", 1, 1, ts, dur);
+        let no_ph = Json::obj([(
+            "traceEvents",
+            Json::Arr(vec![Json::obj([
+                ("name", "x".into()),
+                ("pid", Json::Int(1)),
+                ("tid", Json::Int(1)),
+            ])]),
+        )]);
+        assert!(check_chrome_trace(&no_ph).is_err(), "missing phase");
+        let overlap = Json::obj([("traceEvents", Json::Arr(vec![dur(0.0, 10.0), dur(5.0, 10.0)]))]);
+        assert!(check_chrome_trace(&overlap).is_err(), "partial overlap on one track");
+        let nested = Json::obj([("traceEvents", Json::Arr(vec![dur(0.0, 10.0), dur(2.0, 3.0)]))]);
+        let check = check_chrome_trace(&nested).expect("proper nesting passes");
+        assert_eq!(check, TraceCheck { tracks: 1, events: 2 });
     }
 
     #[test]

@@ -50,6 +50,7 @@ fn serve_dedupes_concurrent_runs_and_matches_the_offline_cli() {
         jobs: 1,
         executors: 2,
         cache_dir: None, // memory-only store: the test must not touch results/
+        ..ServeConfig::default()
     })
     .expect("bind");
     let addr = server.local_addr().expect("addr");
@@ -139,6 +140,7 @@ fn serve_runs_sweeps_and_keys_them_separately() {
         jobs: 1,
         executors: 1,
         cache_dir: None,
+        ..ServeConfig::default()
     })
     .expect("bind");
     let addr = server.local_addr().expect("addr");

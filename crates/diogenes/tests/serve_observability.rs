@@ -1,0 +1,167 @@
+//! End-to-end exercise of the daemon's observability surface: `/metrics`
+//! must emit well-formed Prometheus exposition with live request and job
+//! counters, `/trace` must dump the flight recorder as a valid Chrome
+//! trace (filterable by job id), and the job table must evict
+//! least-recently-accessed completed jobs past `--max-done`, visible in
+//! the eviction counter.
+//!
+//! One `#[test]`: the flight-recorder budget is process-global, and this
+//! file being its own test binary keeps it isolated from the other serve
+//! and identity tests.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use diogenes::{check_chrome_trace, ServeConfig, Server};
+use ffm_core::{exposition_well_formed, Json};
+
+/// One HTTP exchange against the daemon; returns (status, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, Vec<u8>) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    let head =
+        format!("{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n", body.len());
+    s.write_all(head.as_bytes()).unwrap();
+    s.write_all(body).unwrap();
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).unwrap();
+    let split = raw.windows(4).position(|w| w == b"\r\n\r\n").expect("response has a head");
+    let head = std::str::from_utf8(&raw[..split]).expect("head is UTF-8");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {head:?}"));
+    (status, raw[split + 4..].to_vec())
+}
+
+fn poll_done(addr: SocketAddr, location: &str) -> (u16, Vec<u8>) {
+    for _ in 0..600 {
+        let (status, body) = request(addr, "GET", location, b"");
+        if status != 202 {
+            return (status, body);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    panic!("job at {location} never finished");
+}
+
+/// Submit a run for `app`, wait for completion, return (id, location).
+fn run_to_done(addr: SocketAddr, app: &str) -> (String, String) {
+    let body = format!(r#"{{"app": "{app}"}}"#);
+    let (status, resp) = request(addr, "POST", "/run", body.as_bytes());
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&resp));
+    let doc = Json::parse(std::str::from_utf8(&resp).unwrap()).unwrap();
+    let id = doc.get("id").and_then(Json::as_str).unwrap().to_string();
+    let location = doc.get("location").and_then(Json::as_str).unwrap().to_string();
+    let (status, body) = poll_done(addr, &location);
+    assert_eq!(status, 200, "job {app} failed: {}", String::from_utf8_lossy(&body));
+    (id, location)
+}
+
+/// The value of the first sample whose rendered line starts with `head`.
+fn sample_value(text: &str, head: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| l.starts_with(head))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn metrics_and_trace_expose_the_daemons_work_and_done_jobs_get_evicted() {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 1,
+        executors: 1, // serial job execution keeps LRU completion order deterministic
+        cache_dir: None,
+        max_done: 2,
+        flight_recorder_bytes: 1 << 20,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let daemon = std::thread::spawn(move || server.run().expect("serve runs"));
+
+    let (id_als, loc_als) = run_to_done(addr, "als");
+
+    // -- /metrics: well-formed exposition with live counters. -----------
+    let (status, body) = request(addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).expect("exposition is UTF-8");
+    let samples = exposition_well_formed(&text)
+        .unwrap_or_else(|e| panic!("malformed exposition: {e}\n{text}"));
+    assert!(samples > 30, "expected a substantive exposition, got {samples} samples");
+    let run_requests = sample_value(&text, "diogenes_http_requests_total{route=\"POST /run\"}")
+        .expect("POST /run counter present");
+    assert!(run_requests >= 1.0, "{run_requests}");
+    assert!(
+        sample_value(
+            &text,
+            "diogenes_http_request_duration_ns{route=\"POST /run\",quantile=\"0.5\"}"
+        )
+        .is_some(),
+        "request latency summary missing:\n{text}"
+    );
+    assert_eq!(sample_value(&text, "diogenes_jobs_computed_total"), Some(1.0));
+    assert!(
+        sample_value(&text, "diogenes_stage_latency_ns{stage=\"stage5\",quantile=\"0.9\"}")
+            .is_some(),
+        "stage latency summaries missing:\n{text}"
+    );
+    let flight_events =
+        sample_value(&text, "diogenes_flight_recorder_events").expect("flight gauge");
+    assert!(flight_events > 0.0, "flight recorder captured nothing");
+    let budget = sample_value(&text, "diogenes_flight_recorder_budget_bytes").unwrap();
+    let bytes = sample_value(&text, "diogenes_flight_recorder_bytes").unwrap();
+    assert!(bytes <= budget, "ring over budget: {bytes} > {budget}");
+
+    // -- /trace: a valid Chrome trace, filterable by job. ---------------
+    let (status, body) = request(addr, "GET", "/trace", b"");
+    assert_eq!(status, 200);
+    let full = Json::parse(std::str::from_utf8(&body).unwrap()).expect("trace is JSON");
+    let check = check_chrome_trace(&full).expect("flight dump is a valid Chrome trace");
+    assert!(check.events > 0);
+    let (status, body) = request(addr, "GET", &format!("/trace?job={id_als}"), b"");
+    assert_eq!(status, 200);
+    let filtered = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    check_chrome_trace(&filtered).expect("filtered dump validates");
+    let names: Vec<&str> = filtered
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    assert!(!names.is_empty(), "job filter dropped everything");
+    assert!(
+        names.iter().any(|n| n.starts_with("serve.job") && n.contains(&id_als)),
+        "serve.job span for {id_als} missing: {names:?}"
+    );
+    let (status, _) = request(addr, "GET", "/trace?job=nonsense", b"");
+    assert_eq!(status, 400, "malformed job filter is a client error");
+
+    // -- Eviction: 3 completed jobs, cap 2 → the LRU one is dropped. ----
+    let (_id_amg, loc_amg) = run_to_done(addr, "amg");
+    // Touch the als result so amg becomes least-recently-accessed.
+    let (status, _) = request(addr, "GET", &loc_als, b"");
+    assert_eq!(status, 200, "als still resident");
+    let (_id_g, loc_g) = run_to_done(addr, "gaussian");
+    let (status, _) = request(addr, "GET", &loc_amg, b"");
+    assert_eq!(status, 404, "LRU completed job must be evicted past --max-done");
+    for loc in [&loc_als, &loc_g] {
+        let (status, _) = request(addr, "GET", loc, b"");
+        assert_eq!(status, 200, "{loc} should have survived eviction");
+    }
+    let (_, body) = request(addr, "GET", "/metrics", b"");
+    let text = String::from_utf8(body).unwrap();
+    assert_eq!(sample_value(&text, "diogenes_jobs_evicted_total"), Some(1.0));
+    let (_, body) = request(addr, "GET", "/stats", b"");
+    let stats = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    let jobs = stats.get("jobs").unwrap();
+    assert_eq!(jobs.get("evicted").and_then(Json::as_i128), Some(1));
+    assert_eq!(jobs.get("rejected").and_then(Json::as_i128), Some(0));
+
+    let (status, _) = request(addr, "POST", "/shutdown", b"");
+    assert_eq!(status, 200);
+    daemon.join().expect("daemon exits");
+}

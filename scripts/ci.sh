@@ -34,6 +34,10 @@ cargo test -q -p diogenes --test sequential_no_threads
 echo "== telemetry determinism (profiling on/off bit-identical reports) =="
 cargo test -q -p diogenes --test telemetry_determinism
 
+echo "== observability identity (flight recorder on/off bit-identical reports) =="
+cargo test -q -p diogenes --test observability_identity
+cargo test -q -p diogenes --test serve_observability
+
 echo "== cache determinism (no-cache/cold/warm bit-identical SWEEP json) =="
 cargo test -q -p diogenes --test cache_determinism
 
@@ -102,10 +106,11 @@ cmp "$FFB/full.json" "$FFB/merged.json"
 rm -rf "$FFB"
 echo "ffb round-trip smoke ok"
 
-echo "== serve smoke (daemon report byte-identical to CLI, stats live, clean drain) =="
+echo "== serve smoke (daemon report byte-identical to CLI, /metrics + /trace live, clean drain) =="
 SERVE=$(mktemp -d)
 ./target/release/diogenes als --jobs 2 --json "$SERVE/cli.json" > /dev/null
 ./target/release/diogenes serve --addr 127.0.0.1:0 --no-cache \
+    --flight-recorder-bytes 1048576 \
     > "$SERVE/serve.log" 2> /dev/null &
 SERVE_PID=$!
 # The first stdout line announces the bound (ephemeral) address.
@@ -149,15 +154,53 @@ assert status == 200, (status, body)
 stats = json.loads(body)
 assert stats['jobs']['computed'] == 1, stats
 assert stats['jobs']['failed'] == 0, stats
+assert stats['jobs']['rejected'] == 0 and stats['jobs']['evicted'] == 0, stats
 assert 'queue_depth' in stats and 'live_claims' in stats['cache'], stats
+
+# /metrics: Prometheus text exposition with the daemon's live counters.
+status, body = req('GET', '/metrics')
+assert status == 200, (status, body)
+text = body.decode()
+assert text.endswith('\n'), 'exposition must end with a newline'
+lines = [l for l in text.splitlines() if l]
+helps = [l for l in lines if l.startswith('# HELP ')]
+types = [l for l in lines if l.startswith('# TYPE ')]
+samples = [l for l in lines if not l.startswith('#')]
+assert len(helps) == len(types) and len(types) > 10, (len(helps), len(types))
+for l in samples:
+    name, _, value = l.rpartition(' ')
+    assert name, f'unparseable sample line {l!r}'
+    float(value)  # every sample value is numeric
+def sample(head):
+    hits = [l for l in samples if l.startswith(head)]
+    assert hits, f'no sample {head!r} in exposition'
+    return float(hits[0].rpartition(' ')[2])
+assert sample('diogenes_http_requests_total{route="POST /run"}') >= 1
+assert sample('diogenes_http_request_duration_ns_count{route="POST /run"}') >= 1
+assert sample('diogenes_jobs_computed_total') == 1
+assert sample('diogenes_flight_recorder_events') > 0
+assert sample('diogenes_flight_recorder_bytes') <= sample('diogenes_flight_recorder_budget_bytes')
+
+# /trace: the flight recorder dumps as a Chrome trace; validated
+# structurally by `diogenes trace-check` after shutdown.
+status, body = req('GET', '/trace')
+assert status == 200, (status, body)
+trace = json.loads(body)
+durations = [e for e in trace['traceEvents'] if e['ph'] == 'X']
+assert durations, 'flight dump has no duration events'
+assert any(e['name'].startswith('serve.job') for e in durations), \
+    f'no serve.job span in {[e["name"] for e in durations][:10]}'
+open(os.path.join(os.environ['SERVE_DIR'], 'trace.json'), 'wb').write(body)
 
 status, body = req('POST', '/shutdown')
 assert status == 200, (status, body)
 print(f"serve smoke ok: report {len(open(out,'rb').read())} bytes, "
+      f"{len(samples)} metric samples, {len(durations)} flight spans, "
       f"stats {stats['jobs']}")
 EOF
 wait "$SERVE_PID"
 cmp "$SERVE/cli.json" "$SERVE/served.json"
+./target/release/diogenes trace-check "$SERVE/trace.json"
 rm -rf "$SERVE"
 
 echo "== codec allocation smoke (zero steady-state allocations in FFB decode) =="
@@ -170,6 +213,10 @@ cargo test -q -p diogenes --test columnar_identity
 echo "== analysis allocation smoke (zero steady-state allocations in grouping) =="
 cargo build --release -p diogenes-bench --bin bench_analysis
 ./target/release/bench_analysis --smoke
+
+echo "== flight recorder smoke (zero steady-state allocations, ring in budget) =="
+cargo build --release -p diogenes-bench --bin bench_flight
+./target/release/bench_flight --smoke
 
 echo "== property tests (extern-testing feature) =="
 cargo test -q --workspace --features extern-testing
