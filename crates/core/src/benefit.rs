@@ -286,6 +286,308 @@ impl BenefitPass {
     }
 }
 
+/// Pending-node contribution computed by [`BenefitFold::complete_into`]:
+/// what the still-unresolved suffix adds to the aggregates when the
+/// graph is treated as ending now.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FoldTail {
+    pub total_ns: Ns,
+    pub growth_ns: Ns,
+    pub reclaim_ns: Ns,
+}
+
+/// Append-only evaluator for the Fig. 5 estimator.
+///
+/// [`BenefitPass`] needs the whole graph up front because an
+/// `UnnecessarySync`'s estimate depends on the *next* synchronization.
+/// The fold instead keeps an evaluation cursor that trails the append
+/// frontier: a node resolves as soon as everything its estimate reads
+/// has been appended (for an `UnnecessarySync`, the next `CWait`; for
+/// every other classification, immediately). Because resolution happens
+/// in graph order against the same growth column semantics, the
+/// resolved per-node estimates are exactly the prefix [`BenefitPass`]
+/// would produce — and after [`BenefitFold::finalize`] the full result
+/// is identical to the batch pass.
+///
+/// The caller owns the growing CPU prefix-sum column (shared with
+/// sequence evaluation) and passes it to every call. Steady state —
+/// graph shapes already seen since the last [`BenefitFold::reset`] —
+/// the fold allocates nothing.
+#[derive(Debug, Default)]
+pub struct BenefitFold {
+    /// Accumulated synchronization growth per node, parallel to the
+    /// graph (never reset between windows — growth is part of the
+    /// running state).
+    extra: Vec<Ns>,
+    /// First unresolved node index.
+    cursor: usize,
+    /// Frontier of the next-`CWait` scan while blocked; never rescans.
+    scan_from: usize,
+    per_node: Vec<NodeBenefit>,
+    total_ns: Ns,
+    growth_ns: Ns,
+    reclaim_ns: Ns,
+    finished: bool,
+}
+
+impl BenefitFold {
+    pub fn new() -> BenefitFold {
+        BenefitFold::default()
+    }
+
+    /// Clear all state (keeping buffer capacity) for a fresh graph.
+    pub fn reset(&mut self) {
+        self.extra.clear();
+        self.cursor = 0;
+        self.scan_from = 0;
+        self.per_node.clear();
+        self.total_ns = 0;
+        self.growth_ns = 0;
+        self.reclaim_ns = 0;
+        self.finished = false;
+    }
+
+    /// Fold the nodes appended since the last call (everything past the
+    /// fold's current length) and advance the evaluation cursor as far
+    /// as it can resolve. `cpu_prefix` must cover the whole graph
+    /// (`len == nodes.len() + 1`).
+    pub fn extend(&mut self, graph: &ExecGraph, cpu_prefix: &[Ns], opts: &BenefitOptions) {
+        assert!(!self.finished, "extend after finalize");
+        let n = graph.nodes.len();
+        debug_assert_eq!(cpu_prefix.len(), n + 1);
+        self.extra.resize(n, 0);
+        while self.cursor < n {
+            let idx = self.cursor;
+            let node = &graph.nodes[idx];
+            let problem = node.problem;
+            if problem == Problem::None {
+                self.cursor += 1;
+                continue;
+            }
+            let dur = node.duration + self.extra[idx];
+            let benefit_ns = match problem {
+                Problem::None => unreachable!(),
+                Problem::UnnecessarySync => {
+                    if self.scan_from <= idx {
+                        self.scan_from = idx + 1;
+                    }
+                    while self.scan_from < n
+                        && graph.nodes[self.scan_from].ntype != crate::graph::NType::CWait
+                    {
+                        self.scan_from += 1;
+                    }
+                    if self.scan_from >= n {
+                        // The estimate needs the next synchronization,
+                        // which has not been appended yet. Stop here;
+                        // a later window (or finalize) resolves it.
+                        return;
+                    }
+                    let next_sync = self.scan_from;
+                    let est =
+                        crate::graph::prefix_cpu_time_between(cpu_prefix, idx, next_sync).min(dur);
+                    let growth = dur - est;
+                    if growth > 0 {
+                        self.extra[next_sync] += growth;
+                        self.growth_ns += growth;
+                    }
+                    self.reclaim_ns += dur;
+                    est
+                }
+                Problem::MisplacedSync => {
+                    let first_use = node.first_use_ns.unwrap_or(0);
+                    self.reclaim_ns += first_use.min(dur);
+                    if opts.clamp_misplaced {
+                        first_use.min(dur)
+                    } else {
+                        first_use
+                    }
+                }
+                Problem::UnnecessaryTransfer => {
+                    self.reclaim_ns += dur;
+                    dur
+                }
+            };
+            self.total_ns += benefit_ns;
+            self.per_node.push(NodeBenefit { node: idx, problem, benefit_ns });
+            self.cursor += 1;
+        }
+    }
+
+    /// Resolve every pending node under end-of-graph semantics (an
+    /// `UnnecessarySync` with no later `CWait` is the program's final
+    /// rendezvous, bounded by the CPU tail). After this the fold's
+    /// resolved state equals a full [`BenefitPass`] run.
+    pub fn finalize(&mut self, graph: &ExecGraph, cpu_prefix: &[Ns], opts: &BenefitOptions) {
+        assert!(!self.finished, "finalize called twice");
+        let n = graph.nodes.len();
+        self.extra.resize(n, 0);
+        while self.cursor < n {
+            let idx = self.cursor;
+            let node = &graph.nodes[idx];
+            let problem = node.problem;
+            if problem == Problem::None {
+                self.cursor += 1;
+                continue;
+            }
+            let dur = node.duration + self.extra[idx];
+            let benefit_ns = match problem {
+                Problem::None => unreachable!(),
+                Problem::UnnecessarySync => {
+                    if self.scan_from <= idx {
+                        self.scan_from = idx + 1;
+                    }
+                    while self.scan_from < n
+                        && graph.nodes[self.scan_from].ntype != crate::graph::NType::CWait
+                    {
+                        self.scan_from += 1;
+                    }
+                    if self.scan_from < n {
+                        let next_sync = self.scan_from;
+                        let est = crate::graph::prefix_cpu_time_between(cpu_prefix, idx, next_sync)
+                            .min(dur);
+                        let growth = dur - est;
+                        if growth > 0 {
+                            self.extra[next_sync] += growth;
+                            self.growth_ns += growth;
+                        }
+                        self.reclaim_ns += dur;
+                        est
+                    } else {
+                        let tail = crate::graph::prefix_cpu_time_between(cpu_prefix, idx, n);
+                        self.reclaim_ns += dur;
+                        tail.min(dur)
+                    }
+                }
+                Problem::MisplacedSync => {
+                    let first_use = node.first_use_ns.unwrap_or(0);
+                    self.reclaim_ns += first_use.min(dur);
+                    if opts.clamp_misplaced {
+                        first_use.min(dur)
+                    } else {
+                        first_use
+                    }
+                }
+                Problem::UnnecessaryTransfer => {
+                    self.reclaim_ns += dur;
+                    dur
+                }
+            };
+            self.total_ns += benefit_ns;
+            self.per_node.push(NodeBenefit { node: idx, problem, benefit_ns });
+            self.cursor += 1;
+        }
+        self.finished = true;
+    }
+
+    /// Non-destructively evaluate the pending suffix as if the graph
+    /// ended now, appending its per-node estimates to `out`. `overlay`
+    /// is caller-provided scratch for a temporary copy of the pending
+    /// region's growth column (the snapshot must not disturb the fold).
+    /// Returns the pending contribution to the aggregates.
+    pub fn complete_into(
+        &self,
+        graph: &ExecGraph,
+        cpu_prefix: &[Ns],
+        opts: &BenefitOptions,
+        out: &mut Vec<NodeBenefit>,
+        overlay: &mut Vec<Ns>,
+    ) -> FoldTail {
+        let n = graph.nodes.len();
+        let base = self.cursor;
+        overlay.clear();
+        overlay.extend_from_slice(&self.extra[base.min(self.extra.len())..]);
+        overlay.resize(n.saturating_sub(base), 0);
+        let mut tail = FoldTail::default();
+        let mut scan_from = base;
+        for idx in base..n {
+            let node = &graph.nodes[idx];
+            let problem = node.problem;
+            if problem == Problem::None {
+                continue;
+            }
+            let dur = node.duration + overlay[idx - base];
+            let benefit_ns = match problem {
+                Problem::None => unreachable!(),
+                Problem::UnnecessarySync => {
+                    if scan_from <= idx {
+                        scan_from = idx + 1;
+                    }
+                    while scan_from < n
+                        && graph.nodes[scan_from].ntype != crate::graph::NType::CWait
+                    {
+                        scan_from += 1;
+                    }
+                    if scan_from < n {
+                        let next_sync = scan_from;
+                        let est = crate::graph::prefix_cpu_time_between(cpu_prefix, idx, next_sync)
+                            .min(dur);
+                        let growth = dur - est;
+                        if growth > 0 {
+                            overlay[next_sync - base] += growth;
+                            tail.growth_ns += growth;
+                        }
+                        tail.reclaim_ns += dur;
+                        est
+                    } else {
+                        let t = crate::graph::prefix_cpu_time_between(cpu_prefix, idx, n);
+                        tail.reclaim_ns += dur;
+                        t.min(dur)
+                    }
+                }
+                Problem::MisplacedSync => {
+                    let first_use = node.first_use_ns.unwrap_or(0);
+                    tail.reclaim_ns += first_use.min(dur);
+                    if opts.clamp_misplaced {
+                        first_use.min(dur)
+                    } else {
+                        first_use
+                    }
+                }
+                Problem::UnnecessaryTransfer => {
+                    tail.reclaim_ns += dur;
+                    dur
+                }
+            };
+            tail.total_ns += benefit_ns;
+            out.push(NodeBenefit { node: idx, problem, benefit_ns });
+        }
+        tail
+    }
+
+    /// Resolved per-node estimates so far, in graph order.
+    pub fn per_node(&self) -> &[NodeBenefit] {
+        &self.per_node
+    }
+
+    /// Move the resolved per-node buffer out; only valid after
+    /// [`BenefitFold::finalize`].
+    pub fn take_per_node(&mut self) -> Vec<NodeBenefit> {
+        assert!(self.finished, "take_per_node before finalize");
+        std::mem::take(&mut self.per_node)
+    }
+
+    /// Sum of resolved estimates.
+    pub fn total_ns(&self) -> Ns {
+        self.total_ns
+    }
+
+    /// Net growth resolved syncs pushed onto later waits.
+    pub fn growth_ns(&self) -> Ns {
+        self.growth_ns
+    }
+
+    /// Total duration reclaimed from resolved nodes; the predicted
+    /// execution time is `total_duration + growth_ns - reclaim_ns`.
+    pub fn reclaim_ns(&self) -> Ns {
+        self.reclaim_ns
+    }
+
+    /// First unresolved node index.
+    pub fn resolved_upto(&self) -> usize {
+        self.cursor
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -495,6 +797,92 @@ mod tests {
                 assert_eq!(summary.total_ns, reference.total_ns);
                 assert_eq!(summary.predicted_exec_ns, reference.predicted_exec_ns);
             }
+        }
+    }
+
+    /// The append-only fold must resolve to exactly the batch result for
+    /// every windowing, and every intermediate snapshot (resolved +
+    /// pending overlay) must equal the batch pass over the prefix graph.
+    #[test]
+    fn fold_matches_batch_pass_for_any_windowing() {
+        for (len, seed) in [(0usize, 1u64), (1, 2), (7, 3), (93, 4), (512, 5), (64, 7)] {
+            let g = scrambled(len, seed);
+            for clamp in [true, false] {
+                let opts = BenefitOptions { clamp_misplaced: clamp };
+                let reference = expected_benefit(&g, &opts);
+                for window in [1usize, 3, 16, 600] {
+                    let mut fold = BenefitFold::new();
+                    let mut partial = ExecGraph {
+                        nodes: Vec::new(),
+                        exec_time_ns: g.exec_time_ns,
+                        baseline_exec_ns: g.baseline_exec_ns,
+                    };
+                    let mut prefix: Vec<Ns> = vec![0];
+                    let mut overlay = Vec::new();
+                    let mut lo = 0;
+                    while lo < len {
+                        let hi = (lo + window).min(len);
+                        for node in &g.nodes[lo..hi] {
+                            let cpu = matches!(node.ntype, CWork | CLaunch);
+                            let last = *prefix.last().unwrap();
+                            prefix.push(last + if cpu { node.duration } else { 0 });
+                            partial.nodes.push(node.clone());
+                        }
+                        fold.extend(&partial, &prefix, &opts);
+                        // Snapshot check: resolved + pending == batch
+                        // over the prefix graph.
+                        let prefix_graph = ExecGraph {
+                            nodes: g.nodes[..hi].to_vec(),
+                            exec_time_ns: g.exec_time_ns,
+                            baseline_exec_ns: g.baseline_exec_ns,
+                        };
+                        let pref = expected_benefit(&prefix_graph, &opts);
+                        let mut snap = fold.per_node().to_vec();
+                        let tail =
+                            fold.complete_into(&partial, &prefix, &opts, &mut snap, &mut overlay);
+                        assert_eq!(snap, pref.per_node, "len={len} window={window} hi={hi}");
+                        assert_eq!(fold.total_ns() + tail.total_ns, pref.total_ns);
+                        let total_duration: Ns = partial.nodes.iter().map(|n| n.duration).sum();
+                        assert_eq!(
+                            total_duration + fold.growth_ns() + tail.growth_ns
+                                - fold.reclaim_ns()
+                                - tail.reclaim_ns,
+                            pref.predicted_exec_ns,
+                            "predicted len={len} window={window} hi={hi}"
+                        );
+                        lo = hi;
+                    }
+                    fold.finalize(&partial, &prefix, &opts);
+                    assert_eq!(fold.per_node(), &reference.per_node[..], "w={window}");
+                    assert_eq!(fold.total_ns(), reference.total_ns);
+                    let total_duration: Ns = g.nodes.iter().map(|n| n.duration).sum();
+                    assert_eq!(
+                        total_duration + fold.growth_ns() - fold.reclaim_ns(),
+                        reference.predicted_exec_ns
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fold_reset_reuses_buffers_cleanly() {
+        let g = scrambled(64, 9);
+        let opts = BenefitOptions::default();
+        let reference = expected_benefit(&g, &opts);
+        let mut fold = BenefitFold::new();
+        let mut prefix: Vec<Ns> = vec![0];
+        for node in &g.nodes {
+            let cpu = matches!(node.ntype, CWork | CLaunch);
+            let last = *prefix.last().unwrap();
+            prefix.push(last + if cpu { node.duration } else { 0 });
+        }
+        for _ in 0..3 {
+            fold.reset();
+            fold.extend(&g, &prefix, &opts);
+            fold.finalize(&g, &prefix, &opts);
+            assert_eq!(fold.per_node(), &reference.per_node[..]);
+            assert_eq!(fold.total_ns(), reference.total_ns);
         }
     }
 

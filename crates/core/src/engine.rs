@@ -497,25 +497,38 @@ impl SchedState {
     }
 }
 
-/// Run the whole DAG. `jobs <= 1` runs inline on the caller's thread in
-/// classic order; otherwise up to `min(jobs, MAX_STAGE_WIDTH)` workers
-/// drain ready stages from the shared pool. Error semantics match the
-/// classic sequential path: when several independent stages fail, the
-/// error of the earliest stage in classic order is returned.
-pub fn run_stages(
+/// Execute the DAG and return one artifact slot per stage (`None` for
+/// stages excluded from this run). `jobs <= 1` runs inline on the
+/// caller's thread in classic order; otherwise up to
+/// `min(jobs, MAX_STAGE_WIDTH)` workers drain ready stages from the
+/// shared pool. Error semantics match the classic sequential path: when
+/// several independent stages fail, the error of the earliest stage in
+/// classic order is returned.
+///
+/// `include_stage5` is the streaming split: the collection-only run
+/// ([`run_collection`]) pre-skips the analysis stage, and the streaming
+/// driver folds the trace incrementally instead.
+fn run_dag(
     app: &dyn GpuApp,
     cfg: &FfmConfig,
     jobs: usize,
     store: Option<&ArtifactStore>,
-) -> CudaResult<EngineOut> {
+    include_stage5: bool,
+) -> CudaResult<Vec<Option<Artifact>>> {
     let keys = plan_keys(app, cfg);
     let width = jobs.clamp(1, MAX_STAGE_WIDTH);
 
+    let mut skipped = [false; STAGE_COUNT];
+    let mut remaining = STAGE_COUNT;
+    if !include_stage5 {
+        skipped[StageId::Stage5.index()] = true;
+        remaining -= 1;
+    }
     let state = Mutex::new(SchedState {
         results: (0..STAGE_COUNT).map(|_| None).collect(),
         claimed: [false; STAGE_COUNT],
-        skipped: [false; STAGE_COUNT],
-        remaining: STAGE_COUNT,
+        skipped,
+        remaining,
     });
     let ready_cv = Condvar::new();
 
@@ -575,9 +588,23 @@ pub fn run_stages(
             }
         }
     }
-    let mut take = |id: StageId| -> Artifact {
-        st.results[id.index()].take().expect("no failures, so every stage ran").expect("checked")
-    };
+    Ok(st
+        .results
+        .into_iter()
+        .map(|slot| slot.map(|r| r.expect("failures returned above")))
+        .collect())
+}
+
+/// Run the whole DAG, analysis included.
+pub fn run_stages(
+    app: &dyn GpuApp,
+    cfg: &FfmConfig,
+    jobs: usize,
+    store: Option<&ArtifactStore>,
+) -> CudaResult<EngineOut> {
+    let mut results = run_dag(app, cfg, jobs, store, true)?;
+    let mut take =
+        |id: StageId| -> Artifact { results[id.index()].take().expect("included stages all ran") };
     let discovery = match take(StageId::Discovery) {
         Artifact::Discovery(d) => d,
         _ => unreachable!(),
@@ -603,6 +630,71 @@ pub fn run_stages(
         _ => unreachable!(),
     };
     Ok(EngineOut { discovery, stage1, stage2, stage3, stage4, analysis })
+}
+
+/// Everything the collection stages produce — the DAG minus stage 5.
+/// `stage5_key` is the content address the batch analysis would be (and
+/// the final streaming analysis is) stored under, so a streaming run
+/// seeds the cache for later batch runs of the same plan.
+pub struct CollectOut {
+    pub discovery: Arc<Discovery>,
+    pub stage1: Arc<Stage1Result>,
+    pub stage2: Arc<Stage2Result>,
+    pub stage3: Arc<Stage3Result>,
+    pub stage4: Arc<Stage4Result>,
+    pub stage5_key: StageKey,
+}
+
+/// Run the collection stages only (discovery, 1–4 with the stage 3
+/// merge), leaving the analysis to the caller — the entry point for the
+/// streaming pipeline, which folds the trace window by window instead of
+/// analyzing it in one shot.
+pub fn run_collection(
+    app: &dyn GpuApp,
+    cfg: &FfmConfig,
+    jobs: usize,
+    store: Option<&ArtifactStore>,
+) -> CudaResult<CollectOut> {
+    let stage5_key = plan_keys(app, cfg)[StageId::Stage5.index()];
+    let mut results = run_dag(app, cfg, jobs, store, false)?;
+    let mut take = |id: StageId| -> Artifact {
+        results[id.index()].take().expect("collection stages all ran")
+    };
+    let discovery = match take(StageId::Discovery) {
+        Artifact::Discovery(d) => d,
+        _ => unreachable!(),
+    };
+    let stage1 = match take(StageId::Stage1) {
+        Artifact::Stage1(s) => s,
+        _ => unreachable!(),
+    };
+    let stage2 = match take(StageId::Stage2) {
+        Artifact::Stage2(s) => s,
+        _ => unreachable!(),
+    };
+    let stage3 = match take(StageId::Merge3) {
+        Artifact::Stage3(s) => s,
+        _ => unreachable!(),
+    };
+    let stage4 = match take(StageId::Stage4) {
+        Artifact::Stage4(s) => s,
+        _ => unreachable!(),
+    };
+    Ok(CollectOut { discovery, stage1, stage2, stage3, stage4, stage5_key })
+}
+
+/// Content address of one per-window analysis epoch: the stage 5 key
+/// (which already folds in the app digest, analysis knobs and every
+/// upstream dep key) extended with the window size and epoch ordinal.
+/// Distinct windowings address distinct epoch chains; the final analysis
+/// itself lives at the plain stage 5 key, since it is byte-identical to
+/// the batch artifact regardless of windowing.
+pub fn epoch_key(stage5: StageKey, window: usize, epoch: usize) -> StageKey {
+    let mut h = KeyHasher::new("stage5-epoch");
+    h.push_key(stage5);
+    h.push_u64(window as u64);
+    h.push_u64(epoch as u64);
+    h.finish()
 }
 
 #[cfg(test)]
@@ -770,6 +862,40 @@ mod tests {
             assert_eq!(out.stage2.calls.len(), plain.stage2.calls.len());
             assert_eq!(out.analysis.problems.len(), plain.analysis.problems.len());
         }
+    }
+
+    #[test]
+    fn collection_runs_everything_but_stage5() {
+        let store = ArtifactStore::in_memory();
+        let cfg = FfmConfig { jobs: 1, ..FfmConfig::default() };
+        let col = run_collection(&Tiny, &cfg, 1, Some(&store)).expect("collection");
+        let cold = store.stats();
+        assert_eq!(cold.misses, (STAGE_COUNT - 1) as u64, "stage5 never consulted");
+        assert_eq!(cold.puts, (STAGE_COUNT - 1) as u64);
+        assert_eq!(col.stage5_key, plan_keys(&Tiny, &cfg)[StageId::Stage5.index()]);
+        // A full run over the same store reuses every collection stage
+        // and computes only the analysis.
+        let full = run_stages(&Tiny, &cfg, 1, Some(&store)).expect("full");
+        let warm = store.stats();
+        assert_eq!(warm.mem_hits, (STAGE_COUNT - 1) as u64);
+        assert_eq!(warm.misses, cold.misses + 1, "only stage5 missed");
+        assert_eq!(full.stage1.exec_time_ns, col.stage1.exec_time_ns);
+        assert_eq!(full.stage2.calls.len(), col.stage2.calls.len());
+    }
+
+    #[test]
+    fn epoch_keys_are_distinct_and_anchored_to_stage5() {
+        let cfg = FfmConfig::default();
+        let s5 = plan_keys(&Tiny, &cfg)[StageId::Stage5.index()];
+        let mut seen = HashSet::new();
+        seen.insert(s5);
+        for window in [64usize, 256] {
+            for epoch in 0..4 {
+                assert!(seen.insert(epoch_key(s5, window, epoch)), "w={window} e={epoch}");
+            }
+        }
+        let other = plan_keys(&Tiny2, &cfg)[StageId::Stage5.index()];
+        assert_ne!(epoch_key(s5, 64, 0), epoch_key(other, 64, 0));
     }
 
     #[test]

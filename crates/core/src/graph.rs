@@ -12,7 +12,7 @@ use cuda_driver::ApiFn;
 use gpu_sim::{Ns, SourceLoc};
 
 use crate::problem::Problem;
-use crate::records::{OpInstance, Stage2Result};
+use crate::records::{OpInstance, Stage2Result, TracedCall};
 
 /// CPU node types (paper Fig. 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -90,53 +90,31 @@ impl ExecGraph {
     /// happened not to block still contribute a zero-duration `CWait` so
     /// classification and grouping see every instance.
     pub fn from_trace(trace: &Stage2Result, baseline_exec_ns: Ns) -> ExecGraph {
-        let mut nodes = Vec::with_capacity(trace.calls.len() * 2 + 1);
-        let mut cursor: Ns = 0;
-        for call in &trace.calls {
-            if call.enter_ns > cursor {
-                nodes.push(Node::work(cursor, call.enter_ns - cursor));
-            }
-            let total = call.total_ns();
-            let wait = call.wait_ns.min(total);
-            let body = total - wait;
-            let meta = |ntype, stime, duration, is_transfer| Node {
-                ntype,
-                stime,
-                duration,
-                problem: Problem::None,
-                first_use_ns: None,
-                call_seq: Some(call.seq),
-                instance: Some(call.instance()),
-                folded_sig: Some(call.folded_sig),
-                api: Some(call.api),
-                site: Some(call.site),
-                is_transfer,
-            };
-            let is_transfer = call.transfer.is_some();
-            if body > 0 || !call.performed_sync() {
-                let ntype =
-                    if call.is_launch || is_transfer { NType::CLaunch } else { NType::CWork };
-                nodes.push(meta(ntype, call.enter_ns, body, is_transfer));
-            }
-            if call.performed_sync() {
-                nodes.push(meta(NType::CWait, call.enter_ns + body, wait, false));
-            }
-            cursor = call.exit_ns;
-        }
-        if trace.exec_time_ns > cursor {
-            nodes.push(Node::work(cursor, trace.exec_time_ns - cursor));
-        }
-        ExecGraph { nodes, exec_time_ns: trace.exec_time_ns, baseline_exec_ns }
+        let mut b = GraphBuilder::with_capacity(baseline_exec_ns, trace.calls.len());
+        b.append_calls(&trace.calls);
+        b.seal(trace.exec_time_ns);
+        b.into_graph()
     }
 
     /// Indices of nodes with a problem classification.
     pub fn problematic(&self) -> Vec<usize> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.problem != Problem::None)
-            .map(|(i, _)| i)
-            .collect()
+        let mut out = Vec::new();
+        self.problematic_into(&mut out);
+        out
+    }
+
+    /// Scratch-reusing variant of [`ExecGraph::problematic`]: clears
+    /// `out` and fills it with the problematic node indices, allocating
+    /// only when `out`'s capacity is exceeded.
+    pub fn problematic_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(
+            self.nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.problem != Problem::None)
+                .map(|(i, _)| i),
+        );
     }
 
     /// Index of the next synchronization node strictly after `idx`.
@@ -210,6 +188,112 @@ impl ExecGraph {
     }
 }
 
+/// Append-only construction of an [`ExecGraph`] from incremental
+/// stage-2 call batches.
+///
+/// [`ExecGraph::from_trace`] is implemented on top of this builder, so
+/// feeding the same calls in any batching produces a graph
+/// node-for-node identical to the batch path — the property the
+/// streaming pipeline's byte-identity guarantee rests on.
+///
+/// While the trace is still open, `graph().exec_time_ns` tracks the
+/// exit time of the last appended call; [`GraphBuilder::seal`] replaces
+/// it with the trace's measured execution time and appends the trailing
+/// `CWork` node covering any un-traced tail.
+#[derive(Debug)]
+pub struct GraphBuilder {
+    graph: ExecGraph,
+    cursor: Ns,
+    sealed: bool,
+}
+
+impl GraphBuilder {
+    pub fn new(baseline_exec_ns: Ns) -> GraphBuilder {
+        GraphBuilder::with_capacity(baseline_exec_ns, 0)
+    }
+
+    /// Builder with node storage pre-sized for `calls_hint` traced calls.
+    pub fn with_capacity(baseline_exec_ns: Ns, calls_hint: usize) -> GraphBuilder {
+        GraphBuilder {
+            graph: ExecGraph {
+                nodes: Vec::with_capacity(calls_hint * 2 + 1),
+                exec_time_ns: 0,
+                baseline_exec_ns,
+            },
+            cursor: 0,
+            sealed: false,
+        }
+    }
+
+    /// Append the next batch of traced calls. Calls must arrive in trace
+    /// order across batches. Returns the index range of nodes added.
+    pub fn append_calls(&mut self, calls: &[TracedCall]) -> std::ops::Range<usize> {
+        assert!(!self.sealed, "append_calls after seal");
+        let first = self.graph.nodes.len();
+        for call in calls {
+            if call.enter_ns > self.cursor {
+                self.graph.nodes.push(Node::work(self.cursor, call.enter_ns - self.cursor));
+            }
+            let total = call.total_ns();
+            let wait = call.wait_ns.min(total);
+            let body = total - wait;
+            let meta = |ntype, stime, duration, is_transfer| Node {
+                ntype,
+                stime,
+                duration,
+                problem: Problem::None,
+                first_use_ns: None,
+                call_seq: Some(call.seq),
+                instance: Some(call.instance()),
+                folded_sig: Some(call.folded_sig),
+                api: Some(call.api),
+                site: Some(call.site),
+                is_transfer,
+            };
+            let is_transfer = call.transfer.is_some();
+            if body > 0 || !call.performed_sync() {
+                let ntype =
+                    if call.is_launch || is_transfer { NType::CLaunch } else { NType::CWork };
+                self.graph.nodes.push(meta(ntype, call.enter_ns, body, is_transfer));
+            }
+            if call.performed_sync() {
+                self.graph.nodes.push(meta(NType::CWait, call.enter_ns + body, wait, false));
+            }
+            self.cursor = call.exit_ns;
+        }
+        self.graph.exec_time_ns = self.cursor;
+        first..self.graph.nodes.len()
+    }
+
+    /// Close the trace: record its measured execution time and append
+    /// the trailing `CWork` node if the trace extends past the last
+    /// call. Returns the index range of nodes added (empty or one).
+    pub fn seal(&mut self, exec_time_ns: Ns) -> std::ops::Range<usize> {
+        assert!(!self.sealed, "seal called twice");
+        self.sealed = true;
+        let first = self.graph.nodes.len();
+        if exec_time_ns > self.cursor {
+            self.graph.nodes.push(Node::work(self.cursor, exec_time_ns - self.cursor));
+        }
+        self.graph.exec_time_ns = exec_time_ns;
+        first..self.graph.nodes.len()
+    }
+
+    /// The graph built so far.
+    pub fn graph(&self) -> &ExecGraph {
+        &self.graph
+    }
+
+    /// Mutable access, for classification of freshly appended nodes.
+    pub fn graph_mut(&mut self) -> &mut ExecGraph {
+        &mut self.graph
+    }
+
+    pub fn into_graph(self) -> ExecGraph {
+        self.graph
+    }
+}
+
 /// Precomputed lookups over an **immutable** [`ExecGraph`]: prefix sums
 /// of CPU (`CWork`/`CLaunch`) durations and per-node next-`CWait`
 /// indices. Turns the linear scans of [`ExecGraph::cpu_time_between`]
@@ -224,13 +308,21 @@ pub struct GraphIndex {
     next_sync: Vec<usize>,
 }
 
+/// [`GraphIndex::cpu_time_between`] over a raw prefix-sum slice
+/// (`cpu_prefix[i]` = CPU time in nodes `[0, i)`). The incremental fold
+/// maintains its own growing prefix column and shares the exact query
+/// semantics through this helper.
+pub(crate) fn prefix_cpu_time_between(cpu_prefix: &[Ns], start: usize, end: usize) -> Ns {
+    if start + 1 >= end {
+        return 0;
+    }
+    cpu_prefix[end] - cpu_prefix[start + 1]
+}
+
 impl GraphIndex {
     /// O(1) equivalent of [`ExecGraph::cpu_time_between`].
     pub fn cpu_time_between(&self, start: usize, end: usize) -> Ns {
-        if start + 1 >= end {
-            return 0;
-        }
-        self.cpu_prefix[end] - self.cpu_prefix[start + 1]
+        prefix_cpu_time_between(&self.cpu_prefix, start, end)
     }
 
     /// O(1) equivalent of [`ExecGraph::next_sync_after`].
@@ -329,6 +421,49 @@ impl Csr {
         self.offsets = cursor;
     }
 
+    /// Windowed delta variant of [`Csr::rebuild_from_pairs`]: index only
+    /// the pairs of one appended window, with global row ids remapped to
+    /// dense window-local rows (first-appearance order, recorded in
+    /// `remap`). Cost is O(window pairs), independent of the global row
+    /// count — a sliding-window rebuild instead of a full
+    /// reconstruction. All buffers (including the remap scratch) are
+    /// reused across calls, so repeated same-shaped rebuilds allocate
+    /// nothing.
+    pub fn rebuild_from_pairs_windowed(&mut self, pairs: &[(u32, usize)], remap: &mut RowRemap) {
+        remap.begin();
+        self.offsets.clear();
+        self.offsets.push(0);
+        // First pass: assign window-local rows and count members. A new
+        // local row always appears as the current maximum, so the count
+        // array grows in step with the assignment.
+        for &(row, _) in pairs {
+            let local = remap.local(row) as usize;
+            if local + 1 >= self.offsets.len() {
+                self.offsets.push(0);
+            }
+            self.offsets[local + 1] += 1;
+        }
+        let rows = self.offsets.len() - 1;
+        for r in 0..rows {
+            self.offsets[r + 1] += self.offsets[r];
+        }
+        self.items.clear();
+        self.items.resize(pairs.len(), 0);
+        let mut cursor = std::mem::take(&mut self.offsets);
+        for &(row, item) in pairs {
+            let local = remap.local(row) as usize;
+            self.items[cursor[local]] = item;
+            cursor[local] += 1;
+        }
+        for r in (1..=rows).rev() {
+            cursor[r] = cursor[r - 1];
+        }
+        if rows > 0 {
+            cursor[0] = 0;
+        }
+        self.offsets = cursor;
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.offsets.len().saturating_sub(1)
@@ -337,6 +472,56 @@ impl Csr {
     /// Members of row `r`, in insertion order.
     pub fn row(&self, r: usize) -> &[usize] {
         &self.items[self.offsets[r]..self.offsets[r + 1]]
+    }
+}
+
+/// Reusable global-row → window-local-row remapping scratch for
+/// [`Csr::rebuild_from_pairs_windowed`]. Uses epoch-stamped slots so a
+/// new window invalidates the previous mapping in O(1) instead of
+/// clearing O(global rows) state.
+#[derive(Debug, Clone, Default)]
+pub struct RowRemap {
+    local_of: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    rows: Vec<u32>,
+}
+
+impl RowRemap {
+    pub fn new() -> RowRemap {
+        RowRemap::default()
+    }
+
+    fn begin(&mut self) {
+        self.rows.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stamp wrap-around: old stamps would alias re-used epoch
+            // values, so reset them to 0 — never a valid epoch.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Window-local row for a global row, assigned on first appearance.
+    fn local(&mut self, row: u32) -> u32 {
+        let i = row as usize;
+        if i >= self.local_of.len() {
+            self.local_of.resize(i + 1, 0);
+            self.stamp.resize(i + 1, 0);
+        }
+        if self.stamp[i] != self.epoch {
+            self.stamp[i] = self.epoch;
+            self.local_of[i] = self.rows.len() as u32;
+            self.rows.push(row);
+        }
+        self.local_of[i]
+    }
+
+    /// Global row ids present in the current window, in first-appearance
+    /// order; `rows()[local]` is the global row for a local index.
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
     }
 }
 
@@ -507,6 +692,103 @@ mod tests {
         // Degenerate: no rows at all.
         csr.rebuild_from_pairs(0, &[]);
         assert_eq!(csr.rows(), 0);
+    }
+
+    #[test]
+    fn builder_batches_match_from_trace_for_any_chunking() {
+        let calls = vec![
+            call(0, ApiFn::CudaMemcpy, 10, 35, 20, false),
+            call(1, ApiFn::CudaLaunchKernel, 35, 45, 0, true),
+            call(2, ApiFn::CudaDeviceSynchronize, 60, 80, 18, false),
+            call(3, ApiFn::CudaFree, 80, 95, 5, false),
+            call(4, ApiFn::CudaLaunchKernel, 100, 110, 0, true),
+        ];
+        let trace = Stage2Result { exec_time_ns: 150, calls };
+        let batch = ExecGraph::from_trace(&trace, 140);
+        for chunk in [1, 2, 3, 7] {
+            let mut b = GraphBuilder::new(140);
+            for w in trace.calls.chunks(chunk) {
+                let range = b.append_calls(w);
+                assert_eq!(range.end, b.graph().nodes.len());
+            }
+            b.seal(trace.exec_time_ns);
+            let g = b.into_graph();
+            assert_eq!(g.nodes.len(), batch.nodes.len(), "chunk={chunk}");
+            for (a, e) in g.nodes.iter().zip(&batch.nodes) {
+                assert_eq!(a.ntype, e.ntype);
+                assert_eq!(a.stime, e.stime);
+                assert_eq!(a.duration, e.duration);
+                assert_eq!(a.call_seq, e.call_seq);
+                assert_eq!(a.instance, e.instance);
+                assert_eq!(a.is_transfer, e.is_transfer);
+            }
+            assert_eq!(g.exec_time_ns, batch.exec_time_ns);
+            assert_eq!(g.baseline_exec_ns, batch.baseline_exec_ns);
+        }
+    }
+
+    #[test]
+    fn builder_empty_trace_still_seals_tail() {
+        let mut b = GraphBuilder::new(500);
+        let range = b.seal(500);
+        assert_eq!(range, 0..1);
+        let g = b.into_graph();
+        assert_eq!(g.nodes.len(), 1);
+        assert_eq!(g.nodes[0].duration, 500);
+    }
+
+    #[test]
+    fn problematic_into_reuses_scratch() {
+        let trace = Stage2Result {
+            exec_time_ns: 100,
+            calls: vec![
+                call(0, ApiFn::CudaFree, 0, 20, 15, false),
+                call(1, ApiFn::CudaDeviceSynchronize, 40, 70, 30, false),
+            ],
+        };
+        let mut g = ExecGraph::from_trace(&trace, 100);
+        let wait = g.nodes.iter().position(|n| n.ntype == NType::CWait).unwrap();
+        g.nodes[wait].problem = Problem::UnnecessarySync;
+        let mut scratch = vec![99usize; 8];
+        g.problematic_into(&mut scratch);
+        assert_eq!(scratch, g.problematic());
+        assert_eq!(scratch, vec![wait]);
+    }
+
+    #[test]
+    fn windowed_csr_remaps_rows_densely() {
+        let mut csr = Csr::new();
+        let mut remap = RowRemap::new();
+        // Global rows 5 and 2 only; locals assigned in appearance order.
+        csr.rebuild_from_pairs_windowed(&[(5, 10), (2, 11), (5, 12)], &mut remap);
+        assert_eq!(remap.rows(), &[5, 2]);
+        assert_eq!(csr.rows(), 2);
+        assert_eq!(csr.row(0), &[10, 12]);
+        assert_eq!(csr.row(1), &[11]);
+        // Next window reuses every buffer and forgets the old mapping.
+        csr.rebuild_from_pairs_windowed(&[(2, 20), (7, 21)], &mut remap);
+        assert_eq!(remap.rows(), &[2, 7]);
+        assert_eq!(csr.row(0), &[20]);
+        assert_eq!(csr.row(1), &[21]);
+        // Empty window.
+        csr.rebuild_from_pairs_windowed(&[], &mut remap);
+        assert_eq!(csr.rows(), 0);
+        assert!(remap.rows().is_empty());
+    }
+
+    #[test]
+    fn windowed_csr_matches_full_rebuild_on_dense_rows() {
+        let pairs = [(0u32, 1), (1, 2), (0, 3), (2, 4), (1, 5)];
+        let mut full = Csr::new();
+        full.rebuild_from_pairs(3, &pairs);
+        let mut windowed = Csr::new();
+        let mut remap = RowRemap::new();
+        windowed.rebuild_from_pairs_windowed(&pairs, &mut remap);
+        // Rows 0,1,2 appear in that order, so the remap is the identity.
+        assert_eq!(remap.rows(), &[0, 1, 2]);
+        for r in 0..3 {
+            assert_eq!(windowed.row(r), full.row(r));
+        }
     }
 
     #[test]

@@ -14,8 +14,9 @@ use std::fmt::Write as _;
 use cuda_driver::ApiFn;
 use gpu_sim::{Ns, SourceLoc};
 
-use crate::benefit::BenefitReport;
-use crate::graph::{Csr, ExecGraph, GraphIndex, NType};
+use crate::analysis::{Analysis, AnalysisConfig, ProblemOp};
+use crate::benefit::{BenefitFold, BenefitReport, NodeBenefit};
+use crate::graph::{Csr, ExecGraph, GraphIndex, NType, RowRemap};
 use crate::intern::{intern, intern_static, Sym};
 use crate::par::par_map;
 use crate::problem::Problem;
@@ -77,7 +78,7 @@ fn fold_label_sym(graph: &ExecGraph, node: usize, buf: &mut String) -> Sym {
 /// by counting sort. All buffers are retained between calls, so
 /// steady-state grouping — repeat passes over same-shaped graphs —
 /// allocates nothing (`bench_analysis --smoke` asserts this).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct GroupScratch {
     /// Grouping key (sig / folded sig / API index) → gid.
     gid_of_key: HashMap<u64, u32>,
@@ -121,14 +122,33 @@ impl GroupScratch {
     /// tables, build the CSR member index, and sort group ids by
     /// descending benefit (ties keep first-appearance order, matching
     /// the retired stable map-based sort).
-    pub fn compute(&mut self, benefit: &BenefitReport, mut key: impl FnMut(usize) -> Option<u64>) {
+    pub fn compute(&mut self, benefit: &BenefitReport, key: impl FnMut(usize) -> Option<u64>) {
+        self.begin();
+        self.absorb(&benefit.per_node, key);
+        self.seal();
+    }
+
+    /// Clear the accumulation tables (keeping capacity) for a fresh
+    /// grouping pass. Part of the append path: `begin` / repeated
+    /// [`GroupScratch::absorb`] / [`GroupScratch::seal`] is the windowed
+    /// decomposition of [`GroupScratch::compute`].
+    pub fn begin(&mut self) {
         self.gid_of_key.clear();
         self.rep_node.clear();
         self.benefit.clear();
         self.sync_issues.clear();
         self.transfer_issues.clear();
         self.pairs.clear();
-        for nb in &benefit.per_node {
+    }
+
+    /// Fold more benefit entries into the running tables. Entries must
+    /// arrive in benefit (graph) order across calls so gid assignment —
+    /// and therefore presentation tie-breaking and member order — is
+    /// identical to a one-shot [`GroupScratch::compute`] over the
+    /// concatenation. Steady state this allocates nothing: the tables
+    /// grow only while new keys keep appearing.
+    pub fn absorb(&mut self, entries: &[NodeBenefit], mut key: impl FnMut(usize) -> Option<u64>) {
+        for nb in entries {
             let Some(k) = key(nb.node) else { continue };
             let next = self.rep_node.len() as u32;
             let gid = *self.gid_of_key.entry(k).or_insert(next);
@@ -147,6 +167,11 @@ impl GroupScratch {
             }
             self.pairs.push((gid, nb.node));
         }
+    }
+
+    /// Build the CSR member index and the presentation order from the
+    /// accumulated tables.
+    pub fn seal(&mut self) {
         self.members.rebuild_from_pairs(self.rep_node.len(), &self.pairs);
         self.sorted.clear();
         self.sorted.extend(0..self.rep_node.len() as u32);
@@ -155,6 +180,32 @@ impl GroupScratch {
         // merge buffer allocation.
         let benefit = &self.benefit;
         self.sorted.sort_unstable_by_key(|&g| (std::cmp::Reverse(benefit[g as usize]), g));
+    }
+
+    /// Copy another scratch's accumulated state into this one, reusing
+    /// this scratch's buffers. Used by streaming snapshots: the running
+    /// tables are copied, overlaid with still-pending entries, and
+    /// sealed — without disturbing the incremental state.
+    pub fn copy_from(&mut self, other: &GroupScratch) {
+        self.gid_of_key.clone_from(&other.gid_of_key);
+        self.rep_node.clone_from(&other.rep_node);
+        self.benefit.clone_from(&other.benefit);
+        self.sync_issues.clone_from(&other.sync_issues);
+        self.transfer_issues.clone_from(&other.transfer_issues);
+        self.pairs.clone_from(&other.pairs);
+    }
+
+    /// `(gid, node)` pairs accumulated so far, in absorption order —
+    /// the input feed for windowed member-delta rebuilds
+    /// ([`Csr::rebuild_from_pairs_windowed`]).
+    pub fn pairs(&self) -> &[(u32, usize)] {
+        &self.pairs
+    }
+
+    /// Number of distinct groups accumulated so far (valid before
+    /// [`GroupScratch::seal`], unlike [`GroupScratch::len`]).
+    pub fn group_count(&self) -> usize {
+        self.rep_node.len()
     }
 
     /// Number of groups found by the last [`GroupScratch::compute`].
@@ -218,13 +269,28 @@ impl GroupScratch {
     pub fn compute_api_fold(&mut self, graph: &ExecGraph, benefit: &BenefitReport) {
         self.compute(benefit, |n| graph.nodes[n].api.map(|a| a.index() as u64));
     }
+
+    /// Materialize sealed single-point groups with site labels.
+    pub fn materialize_single_point(&mut self, graph: &ExecGraph) -> Vec<ProblemGroup> {
+        self.materialize(graph, GroupKind::SinglePoint, site_label_sym)
+    }
+
+    /// Materialize sealed per-API folds with "Fold on ..." labels.
+    pub fn materialize_api_fold(&mut self, graph: &ExecGraph) -> Vec<ProblemGroup> {
+        self.materialize(graph, GroupKind::FoldedFunction, fold_label_sym)
+    }
+
+    /// Materialize sealed folded-function groups with site labels.
+    pub fn materialize_folded_function(&mut self, graph: &ExecGraph) -> Vec<ProblemGroup> {
+        self.materialize(graph, GroupKind::FoldedFunction, site_label_sym)
+    }
 }
 
 /// Single-point grouping: identical stack traces matched by address.
 pub fn single_point_groups(graph: &ExecGraph, benefit: &BenefitReport) -> Vec<ProblemGroup> {
     let mut scratch = GroupScratch::new();
     scratch.compute_single_point(graph, benefit);
-    scratch.materialize(graph, GroupKind::SinglePoint, site_label_sym)
+    scratch.materialize_single_point(graph)
 }
 
 /// Folded-function grouping: identical stack traces matched by
@@ -232,7 +298,7 @@ pub fn single_point_groups(graph: &ExecGraph, benefit: &BenefitReport) -> Vec<Pr
 pub fn folded_function_groups(graph: &ExecGraph, benefit: &BenefitReport) -> Vec<ProblemGroup> {
     let mut scratch = GroupScratch::new();
     scratch.compute_folded_function(graph, benefit);
-    scratch.materialize(graph, GroupKind::FoldedFunction, site_label_sym)
+    scratch.materialize_folded_function(graph)
 }
 
 /// Fold on the API function itself (the Fig. 7 overview rows:
@@ -240,7 +306,7 @@ pub fn folded_function_groups(graph: &ExecGraph, benefit: &BenefitReport) -> Vec
 pub fn fold_on_api(graph: &ExecGraph, benefit: &BenefitReport) -> Vec<ProblemGroup> {
     let mut scratch = GroupScratch::new();
     scratch.compute_api_fold(graph, benefit);
-    scratch.materialize(graph, GroupKind::FoldedFunction, fold_label_sym)
+    scratch.materialize_api_fold(graph)
 }
 
 /// One entry of a sequence listing (paper Fig. 6).
@@ -538,6 +604,391 @@ pub fn savings_by_api(graph: &ExecGraph, benefit: &BenefitReport) -> Vec<(ApiFn,
         }
     }
     table.into_iter().filter_map(|(api, ns)| api.map(|a| (a, ns))).collect()
+}
+
+/// Per-window statistics returned by [`IncrementalAnalysis::fold`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Graph nodes appended in this window.
+    pub nodes: usize,
+    /// Benefit entries that became resolvable in this window.
+    pub resolved: usize,
+    /// Distinct single-point groups that received entries this window
+    /// (from the windowed member-delta rebuild).
+    pub groups_touched: usize,
+}
+
+/// Evaluate the carry-forward estimator over `[start, end)` against the
+/// incremental CPU prefix column, scanning for each sync's window end
+/// among the first `limit` appended nodes. Semantics mirror
+/// [`carry_forward_masked`] with an all-true mask: for closed runs the
+/// window ends exist at or before the terminating sync, so the value
+/// computed at close time equals the batch value on the final graph.
+fn carry_forward_prefix(
+    graph: &ExecGraph,
+    cpu_prefix: &[Ns],
+    start: usize,
+    end: usize,
+    limit: usize,
+) -> Ns {
+    let mut total: Ns = 0;
+    let mut carry: Ns = 0;
+    let mut scan = start;
+    for idx in start..end {
+        let node = &graph.nodes[idx];
+        match node.problem {
+            Problem::UnnecessarySync => {
+                if scan <= idx {
+                    scan = idx + 1;
+                }
+                while scan < limit && graph.nodes[scan].ntype != NType::CWait {
+                    scan += 1;
+                }
+                let window_end = scan.min(limit);
+                let avail = crate::graph::prefix_cpu_time_between(cpu_prefix, idx, window_end);
+                let demand = node.duration + carry;
+                let est = avail.min(demand);
+                total += est;
+                carry = demand - est;
+            }
+            Problem::MisplacedSync => {
+                let est = node.first_use_ns.unwrap_or(0).min(node.duration + carry);
+                total += est;
+                carry = (node.duration + carry).saturating_sub(est);
+            }
+            Problem::UnnecessaryTransfer => {
+                total += node.duration;
+            }
+            Problem::None => {}
+        }
+    }
+    total
+}
+
+/// One candidate run discovered by the incremental sequence tracker.
+#[derive(Debug, Clone, Copy)]
+struct RunState {
+    start: usize,
+    /// Exclusive end (the terminator index, or pending for the open run).
+    end: usize,
+    /// Problem entries in `[start, end)`.
+    entries: usize,
+    /// Carry-forward estimate, computed at close time (only when
+    /// `entries > 1`; runs below the display threshold keep 0).
+    benefit_ns: Ns,
+}
+
+/// The streaming counterpart of [`crate::analyze`]: an append-only
+/// state machine that folds each window of freshly appended (and
+/// already classified) graph nodes into running benefit estimates,
+/// problem groups and sequence runs.
+///
+/// The contract that makes it trustworthy: **the final state is
+/// byte-identical to the batch answer**. Every constituent is either
+/// resolved in graph order with the exact batch semantics (benefit via
+/// [`BenefitFold`], groups via [`GroupScratch`] absorption in the same
+/// entry order, runs closed at the same terminators with the same
+/// carry-forward arithmetic) or assembled at [`IncrementalAnalysis::
+/// finish`] with the same sorts the batch path uses. Intermediate
+/// [`IncrementalAnalysis::snapshot`]s equal the batch analysis of the
+/// graph prefix seen so far (pending entries are overlaid
+/// non-destructively). The per-window fold itself performs zero
+/// steady-state allocations; snapshots allocate (they materialize an
+/// owned [`Analysis`]).
+#[derive(Debug)]
+pub struct IncrementalAnalysis {
+    cfg: AnalysisConfig,
+    /// Growing CPU prefix column (`len == nodes folded + 1`).
+    cpu_prefix: Vec<Ns>,
+    /// Sum of all folded node durations.
+    total_duration: Ns,
+    fold: BenefitFold,
+    /// Benefit entries already absorbed into the group tables.
+    absorbed: usize,
+    /// Running group tables (single point by instance signature, per-API
+    /// fold), fed in resolution order.
+    sp: GroupScratch,
+    af: GroupScratch,
+    /// Closed candidate runs, in discovery order.
+    runs: Vec<RunState>,
+    open_start: Option<usize>,
+    open_entries: usize,
+    /// Windowed member-delta table over the single-point pairs.
+    window_members: Csr,
+    window_remap: RowRemap,
+    window_pairs_from: usize,
+    // Snapshot scratch, reused across epochs.
+    snap_per_node: Vec<NodeBenefit>,
+    snap_overlay: Vec<Ns>,
+    snap_sp: GroupScratch,
+    snap_af: GroupScratch,
+}
+
+impl IncrementalAnalysis {
+    pub fn new(cfg: &AnalysisConfig) -> IncrementalAnalysis {
+        IncrementalAnalysis {
+            cfg: cfg.clone(),
+            cpu_prefix: vec![0],
+            total_duration: 0,
+            fold: BenefitFold::new(),
+            absorbed: 0,
+            sp: GroupScratch::new(),
+            af: GroupScratch::new(),
+            runs: Vec::new(),
+            open_start: None,
+            open_entries: 0,
+            window_members: Csr::new(),
+            window_remap: RowRemap::new(),
+            window_pairs_from: 0,
+            snap_per_node: Vec::new(),
+            snap_overlay: Vec::new(),
+            snap_sp: GroupScratch::new(),
+            snap_af: GroupScratch::new(),
+        }
+    }
+
+    /// Clear all state (keeping buffer capacity) for a fresh graph.
+    pub fn reset(&mut self) {
+        self.cpu_prefix.clear();
+        self.cpu_prefix.push(0);
+        self.total_duration = 0;
+        self.fold.reset();
+        self.absorbed = 0;
+        self.sp.begin();
+        self.af.begin();
+        self.runs.clear();
+        self.open_start = None;
+        self.open_entries = 0;
+        self.window_pairs_from = 0;
+    }
+
+    /// Number of graph nodes folded so far.
+    pub fn folded_nodes(&self) -> usize {
+        self.cpu_prefix.len() - 1
+    }
+
+    /// Fold every node appended to `graph` since the last call. Nodes
+    /// must already carry their problem classification
+    /// ([`crate::problem::classify_range`] over the appended range).
+    pub fn fold(&mut self, graph: &ExecGraph) -> WindowStats {
+        let n = graph.nodes.len();
+        let from = self.folded_nodes();
+        debug_assert!(from <= n, "graph shrank between folds");
+        for idx in from..n {
+            let node = &graph.nodes[idx];
+            let cpu = matches!(node.ntype, NType::CWork | NType::CLaunch);
+            let last = *self.cpu_prefix.last().unwrap();
+            self.cpu_prefix.push(last + if cpu { node.duration } else { 0 });
+            self.total_duration += node.duration;
+            if is_terminator(node) {
+                if let Some(start) = self.open_start.take() {
+                    let entries = self.open_entries;
+                    self.open_entries = 0;
+                    let benefit_ns = if entries > 1 {
+                        carry_forward_prefix(graph, &self.cpu_prefix, start, idx, idx + 1)
+                    } else {
+                        0
+                    };
+                    self.runs.push(RunState { start, end: idx, entries, benefit_ns });
+                }
+            } else if node.problem != Problem::None {
+                if self.open_start.is_none() && is_starter(node) {
+                    self.open_start = Some(idx);
+                }
+                if self.open_start.is_some() {
+                    self.open_entries += 1;
+                }
+            }
+        }
+        self.fold.extend(graph, &self.cpu_prefix, &self.cfg.benefit);
+        let resolved = &self.fold.per_node()[self.absorbed..];
+        let resolved_count = resolved.len();
+        self.sp.absorb(resolved, |i| graph.nodes[i].instance.map(|inst| inst.sig));
+        self.af.absorb(resolved, |i| graph.nodes[i].api.map(|a| a.index() as u64));
+        self.absorbed = self.fold.per_node().len();
+        // Windowed delta rebuild: member table over only this window's
+        // single-point pairs — O(window), not O(history).
+        let pairs = self.sp.pairs();
+        self.window_members
+            .rebuild_from_pairs_windowed(&pairs[self.window_pairs_from..], &mut self.window_remap);
+        self.window_pairs_from = pairs.len();
+        WindowStats {
+            nodes: n - from,
+            resolved: resolved_count,
+            groups_touched: self.window_remap.rows().len(),
+        }
+    }
+
+    /// Member-delta table from the last fold: row `r` lists the nodes
+    /// absorbed this window into the group `window_rows()[r]`.
+    pub fn window_members(&self) -> &Csr {
+        &self.window_members
+    }
+
+    /// Global single-point group ids touched by the last fold, parallel
+    /// to [`IncrementalAnalysis::window_members`] rows.
+    pub fn window_rows(&self) -> &[u32] {
+        self.window_remap.rows()
+    }
+
+    /// Materialize the analysis of everything folded so far, as if the
+    /// trace ended here — equal to running the batch [`crate::analyze`]
+    /// assembly over the current graph prefix. Non-destructive: pending
+    /// benefit entries are evaluated into snapshot scratch and the
+    /// running state is untouched, so folding can continue afterwards.
+    pub fn snapshot(&mut self, graph: &ExecGraph, baseline_exec_ns: Ns) -> Analysis {
+        debug_assert_eq!(graph.nodes.len(), self.folded_nodes(), "snapshot mid-append");
+        let (benefit, problems, single_point, api_folds, sequences, by_api) = self.assemble(graph);
+        Analysis {
+            graph: graph.clone(),
+            benefit,
+            problems,
+            single_point,
+            api_folds,
+            sequences,
+            by_api,
+            baseline_exec_ns,
+        }
+    }
+
+    /// Resolve everything pending under end-of-trace semantics and
+    /// materialize the final analysis. The result is structurally
+    /// identical to [`crate::analyze`] over the same classified graph —
+    /// the identity `streaming_identity` pins at the report-byte level.
+    pub fn finish(mut self, graph: ExecGraph, baseline_exec_ns: Ns) -> Analysis {
+        debug_assert_eq!(graph.nodes.len(), self.folded_nodes(), "finish before final fold");
+        self.fold.finalize(&graph, &self.cpu_prefix, &self.cfg.benefit);
+        let resolved = &self.fold.per_node()[self.absorbed..];
+        self.sp.absorb(resolved, |i| graph.nodes[i].instance.map(|inst| inst.sig));
+        self.af.absorb(resolved, |i| graph.nodes[i].api.map(|a| a.index() as u64));
+        self.absorbed = self.fold.per_node().len();
+        let candidate_runs = self.runs.len() + usize::from(self.open_start.is_some());
+        crate::telemetry::counter_add("grouping.candidate_runs", candidate_runs as u64);
+        let (benefit, problems, single_point, api_folds, sequences, by_api) = self.assemble(&graph);
+        Analysis {
+            graph,
+            benefit,
+            problems,
+            single_point,
+            api_folds,
+            sequences,
+            by_api,
+            baseline_exec_ns,
+        }
+    }
+
+    /// Shared assembly for snapshots and the final analysis: overlay
+    /// pending benefit entries, rebuild the presentation tables, and
+    /// materialize owned results with the exact batch sorts.
+    #[allow(clippy::type_complexity)]
+    fn assemble(
+        &mut self,
+        graph: &ExecGraph,
+    ) -> (
+        BenefitReport,
+        Vec<ProblemOp>,
+        Vec<ProblemGroup>,
+        Vec<ProblemGroup>,
+        Vec<Sequence>,
+        Vec<(ApiFn, Ns)>,
+    ) {
+        let n = graph.nodes.len();
+        // Benefit: resolved entries + pending overlay.
+        self.snap_per_node.clear();
+        self.snap_per_node.extend_from_slice(self.fold.per_node());
+        let tail = self.fold.complete_into(
+            graph,
+            &self.cpu_prefix,
+            &self.cfg.benefit,
+            &mut self.snap_per_node,
+            &mut self.snap_overlay,
+        );
+        let benefit = BenefitReport {
+            per_node: self.snap_per_node.clone(),
+            total_ns: self.fold.total_ns() + tail.total_ns,
+            predicted_exec_ns: self.total_duration + self.fold.growth_ns() + tail.growth_ns
+                - self.fold.reclaim_ns()
+                - tail.reclaim_ns,
+        };
+        // Problems, sorted by descending benefit (stable, as in analyze).
+        let mut problems: Vec<ProblemOp> = benefit
+            .per_node
+            .iter()
+            .map(|nb| {
+                let node = &graph.nodes[nb.node];
+                ProblemOp {
+                    node: nb.node,
+                    api: node.api,
+                    site: node.site,
+                    problem: nb.problem,
+                    benefit_ns: nb.benefit_ns,
+                }
+            })
+            .collect();
+        problems.sort_by_key(|p| std::cmp::Reverse(p.benefit_ns));
+        // Groups: running tables + pending overlay, sealed in snapshot
+        // scratch so the incremental tables stay undisturbed.
+        let pending = &self.snap_per_node[self.fold.per_node().len()..];
+        self.snap_sp.copy_from(&self.sp);
+        self.snap_sp.absorb(pending, |i| graph.nodes[i].instance.map(|inst| inst.sig));
+        self.snap_sp.seal();
+        let single_point = self.snap_sp.materialize_single_point(graph);
+        self.snap_af.copy_from(&self.af);
+        self.snap_af.absorb(pending, |i| graph.nodes[i].api.map(|a| a.index() as u64));
+        self.snap_af.seal();
+        let api_folds = self.snap_af.materialize_api_fold(graph);
+        // Sequences: closed runs plus the still-open run under
+        // end-of-trace semantics.
+        let materialize_entries = |start: usize, end: usize| -> Vec<SeqEntry> {
+            (start..end)
+                .filter(|&i| graph.nodes[i].problem != Problem::None)
+                .enumerate()
+                .map(|(k, i)| SeqEntry {
+                    index: k + 1,
+                    node: i,
+                    api: graph.nodes[i].api,
+                    site: graph.nodes[i].site,
+                    problem: graph.nodes[i].problem,
+                })
+                .collect()
+        };
+        let mut sequences: Vec<Sequence> = Vec::new();
+        for run in &self.runs {
+            if run.entries > 1 {
+                sequences.push(Sequence {
+                    start: run.start,
+                    end: run.end,
+                    entries: materialize_entries(run.start, run.end),
+                    benefit_ns: run.benefit_ns,
+                });
+            }
+        }
+        if let Some(start) = self.open_start {
+            if self.open_entries > 1 {
+                let benefit_ns = carry_forward_prefix(graph, &self.cpu_prefix, start, n, n);
+                sequences.push(Sequence {
+                    start,
+                    end: n,
+                    entries: materialize_entries(start, n),
+                    benefit_ns,
+                });
+            }
+        }
+        sequences.sort_by_key(|s| std::cmp::Reverse(s.benefit_ns));
+        // Savings by API, in the batch presentation order.
+        let mut table: [(Option<ApiFn>, Ns); ApiFn::COUNT] = [(None, 0); ApiFn::COUNT];
+        for nb in &benefit.per_node {
+            if let Some(api) = graph.nodes[nb.node].api {
+                let slot = &mut table[api.index()];
+                slot.0 = Some(api);
+                slot.1 += nb.benefit_ns;
+            }
+        }
+        let mut by_api: Vec<(ApiFn, Ns)> =
+            table.into_iter().filter_map(|(api, ns)| api.map(|a| (a, ns))).collect();
+        by_api.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        (benefit, problems, single_point, api_folds, sequences, by_api)
+    }
 }
 
 #[cfg(test)]
@@ -893,5 +1344,173 @@ mod tests {
                 assert_eq!(scratch.group(i).benefit_ns, grp.benefit_ns);
             }
         }
+    }
+
+    /// The batch stage-5 assembly over an already-classified graph —
+    /// exactly what `analyze` does after classification, kept here as
+    /// the reference for the incremental state machine.
+    fn batch_analysis(graph: &ExecGraph, jobs: usize) -> Analysis {
+        let benefit = expected_benefit(graph, &BenefitOptions::default());
+        let mut problems: Vec<ProblemOp> = benefit
+            .per_node
+            .iter()
+            .map(|nb| {
+                let n = &graph.nodes[nb.node];
+                ProblemOp {
+                    node: nb.node,
+                    api: n.api,
+                    site: n.site,
+                    problem: nb.problem,
+                    benefit_ns: nb.benefit_ns,
+                }
+            })
+            .collect();
+        problems.sort_by_key(|p| std::cmp::Reverse(p.benefit_ns));
+        let single_point = single_point_groups(graph, &benefit);
+        let api_folds = fold_on_api(graph, &benefit);
+        let sequences = find_sequences(graph, jobs);
+        let mut by_api = savings_by_api(graph, &benefit);
+        by_api.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        Analysis {
+            graph: graph.clone(),
+            benefit,
+            problems,
+            single_point,
+            api_folds,
+            sequences,
+            by_api,
+            baseline_exec_ns: graph.baseline_exec_ns,
+        }
+    }
+
+    fn assert_same_analysis(got: &Analysis, want: &Analysis, ctx: &str) {
+        assert_eq!(got.benefit.per_node, want.benefit.per_node, "{ctx}: per_node");
+        assert_eq!(got.benefit.total_ns, want.benefit.total_ns, "{ctx}: total");
+        assert_eq!(
+            got.benefit.predicted_exec_ns, want.benefit.predicted_exec_ns,
+            "{ctx}: predicted"
+        );
+        let op = |p: &ProblemOp| (p.node, p.api, p.problem, p.benefit_ns);
+        assert_eq!(
+            got.problems.iter().map(op).collect::<Vec<_>>(),
+            want.problems.iter().map(op).collect::<Vec<_>>(),
+            "{ctx}: problems"
+        );
+        for (which, a, b) in [
+            ("single_point", &got.single_point, &want.single_point),
+            ("api_folds", &got.api_folds, &want.api_folds),
+        ] {
+            assert_eq!(a.len(), b.len(), "{ctx}: {which} count");
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.kind, y.kind, "{ctx}: {which} kind");
+                assert_eq!(x.label.resolve(), y.label.resolve(), "{ctx}: {which} label");
+                assert_eq!(x.benefit_ns, y.benefit_ns, "{ctx}: {which} benefit");
+                assert_eq!(x.nodes, y.nodes, "{ctx}: {which} members");
+                assert_eq!(x.sync_issues, y.sync_issues, "{ctx}: {which} syncs");
+                assert_eq!(x.transfer_issues, y.transfer_issues, "{ctx}: {which} transfers");
+            }
+        }
+        assert_eq!(got.sequences.len(), want.sequences.len(), "{ctx}: sequence count");
+        for (x, y) in got.sequences.iter().zip(&want.sequences) {
+            assert_eq!(
+                (x.start, x.end, x.benefit_ns),
+                (y.start, y.end, y.benefit_ns),
+                "{ctx}: sequence span"
+            );
+            let entry = |e: &SeqEntry| (e.index, e.node, e.api, e.problem);
+            assert_eq!(
+                x.entries.iter().map(entry).collect::<Vec<_>>(),
+                y.entries.iter().map(entry).collect::<Vec<_>>(),
+                "{ctx}: sequence entries"
+            );
+        }
+        assert_eq!(got.by_api, want.by_api, "{ctx}: by_api");
+        assert_eq!(got.baseline_exec_ns, want.baseline_exec_ns, "{ctx}: baseline");
+    }
+
+    /// The heart of the streaming refactor: folding any windowing of a
+    /// classified graph and finishing must equal the batch assembly
+    /// exactly — every field, every order.
+    #[test]
+    fn incremental_finish_matches_batch_for_any_windowing() {
+        for (len, seed) in [(0usize, 1u64), (1, 2), (97, 3), (500, 7), (603, 11)] {
+            let full = scrambled_graph(len, seed);
+            let want = batch_analysis(&full, 1);
+            for window in [1usize, 3, 17, 1000] {
+                let mut inc = IncrementalAnalysis::new(&AnalysisConfig::default());
+                let mut growing = ExecGraph {
+                    nodes: Vec::new(),
+                    exec_time_ns: full.exec_time_ns,
+                    baseline_exec_ns: full.baseline_exec_ns,
+                };
+                let mut lo = 0;
+                while lo < len {
+                    let hi = (lo + window).min(len);
+                    growing.nodes.extend(full.nodes[lo..hi].iter().cloned());
+                    let stats = inc.fold(&growing);
+                    assert_eq!(stats.nodes, hi - lo);
+                    assert!(stats.groups_touched <= stats.resolved.max(1));
+                    lo = hi;
+                }
+                if len == 0 {
+                    inc.fold(&growing);
+                }
+                let got = inc.finish(growing, full.baseline_exec_ns);
+                assert_same_analysis(&got, &want, &format!("len={len} seed={seed} w={window}"));
+            }
+        }
+    }
+
+    /// Snapshots must equal the batch analysis of the prefix seen so
+    /// far — and must not disturb the running state (folding continues
+    /// and still converges to the batch answer).
+    #[test]
+    fn incremental_snapshot_matches_batch_on_every_prefix() {
+        let full = scrambled_graph(120, 5);
+        for window in [7usize, 31] {
+            let mut inc = IncrementalAnalysis::new(&AnalysisConfig::default());
+            let mut growing = ExecGraph {
+                nodes: Vec::new(),
+                exec_time_ns: 0,
+                baseline_exec_ns: full.baseline_exec_ns,
+            };
+            let mut lo = 0;
+            while lo < full.nodes.len() {
+                let hi = (lo + window).min(full.nodes.len());
+                growing.nodes.extend(full.nodes[lo..hi].iter().cloned());
+                growing.exec_time_ns = growing.nodes.iter().map(|n| n.duration).sum();
+                inc.fold(&growing);
+                let snap = inc.snapshot(&growing, growing.baseline_exec_ns);
+                let want = batch_analysis(&growing, 1);
+                assert_same_analysis(&snap, &want, &format!("prefix={hi} w={window}"));
+                lo = hi;
+            }
+            let want = batch_analysis(&growing, 1);
+            let got = inc.finish(growing, want.baseline_exec_ns);
+            assert_same_analysis(&got, &want, &format!("final w={window}"));
+        }
+    }
+
+    /// `reset` must restore a clean state machine on retained buffers.
+    #[test]
+    fn incremental_reset_reuses_state_cleanly() {
+        let g = scrambled_graph(200, 13);
+        let want = batch_analysis(&g, 1);
+        let mut inc = IncrementalAnalysis::new(&AnalysisConfig::default());
+        inc.fold(&g);
+        let _ = inc.snapshot(&g, g.baseline_exec_ns);
+        inc.reset();
+        assert_eq!(inc.folded_nodes(), 0);
+        let mut growing = ExecGraph {
+            nodes: Vec::new(),
+            exec_time_ns: g.exec_time_ns,
+            baseline_exec_ns: g.baseline_exec_ns,
+        };
+        for chunk in g.nodes.chunks(9) {
+            growing.nodes.extend(chunk.iter().cloned());
+            inc.fold(&growing);
+        }
+        let got = inc.finish(growing, g.baseline_exec_ns);
+        assert_same_analysis(&got, &want, "after reset");
     }
 }

@@ -79,30 +79,34 @@ pub mod telemetry;
 
 pub use analysis::{analyze, Analysis, AnalysisConfig, ProblemOp};
 pub use benefit::{
-    expected_benefit, expected_benefit_reference, BenefitOptions, BenefitPass, BenefitReport,
-    BenefitSummary, NodeBenefit,
+    expected_benefit, expected_benefit_reference, BenefitFold, BenefitOptions, BenefitPass,
+    BenefitReport, BenefitSummary, FoldTail, NodeBenefit,
 };
 pub use codec::{
     decode_any_doc, decode_artifact, decode_doc, decode_sweep, encode_artifact, encode_doc,
     encode_sweep, is_ffb, Ffb, Stage4Cols, SweepCellCols, KIND_DOC, KIND_SWEEP,
 };
-pub use engine::{declared_fields, deps, plan_keys, run_stages, stage_key, EngineOut, StageId};
+pub use engine::{
+    declared_fields, deps, epoch_key, plan_keys, run_collection, run_stages, stage_key, CollectOut,
+    EngineOut, StageId,
+};
 pub use export::{analysis_to_json, report_to_json};
-pub use graph::{Csr, ExecGraph, GraphCols, GraphIndex, NType, Node};
+pub use graph::{Csr, ExecGraph, GraphBuilder, GraphCols, GraphIndex, NType, Node, RowRemap};
 pub use grouping::{
     carry_forward_benefit, carry_forward_indexed, carry_forward_masked, find_sequences,
     fold_on_api, folded_function_groups, savings_by_api, single_point_groups, subsequence_benefit,
-    subsequence_benefit_indexed, GroupKind, GroupScratch, GroupView, ProblemGroup, SeqEntry,
-    Sequence,
+    subsequence_benefit_indexed, GroupKind, GroupScratch, GroupView, IncrementalAnalysis,
+    ProblemGroup, SeqEntry, Sequence, WindowStats,
 };
 pub use intern::{intern, intern_static, Sym};
 pub use json::Json;
 pub use metrics::{exposition_well_formed, sanitize_metric_name, PromText, SUMMARY_QUANTILES};
 pub use par::{effective_jobs, join, par_map, try_par_map, Pool, JOBS_ENV};
 pub use pipeline::{
-    overhead_factor, run_ffm, run_ffm_with_store, FfmConfig, FfmReport, StageStats,
+    overhead_factor, run_ffm, run_ffm_streaming, run_ffm_streaming_with_store, run_ffm_with_store,
+    EpochSnapshot, FfmConfig, FfmReport, StageStats, DEFAULT_STREAM_WINDOW,
 };
-pub use problem::{classify, ClassifyConfig, Problem};
+pub use problem::{classify, classify_range, ClassifyConfig, Problem};
 pub use records::{
     DuplicateTransfer, OpInstance, ProtectedAccess, Stage1Result, Stage2Result, Stage3Result,
     Stage4Result, TracedCall, TransferRec,

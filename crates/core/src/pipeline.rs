@@ -41,10 +41,13 @@ use gpu_sim::{CostModel, Ns};
 use instrument::Discovery;
 
 use crate::analysis::{Analysis, AnalysisConfig};
-use crate::engine::run_stages;
+use crate::engine::{epoch_key, run_collection, run_stages, CollectOut};
+use crate::graph::GraphBuilder;
+use crate::grouping::IncrementalAnalysis;
 use crate::par::effective_jobs;
+use crate::problem::classify_range;
 use crate::records::{Stage1Result, Stage2Result, Stage3Result, Stage4Result};
-use crate::store::ArtifactStore;
+use crate::store::{Artifact, ArtifactStore, StageKey};
 use crate::telemetry;
 
 /// Pipeline configuration.
@@ -152,50 +155,175 @@ pub fn run_ffm_with_store(
     let _run_span = telemetry::span_detail("run_ffm", || app.name().to_string());
     let jobs = effective_jobs(cfg.jobs);
     let out = run_stages(app, cfg, jobs, store)?;
-    record_collection_metrics(&out.stage2, &out.stage3, &out.stage4, &out.analysis);
-
-    let base = out.stage1.exec_time_ns;
-    let stages = vec![
-        StageStats {
-            name: "stage1-baseline",
-            exec_ns: out.stage1.exec_time_ns,
-            overhead_factor: overhead_factor(out.stage1.exec_time_ns, base),
-        },
-        StageStats {
-            name: "stage2-detailed-tracing",
-            exec_ns: out.stage2.exec_time_ns,
-            overhead_factor: overhead_factor(out.stage2.exec_time_ns, base),
-        },
-        StageStats {
-            name: "stage3a-memory-tracing",
-            exec_ns: out.stage3.exec_time_sync_ns,
-            overhead_factor: overhead_factor(out.stage3.exec_time_sync_ns, base),
-        },
-        StageStats {
-            name: "stage3b-data-hashing",
-            exec_ns: out.stage3.exec_time_hash_ns,
-            overhead_factor: overhead_factor(out.stage3.exec_time_hash_ns, base),
-        },
-        StageStats {
-            name: "stage4-sync-use",
-            exec_ns: out.stage4.exec_time_ns,
-            overhead_factor: overhead_factor(out.stage4.exec_time_ns, base),
-        },
-    ];
-    let collection_total_ns = stages.iter().map(|s| s.exec_ns).sum();
-
-    Ok(FfmReport {
-        app_name: app.name(),
-        workload: app.workload(),
+    let col = CollectOut {
         discovery: out.discovery,
         stage1: out.stage1,
         stage2: out.stage2,
         stage3: out.stage3,
         stage4: out.stage4,
-        analysis: out.analysis,
+        stage5_key: StageKey(0), // unused by assembly
+    };
+    Ok(assemble_report(app, col, out.analysis))
+}
+
+/// Build the final report from collection results and the analysis —
+/// the single assembly both the batch and the streaming drivers go
+/// through, so their reports can only ever differ in the analysis
+/// itself (and the identity suite pins that they don't).
+fn assemble_report(app: &dyn GpuApp, col: CollectOut, analysis: Arc<Analysis>) -> FfmReport {
+    record_collection_metrics(&col.stage2, &col.stage3, &col.stage4, &analysis);
+
+    let base = col.stage1.exec_time_ns;
+    let stages = vec![
+        StageStats {
+            name: "stage1-baseline",
+            exec_ns: col.stage1.exec_time_ns,
+            overhead_factor: overhead_factor(col.stage1.exec_time_ns, base),
+        },
+        StageStats {
+            name: "stage2-detailed-tracing",
+            exec_ns: col.stage2.exec_time_ns,
+            overhead_factor: overhead_factor(col.stage2.exec_time_ns, base),
+        },
+        StageStats {
+            name: "stage3a-memory-tracing",
+            exec_ns: col.stage3.exec_time_sync_ns,
+            overhead_factor: overhead_factor(col.stage3.exec_time_sync_ns, base),
+        },
+        StageStats {
+            name: "stage3b-data-hashing",
+            exec_ns: col.stage3.exec_time_hash_ns,
+            overhead_factor: overhead_factor(col.stage3.exec_time_hash_ns, base),
+        },
+        StageStats {
+            name: "stage4-sync-use",
+            exec_ns: col.stage4.exec_time_ns,
+            overhead_factor: overhead_factor(col.stage4.exec_time_ns, base),
+        },
+    ];
+    let collection_total_ns = stages.iter().map(|s| s.exec_ns).sum();
+
+    FfmReport {
+        app_name: app.name(),
+        workload: app.workload(),
+        discovery: col.discovery,
+        stage1: col.stage1,
+        stage2: col.stage2,
+        stage3: col.stage3,
+        stage4: col.stage4,
+        analysis,
         stages,
         collection_total_ns,
-    })
+    }
+}
+
+/// Default trace window (stage 2 calls per analysis epoch) for the
+/// streaming pipeline.
+pub const DEFAULT_STREAM_WINDOW: usize = 256;
+
+/// One per-window analysis epoch published by the streaming driver
+/// while the fold is still in flight.
+pub struct EpochSnapshot<'a> {
+    /// Epoch ordinal, starting at 0. The last epoch of a run carries the
+    /// final analysis (identical to the batch answer).
+    pub epoch: usize,
+    /// Stage 2 calls consumed so far.
+    pub calls_consumed: usize,
+    /// Graph nodes materialized so far.
+    pub nodes: usize,
+    /// Content address of this epoch ([`epoch_key`]).
+    pub key: StageKey,
+    /// The analysis of everything folded so far.
+    pub analysis: &'a Analysis,
+}
+
+/// Run the streaming pipeline with no artifact reuse and no epoch
+/// subscriber: collection, then windowed incremental analysis. The
+/// returned report is byte-identical to [`run_ffm`]'s (pinned by the
+/// `streaming_identity` suite).
+pub fn run_ffm_streaming(
+    app: &dyn GpuApp,
+    cfg: &FfmConfig,
+    window: usize,
+) -> CudaResult<FfmReport> {
+    run_ffm_streaming_with_store(app, cfg, window, None, |_| {})
+}
+
+/// The streaming driver: run the collection stages, then interleave
+/// graph building with windowed incremental analysis, publishing an
+/// [`EpochSnapshot`] (and a content-addressed store entry) after every
+/// `window` consumed stage 2 calls. The final epoch carries the finished
+/// analysis, which is also stored under the plain stage 5 key — so a
+/// later batch run of the same plan is a warm cache hit.
+pub fn run_ffm_streaming_with_store(
+    app: &dyn GpuApp,
+    cfg: &FfmConfig,
+    window: usize,
+    store: Option<&ArtifactStore>,
+    mut on_epoch: impl FnMut(&EpochSnapshot<'_>),
+) -> CudaResult<FfmReport> {
+    let _run_span = telemetry::span_detail("run_ffm_streaming", || app.name().to_string());
+    let jobs = effective_jobs(cfg.jobs);
+    let window = window.max(1);
+    let col = run_collection(app, cfg, jobs, store)?;
+
+    let _fold_span = telemetry::span("stage5-streaming");
+    let calls = &col.stage2.calls;
+    let dups = col.stage3.duplicate_set();
+    let mut builder = GraphBuilder::with_capacity(col.stage1.exec_time_ns, calls.len());
+    let mut inc = IncrementalAnalysis::new(&cfg.analysis);
+    let mut epoch = 0usize;
+    let mut publish = |snapshot: &EpochSnapshot<'_>| {
+        telemetry::counter_add("stream.epochs", 1);
+        if let Some(store) = store {
+            store.put(snapshot.key, Artifact::Analysis(Arc::new(snapshot.analysis.clone())));
+        }
+        on_epoch(snapshot);
+    };
+    let mut consumed = 0usize;
+    while consumed < calls.len() {
+        let hi = (consumed + window).min(calls.len());
+        let range = builder.append_calls(&calls[consumed..hi]);
+        classify_range(
+            builder.graph_mut(),
+            range,
+            &col.stage3,
+            &dups,
+            &col.stage4,
+            &cfg.analysis.classify,
+        );
+        inc.fold(builder.graph());
+        consumed = hi;
+        if consumed < calls.len() {
+            // Intermediate epoch: snapshot of the prefix seen so far.
+            let analysis = inc.snapshot(builder.graph(), col.stage1.exec_time_ns);
+            publish(&EpochSnapshot {
+                epoch,
+                calls_consumed: consumed,
+                nodes: analysis.graph.nodes.len(),
+                key: epoch_key(col.stage5_key, window, epoch),
+                analysis: &analysis,
+            });
+            epoch += 1;
+        }
+    }
+    // Seal the graph (tail work past the last call) and resolve
+    // everything still pending under end-of-trace semantics.
+    builder.seal(col.stage2.exec_time_ns);
+    inc.fold(builder.graph());
+    let analysis = Arc::new(inc.finish(builder.into_graph(), col.stage1.exec_time_ns));
+    if let Some(store) = store {
+        store.put(col.stage5_key, Artifact::Analysis(analysis.clone()));
+    }
+    publish(&EpochSnapshot {
+        epoch,
+        calls_consumed: calls.len(),
+        nodes: analysis.graph.nodes.len(),
+        key: epoch_key(col.stage5_key, window, epoch),
+        analysis: &analysis,
+    });
+    drop(_fold_span);
+    Ok(assemble_report(app, col, analysis))
 }
 
 /// Record what collection found into the telemetry metrics registry.

@@ -80,7 +80,9 @@ proptest! {
             prop_assert!(g.nodes[nb.node].problem != Problem::None);
         }
         // As many benefit entries as problematic nodes.
-        prop_assert_eq!(r.per_node.len(), g.problematic().len());
+        let mut problematic = Vec::new();
+        g.problematic_into(&mut problematic);
+        prop_assert_eq!(r.per_node.len(), problematic.len());
     }
 
     /// Clamped misplaced estimates never exceed paper-exact ones.

@@ -1,12 +1,14 @@
 //! A hand-rolled HTTP/1.1 subset for `diogenes serve`.
 //!
 //! The workspace builds with no external crates, so the daemon parses
-//! and emits HTTP itself. The subset is deliberately small: one request
-//! per connection (`Connection: close`), request bodies sized by
-//! `Content-Length`, no chunked transfer, no keep-alive, no TLS. That is
-//! exactly what the analysis service needs — submissions and report
-//! polls are single short exchanges — and it keeps every byte on the
-//! wire auditable.
+//! and emits HTTP itself. The subset is deliberately small: request
+//! bodies sized by `Content-Length`, no chunked transfer, no TLS.
+//! Connections are single-shot (`Connection: close`) unless the client
+//! opts into keep-alive, in which case up to
+//! [`MAX_KEEPALIVE_EXCHANGES`] requests are served per connection under
+//! the same read timeout — what a live-streaming client polling
+//! `?epoch=` snapshots needs. It keeps every byte on the wire
+//! auditable.
 //!
 //! Limits guard the daemon against malformed or hostile peers: the head
 //! (request line + headers) is capped at [`MAX_HEAD_BYTES`] and bodies
@@ -25,8 +27,14 @@ pub const MAX_HEAD_BYTES: usize = 64 * 1024;
 pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
 
 /// How long a connection may sit idle mid-request before the daemon
-/// gives up on it.
+/// gives up on it. Keep-alive connections run the same timeout between
+/// exchanges: an idle poller is disconnected, not held open forever.
 pub const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Most requests served over one keep-alive connection before the
+/// daemon closes it anyway — bounds how long a single peer can pin a
+/// worker thread.
+pub const MAX_KEEPALIVE_EXCHANGES: usize = 32;
 
 /// One parsed request.
 #[derive(Debug)]
@@ -99,8 +107,22 @@ fn percent_decode(s: &str) -> String {
 /// connection before sending anything (e.g. a port probe, or the
 /// daemon's own shutdown self-connect) — not an error worth logging.
 pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, String> {
+    let mut carry = Vec::new();
+    read_request_buffered(stream, &mut carry)
+}
+
+/// [`read_request`] for keep-alive connections: `carry` holds bytes
+/// received past the previous request's body (a pipelined client may
+/// send its next request in the same segment). On return, `carry` holds
+/// whatever arrived past *this* request's body, so sequential calls
+/// with the same buffer never drop pipelined bytes.
+pub fn read_request_buffered(
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+) -> Result<Option<Request>, String> {
     stream.set_read_timeout(Some(READ_TIMEOUT)).map_err(|e| format!("set timeout: {e}"))?;
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut buf: Vec<u8> = std::mem::take(carry);
+    buf.reserve(1024);
     let mut chunk = [0u8; 4096];
     let head_len = loop {
         if let Some(pos) = find_head_end(&buf) {
@@ -162,9 +184,20 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, String> {
         }
         body.extend_from_slice(&chunk[..n]);
     }
+    // Bytes past the body belong to the next pipelined request.
+    carry.extend_from_slice(&body[content_length..]);
     body.truncate(content_length);
 
     Ok(Some(Request { method, path, query, headers, body }))
+}
+
+/// Whether the client asked to reuse the connection. The daemon's
+/// subset treats close as the default for every request — keep-alive is
+/// strictly opt-in via `Connection: keep-alive`.
+pub fn wants_keep_alive(req: &Request) -> bool {
+    req.header("connection")
+        .map(|v| v.split(',').any(|t| t.trim().eq_ignore_ascii_case("keep-alive")))
+        .unwrap_or(false)
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -186,16 +219,30 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Emit one complete response and flush it. Always `Connection: close` —
-/// the daemon's exchanges are single-shot by design.
+/// Emit one complete response and flush it. `Connection: close` — the
+/// terminal exchange of every connection.
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
+    write_response_conn(stream, status, content_type, body, false)
+}
+
+/// [`write_response`] with an explicit connection disposition:
+/// `keep_alive = true` advertises `Connection: keep-alive` so the
+/// client keeps the socket open for the next exchange.
+pub fn write_response_conn(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let conn = if keep_alive { "keep-alive" } else { "close" };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {conn}\r\n\r\n",
         reason(status),
         body.len()
     );
@@ -282,6 +329,74 @@ mod tests {
             parse_raw(b"POST /run HTTP/1.1\r\nContent-Length: eleventy\r\n\r\n").is_err(),
             "unparseable content-length"
         );
+    }
+
+    /// Two requests pipelined into one TCP write must both parse when
+    /// read sequentially through a shared carry buffer — the first
+    /// read's surplus bytes are the second request, not garbage to drop.
+    #[test]
+    fn pipelined_sequential_requests_parse_through_the_carry_buffer() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // Both requests (and the second's body) in a single segment.
+            s.write_all(
+                b"POST /run HTTP/1.1\r\nConnection: keep-alive\r\nContent-Length: 7\r\n\r\n\
+                  {\"a\":1}GET /stats?live=1 HTTP/1.1\r\nConnection: keep-alive\r\n\r\n",
+            )
+            .unwrap();
+            s.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink);
+        });
+        let (mut server, _) = listener.accept().unwrap();
+        let mut carry = Vec::new();
+        let first = read_request_buffered(&mut server, &mut carry).unwrap().unwrap();
+        assert_eq!(first.method, "POST");
+        assert_eq!(first.body, b"{\"a\":1}");
+        assert!(wants_keep_alive(&first));
+        assert!(!carry.is_empty(), "second request buffered, not discarded");
+        let second = read_request_buffered(&mut server, &mut carry).unwrap().unwrap();
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/stats");
+        assert_eq!(second.query_param("live"), Some("1"));
+        assert!(wants_keep_alive(&second));
+        // Third read: connection is drained and closed.
+        assert!(read_request_buffered(&mut server, &mut carry).unwrap().is_none());
+        drop(server);
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_is_opt_in_and_token_aware() {
+        let close = parse_raw(b"GET / HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert!(!wants_keep_alive(&close), "no header means close in this subset");
+        let ka = parse_raw(b"GET / HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n").unwrap().unwrap();
+        assert!(wants_keep_alive(&ka), "case-insensitive");
+        let multi = parse_raw(b"GET / HTTP/1.1\r\nConnection: upgrade, keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(wants_keep_alive(&multi), "token list");
+        let explicit = parse_raw(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().unwrap();
+        assert!(!wants_keep_alive(&explicit));
+    }
+
+    #[test]
+    fn keep_alive_response_writer_advertises_reuse() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            write_response_conn(&mut s, 200, "application/json", b"{}", true).unwrap();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut got = Vec::new();
+        client.read_to_end(&mut got).unwrap();
+        server.join().unwrap();
+        let text = String::from_utf8(got).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
     }
 
     #[test]

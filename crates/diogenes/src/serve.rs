@@ -28,6 +28,26 @@
 //! verbatim, so `diogenes serve` and `diogenes <app> --json` can be
 //! `cmp`'d against each other (the CI smoke test does).
 //!
+//! ## Streaming jobs
+//!
+//! `POST /run?stream=1` executes through the streaming pipeline
+//! ([`ffm_core::run_ffm_streaming_with_store`]): the job publishes one
+//! analysis snapshot per window of consumed stage 2 calls, readable
+//! while the job still runs via `GET /report/<id>?epoch=<k>`. The final
+//! report bytes are identical to the batch job's (the identity suite
+//! pins it), but the *id* is distinct — epochs are part of what the job
+//! computes, so `stream` and the window size join the digest. `/stats`
+//! lists in-flight streaming jobs under `live`, and `/metrics` exposes
+//! epoch counters. Clients that poll epochs are expected to reuse the
+//! connection (`Connection: keep-alive`, see [`crate::http`]).
+//!
+//! ## Content negotiation
+//!
+//! `GET /report/<id>` and `GET /sweep/<id>` return JSON by default;
+//! `Accept: application/x-diogenes-ffb` re-encodes the stored document
+//! through the FFB codec (byte-identical to `diogenes --format ffb`
+//! output for the same document).
+//!
 //! ## Shutdown
 //!
 //! `POST /shutdown` stops accepting new submissions, drains queued and
@@ -47,12 +67,16 @@ use cuda_driver::GpuApp;
 use diogenes_apps::*;
 use ffm_core::telemetry::TraceId;
 use ffm_core::{
-    decode_any_doc, is_ffb, log_debug, log_info, log_warn, report_to_json, run_ffm_with_store,
-    run_sweep_with_store, sweep_to_json, telemetry, ArtifactStore, Axis, CacheMode, FfmConfig,
-    Json, KeyHasher, Pool, PromText,
+    analysis_to_json, decode_any_doc, encode_doc, is_ffb, log_debug, log_info, log_warn,
+    report_to_json, run_ffm_streaming_with_store, run_ffm_with_store, run_sweep_with_store,
+    sweep_to_json, telemetry, ArtifactStore, Axis, CacheMode, FfmConfig, Json, KeyHasher, Pool,
+    PromText, DEFAULT_STREAM_WINDOW,
 };
 
-use crate::http::{read_request, write_response, Request};
+use crate::http::{
+    read_request_buffered, wants_keep_alive, write_response, write_response_conn, Request,
+    MAX_KEEPALIVE_EXCHANGES,
+};
 
 /// Construct one of the five simulated applications by CLI name.
 /// Shared by the CLI entry point and the daemon so both accept exactly
@@ -115,10 +139,13 @@ impl Default for ServeConfig {
 }
 
 /// What a job computes. `jobs` rides along as an execution knob but is
-/// never part of the job id.
+/// never part of the job id. `stream`/`window` *are* identity for run
+/// jobs: a streaming job additionally publishes per-epoch snapshots
+/// whose shape depends on the window, so it must not dedupe against a
+/// batch job (or a differently-windowed stream) for the same app.
 #[derive(Debug, Clone)]
 enum JobSpec {
-    Run { app: String, paper: bool, jobs: usize },
+    Run { app: String, paper: bool, jobs: usize, stream: bool, window: usize },
     Sweep { app: String, paper: bool, axes: Vec<Axis>, paired: bool, jobs: usize },
 }
 
@@ -139,9 +166,15 @@ impl JobSpec {
             JobSpec::Sweep { .. } => KeyHasher::new("serve-sweep"),
         };
         match self {
-            JobSpec::Run { app, paper, .. } => {
+            JobSpec::Run { app, paper, stream, window, .. } => {
                 h.push_str(app);
                 h.push_u64(*paper as u64);
+                // Batch ids stay exactly as they were; streamed jobs get
+                // a domain-separated id keyed on the window.
+                if *stream {
+                    h.push_str("stream");
+                    h.push_u64(*window as u64);
+                }
             }
             JobSpec::Sweep { app, paper, axes, paired, .. } => {
                 h.push_str(app);
@@ -185,6 +218,10 @@ struct Job {
     status: JobStatus,
     /// Result bytes (the exact artifact the offline CLI would write).
     result: Option<Arc<Vec<u8>>>,
+    /// Per-epoch snapshot documents published by a streaming run while
+    /// it executes; index k answers `GET /report/<id>?epoch=k`. The last
+    /// epoch of a finished job carries the final analysis.
+    epochs: Vec<Arc<Vec<u8>>>,
     error: Option<String>,
     /// Correlation id installed while the job executes (derived from the
     /// job id, so `/trace?job=<id>` can find its spans).
@@ -248,6 +285,9 @@ struct Shared {
     evicted: AtomicU64,
     in_flight: AtomicU64,
     bytes_served: AtomicU64,
+    /// Per-epoch snapshots published by streaming jobs over the
+    /// daemon's life.
+    stream_epochs: AtomicU64,
     /// Source of request-correlation ids for HTTP connections (job
     /// executions use [`job_trace`] instead).
     next_trace: AtomicU64,
@@ -306,6 +346,7 @@ impl Server {
                 evicted: AtomicU64::new(0),
                 in_flight: AtomicU64::new(0),
                 bytes_served: AtomicU64::new(0),
+                stream_epochs: AtomicU64::new(0),
                 next_trace: AtomicU64::new(1),
                 access_tick: AtomicU64::new(1),
                 routes: Default::default(),
@@ -361,8 +402,9 @@ pub fn serve(cfg: ServeConfig) -> Result<(), String> {
     let addr = server.local_addr()?;
     println!("diogenes serve: listening on {addr}");
     eprintln!(
-        "diogenes serve: POST /run | POST /sweep | GET /report/<id> | GET /sweep/<id> | \
-         GET /stats | GET /telemetry | GET /metrics | GET /trace[?job=<id>] | POST /shutdown"
+        "diogenes serve: POST /run[?stream=1] | POST /sweep | GET /report/<id>[?epoch=<k>] | \
+         GET /sweep/<id> | GET /stats | GET /telemetry | GET /metrics | \
+         GET /trace[?job=<id>] | POST /shutdown"
     );
     server.run()
 }
@@ -404,7 +446,7 @@ fn executor_loop(shared: &Shared) {
             };
             log_info!("job start kind={} id={id}", spec.kind());
             let t0 = Instant::now();
-            let outcome = execute_job(&spec, shared);
+            let outcome = execute_job(&spec, shared, &id);
             match &outcome {
                 Ok(bytes) => log_info!(
                     "job done kind={} id={id} bytes={} elapsed_ms={}",
@@ -466,14 +508,45 @@ fn evict_done(st: &mut ServeState, shared: &Shared) {
 }
 
 /// Compute a job's result bytes — exactly the bytes the offline CLI
-/// writes for the same config.
-fn execute_job(spec: &JobSpec, shared: &Shared) -> Result<Vec<u8>, String> {
+/// writes for the same config. A streaming run additionally publishes
+/// per-epoch snapshot documents into the job table as it folds, so
+/// clients can read them (`?epoch=k`) before the result exists.
+fn execute_job(spec: &JobSpec, shared: &Shared, id: &str) -> Result<Vec<u8>, String> {
     let doc = match spec {
-        JobSpec::Run { app, paper, jobs } => {
+        JobSpec::Run { app, paper, jobs, stream: false, .. } => {
             let app = build_app(app, *paper).ok_or_else(|| format!("unknown app {app:?}"))?;
             let cfg = FfmConfig::default().with_jobs(resolve(*jobs, shared.default_jobs));
             let report = run_ffm_with_store(app.as_ref(), &cfg, Some(&shared.store))
                 .map_err(|e| format!("pipeline failed: {e}"))?;
+            report_to_json(&report)
+        }
+        JobSpec::Run { app, paper, jobs, stream: true, window } => {
+            let app = build_app(app, *paper).ok_or_else(|| format!("unknown app {app:?}"))?;
+            let cfg = FfmConfig::default().with_jobs(resolve(*jobs, shared.default_jobs));
+            let report = run_ffm_streaming_with_store(
+                app.as_ref(),
+                &cfg,
+                *window,
+                Some(&shared.store),
+                |snap| {
+                    let doc = Json::obj([
+                        ("epoch", Json::Int(snap.epoch as i128)),
+                        ("calls_consumed", Json::Int(snap.calls_consumed as i128)),
+                        ("nodes", Json::Int(snap.nodes as i128)),
+                        ("analysis", analysis_to_json(snap.analysis)),
+                    ]);
+                    let mut bytes = Vec::new();
+                    if doc.write_pretty(&mut bytes).is_ok() {
+                        let mut st = shared.state.lock().unwrap();
+                        if let Some(job) = st.jobs.get_mut(id) {
+                            job.epochs.push(Arc::new(bytes));
+                        }
+                        drop(st);
+                        shared.stream_epochs.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+            )
+            .map_err(|e| format!("pipeline failed: {e}"))?;
             report_to_json(&report)
         }
         JobSpec::Sweep { app, paper, axes, paired, jobs } => {
@@ -523,60 +596,82 @@ fn route_index(method: &str, path: &str) -> usize {
     ROUTES.iter().position(|&r| r == label).expect("label drawn from ROUTES")
 }
 
+const CT_JSON: &str = "application/json";
+const CT_FFB: &str = "application/x-diogenes-ffb";
+const CT_PROM: &str = "text/plain; version=0.0.4";
+
 fn handle_connection(mut stream: TcpStream, shared: &Shared, self_addr: std::net::SocketAddr) {
-    let req = match read_request(&mut stream) {
-        Ok(Some(req)) => req,
-        Ok(None) => return, // silent close (probe or shutdown self-connect)
-        Err(e) => {
-            let body = error_body(&e);
-            let _ = write_response(&mut stream, 400, "application/json", &body);
+    // Keep-alive loop: a client that opts in (`Connection: keep-alive`)
+    // gets up to MAX_KEEPALIVE_EXCHANGES requests on one socket — the
+    // access pattern of a live epoch poller. The carry buffer threads
+    // pipelined surplus bytes from one read into the next.
+    let mut carry = Vec::new();
+    for exchange in 0..MAX_KEEPALIVE_EXCHANGES {
+        let req = match read_request_buffered(&mut stream, &mut carry) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean close (probe, shutdown self-connect, or drained keep-alive)
+            Err(e) => {
+                let body = error_body(&e);
+                let _ = write_response(&mut stream, 400, CT_JSON, &body);
+                return;
+            }
+        };
+        let t0 = Instant::now();
+        // Every request gets a fresh correlation id; log lines and spans
+        // for this exchange carry it until the response is written. Job
+        // execution swaps in the job-derived id on the executor thread.
+        let trace = TraceId(shared.next_trace.fetch_add(1, Ordering::Relaxed));
+        let _trace = telemetry::trace_scope(Some(trace));
+        let _span = telemetry::span("serve.request");
+        log_debug!("request {} {}", req.method, req.path);
+        let (status, body, content_type) = respond(&req, shared, self_addr);
+        let elapsed_ns = t0.elapsed().as_nanos() as u64;
+        let ri = route_index(&req.method, &req.path);
+        shared.routes[ri].count.fetch_add(1, Ordering::Relaxed);
+        shared.routes[ri].total_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+        shared.routes[ri].hist.lock().unwrap().record(elapsed_ns);
+        shared.bytes_served.fetch_add(body.len() as u64, Ordering::Relaxed);
+        let keep_alive = wants_keep_alive(&req) && exchange + 1 < MAX_KEEPALIVE_EXCHANGES;
+        if write_response_conn(&mut stream, status, content_type, &body, keep_alive).is_err()
+            || !keep_alive
+        {
             return;
         }
-    };
-    let t0 = Instant::now();
-    // Every request gets a fresh correlation id; log lines and spans on
-    // this connection carry it until the response is written. Job
-    // execution swaps in the job-derived id on the executor thread.
-    let trace = TraceId(shared.next_trace.fetch_add(1, Ordering::Relaxed));
-    let _trace = telemetry::trace_scope(Some(trace));
-    let _span = telemetry::span("serve.request");
-    log_debug!("request {} {}", req.method, req.path);
-    let (status, body) = respond(&req, shared, self_addr);
-    let elapsed_ns = t0.elapsed().as_nanos() as u64;
-    let ri = route_index(&req.method, &req.path);
-    shared.routes[ri].count.fetch_add(1, Ordering::Relaxed);
-    shared.routes[ri].total_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
-    shared.routes[ri].hist.lock().unwrap().record(elapsed_ns);
-    shared.bytes_served.fetch_add(body.len() as u64, Ordering::Relaxed);
-    let content_type = if req.method == "GET" && req.path == "/metrics" {
-        "text/plain; version=0.0.4"
-    } else {
-        "application/json"
-    };
-    let _ = write_response(&mut stream, status, content_type, &body);
+    }
 }
 
 fn error_body(msg: &str) -> Vec<u8> {
     Json::obj([("error", Json::Str(msg.to_string()))]).to_string_pretty().into_bytes()
 }
 
-fn respond(req: &Request, shared: &Shared, self_addr: std::net::SocketAddr) -> (u16, Vec<u8>) {
+fn respond(
+    req: &Request,
+    shared: &Shared,
+    self_addr: std::net::SocketAddr,
+) -> (u16, Vec<u8>, &'static str) {
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/run") => submit(req, shared, false),
-        ("POST", "/sweep") => submit(req, shared, true),
-        ("GET", "/stats") => (200, stats_doc(shared).to_string_pretty().into_bytes()),
-        ("GET", "/telemetry") => (200, telemetry_doc(shared).to_string_pretty().into_bytes()),
-        ("GET", "/metrics") => (200, render_metrics(shared).into_bytes()),
-        ("GET", "/trace") => trace_dump(req),
-        ("POST", "/shutdown") => shutdown(shared, self_addr),
+        ("GET", "/metrics") => (200, render_metrics(shared).into_bytes(), CT_PROM),
         ("GET", path) if path.starts_with("/report/") => {
-            fetch(shared, &path["/report/".len()..], "run")
+            fetch(req, shared, &path["/report/".len()..], "run")
         }
         ("GET", path) if path.starts_with("/sweep/") => {
-            fetch(shared, &path["/sweep/".len()..], "sweep")
+            fetch(req, shared, &path["/sweep/".len()..], "sweep")
         }
-        ("GET", _) => (404, error_body(&format!("no such resource {:?}", req.path))),
-        (m, _) => (405, error_body(&format!("method {m} not supported here"))),
+        (method, path) => {
+            let (status, body) = match (method, path) {
+                ("POST", "/run") => submit(req, shared, false),
+                ("POST", "/sweep") => submit(req, shared, true),
+                ("GET", "/stats") => (200, stats_doc(shared).to_string_pretty().into_bytes()),
+                ("GET", "/telemetry") => {
+                    (200, telemetry_doc(shared).to_string_pretty().into_bytes())
+                }
+                ("GET", "/trace") => trace_dump(req),
+                ("POST", "/shutdown") => shutdown(shared, self_addr),
+                ("GET", _) => (404, error_body(&format!("no such resource {:?}", req.path))),
+                (m, _) => (405, error_body(&format!("method {m} not supported here"))),
+            };
+            (status, body, CT_JSON)
+        }
     }
 }
 
@@ -594,7 +689,7 @@ fn parse_body(body: &[u8]) -> Result<Json, String> {
     }
 }
 
-fn parse_spec(doc: &Json, sweep: bool) -> Result<JobSpec, String> {
+fn parse_spec(doc: &Json, sweep: bool, stream: bool) -> Result<JobSpec, String> {
     let app = doc
         .get("app")
         .and_then(Json::as_str)
@@ -614,7 +709,25 @@ fn parse_spec(doc: &Json, sweep: bool) -> Result<JobSpec, String> {
             .map_err(|_| "\"jobs\" must be non-negative".to_string())?,
     };
     if !sweep {
-        return Ok(JobSpec::Run { app, paper, jobs });
+        // Window size only matters when streaming; a body-level
+        // "stream_window" overrides the default.
+        let window = match doc.get("stream_window") {
+            None => DEFAULT_STREAM_WINDOW,
+            Some(w) => usize::try_from(w.as_i128().ok_or("\"stream_window\" must be an integer")?)
+                .ok()
+                .filter(|&w| w > 0)
+                .ok_or("\"stream_window\" must be a positive integer")?,
+        };
+        return Ok(JobSpec::Run {
+            app,
+            paper,
+            jobs,
+            stream,
+            window: if stream { window } else { 0 },
+        });
+    }
+    if stream {
+        return Err("streaming (?stream=1) applies to /run submissions only".to_string());
     }
     let mut axes = Vec::new();
     if let Some(list) = doc.get("axes") {
@@ -651,7 +764,8 @@ fn parse_spec(doc: &Json, sweep: bool) -> Result<JobSpec, String> {
 }
 
 fn submit(req: &Request, shared: &Shared, sweep: bool) -> (u16, Vec<u8>) {
-    let spec = match parse_body(&req.body).and_then(|doc| parse_spec(&doc, sweep)) {
+    let stream = matches!(req.query_param("stream"), Some("1") | Some("true"));
+    let spec = match parse_body(&req.body).and_then(|doc| parse_spec(&doc, sweep, stream)) {
         Ok(s) => s,
         Err(e) => return (400, error_body(&e)),
     };
@@ -701,6 +815,7 @@ fn submit(req: &Request, shared: &Shared, sweep: bool) -> (u16, Vec<u8>) {
                     spec,
                     status: JobStatus::Queued,
                     result: None,
+                    epochs: Vec::new(),
                     error: None,
                     trace: job_trace(&id),
                     last_access: tick,
@@ -721,11 +836,47 @@ fn submit(req: &Request, shared: &Shared, sweep: bool) -> (u16, Vec<u8>) {
     (200, body.to_string_pretty().into_bytes())
 }
 
-fn fetch(shared: &Shared, id: &str, want_kind: &str) -> (u16, Vec<u8>) {
+/// Whether the client asked for the FFB binary encoding instead of the
+/// default JSON (`Accept: application/x-diogenes-ffb`).
+fn wants_ffb(req: &Request) -> bool {
+    req.header("accept")
+        .map(|v| {
+            v.split(',')
+                .any(|t| t.trim().split(';').next().unwrap_or("").eq_ignore_ascii_case(CT_FFB))
+        })
+        .unwrap_or(false)
+}
+
+/// Serve stored result bytes, honoring FFB content negotiation: the
+/// stored document is JSON; an FFB `Accept` re-encodes it through the
+/// columnar codec (the same bytes `diogenes --format ffb` writes).
+fn negotiate(req: &Request, bytes: Vec<u8>) -> (u16, Vec<u8>, &'static str) {
+    if !wants_ffb(req) {
+        return (200, bytes, CT_JSON);
+    }
+    match std::str::from_utf8(&bytes).ok().and_then(|text| Json::parse(text).ok()) {
+        Some(doc) => (200, encode_doc(&doc), CT_FFB),
+        None => (500, error_body("stored result is not re-encodable as FFB"), CT_JSON),
+    }
+}
+
+fn fetch(
+    req: &Request,
+    shared: &Shared,
+    id: &str,
+    want_kind: &str,
+) -> (u16, Vec<u8>, &'static str) {
+    let epoch: Option<usize> = match req.query_param("epoch") {
+        None => None,
+        Some(raw) => match raw.parse() {
+            Ok(k) => Some(k),
+            Err(_) => return (400, error_body(&format!("epoch {raw:?} is not an index")), CT_JSON),
+        },
+    };
     let tick = shared.tick();
     let mut st = shared.state.lock().unwrap();
     let Some(job) = st.jobs.get_mut(id) else {
-        return (404, error_body(&format!("no job {id:?}")));
+        return (404, error_body(&format!("no job {id:?}")), CT_JSON);
     };
     job.last_access = tick;
     if job.spec.kind() != want_kind {
@@ -734,23 +885,51 @@ fn fetch(shared: &Shared, id: &str, want_kind: &str) -> (u16, Vec<u8>) {
             job.spec.kind(),
             if job.spec.kind() == "run" { "report" } else { "sweep" }
         );
-        return (404, error_body(&err));
+        return (404, error_body(&err), CT_JSON);
+    }
+    let streaming = matches!(job.spec, JobSpec::Run { stream: true, .. });
+    if let Some(k) = epoch {
+        // Epoch view: published snapshots are readable the moment the
+        // executor folds them, long before the job is done.
+        if let Some(bytes) = job.epochs.get(k) {
+            let bytes = bytes.as_ref().clone();
+            drop(st);
+            return negotiate(req, bytes);
+        }
+        let published = job.epochs.len();
+        return match job.status {
+            JobStatus::Done | JobStatus::Failed => (
+                404,
+                error_body(&format!("job {id:?} published {published} epochs; no epoch {k}")),
+                CT_JSON,
+            ),
+            status => {
+                let body = Json::obj([
+                    ("id", Json::Str(id.to_string())),
+                    ("status", Json::Static(status.as_str())),
+                    ("epochs", Json::Int(published as i128)),
+                ]);
+                (202, body.to_string_pretty().into_bytes(), CT_JSON)
+            }
+        };
     }
     match job.status {
         JobStatus::Done => {
             let bytes = job.result.as_ref().expect("done jobs carry bytes").as_ref().clone();
-            (200, bytes)
+            drop(st);
+            negotiate(req, bytes)
         }
         JobStatus::Failed => {
             let msg = job.error.clone().unwrap_or_else(|| "job failed".to_string());
-            (500, error_body(&msg))
+            (500, error_body(&msg), CT_JSON)
         }
         status => {
-            let body = Json::obj([
-                ("id", Json::Str(id.to_string())),
-                ("status", Json::Static(status.as_str())),
-            ]);
-            (202, body.to_string_pretty().into_bytes())
+            let mut fields =
+                vec![("id", Json::Str(id.to_string())), ("status", Json::Static(status.as_str()))];
+            if streaming {
+                fields.push(("epochs", Json::Int(job.epochs.len() as i128)));
+            }
+            (202, Json::obj(fields).to_string_pretty().into_bytes(), CT_JSON)
         }
     }
 }
@@ -776,10 +955,33 @@ fn stats_doc(shared: &Shared) -> Json {
     let st = shared.state.lock().unwrap();
     let queue_depth = st.queue.len();
     let jobs_total = st.jobs.len();
+    // Streaming jobs still in flight, with their published epoch
+    // counts — what a dashboard polls to watch analyses converge.
+    let mut live: Vec<(String, &'static str, usize)> = st
+        .jobs
+        .iter()
+        .filter(|(_, j)| {
+            matches!(j.spec, JobSpec::Run { stream: true, .. })
+                && matches!(j.status, JobStatus::Queued | JobStatus::Running)
+        })
+        .map(|(id, j)| (id.clone(), j.status.as_str(), j.epochs.len()))
+        .collect();
     drop(st);
+    live.sort();
+    let live: Vec<Json> = live
+        .into_iter()
+        .map(|(id, status, epochs)| {
+            Json::obj([
+                ("id", Json::Str(id)),
+                ("status", Json::Static(status)),
+                ("epochs", Json::Int(epochs as i128)),
+            ])
+        })
+        .collect();
     let cache = shared.store.stats();
     Json::obj([
         ("queue_depth", Json::Int(queue_depth as i128)),
+        ("live", Json::Arr(live)),
         ("pool_queue_depth", Json::Int(Pool::global().queue_depth() as i128)),
         ("pool_workers", Json::Int(Pool::global().workers() as i128)),
         (
@@ -792,6 +994,7 @@ fn stats_doc(shared: &Shared) -> Json {
                 ("rejected", Json::Int(shared.rejected.load(Ordering::Relaxed) as i128)),
                 ("evicted", Json::Int(shared.evicted.load(Ordering::Relaxed) as i128)),
                 ("in_flight", Json::Int(shared.in_flight.load(Ordering::Relaxed) as i128)),
+                ("stream_epochs", Json::Int(shared.stream_epochs.load(Ordering::Relaxed) as i128)),
                 ("known", Json::Int(jobs_total as i128)),
             ]),
         ),
@@ -854,13 +1057,19 @@ fn render_metrics(shared: &Shared) -> String {
         p.family(name, "counter", "Job lifecycle counter.");
         p.sample(name, &[], v.load(Ordering::Relaxed));
     }
-    let (queue_depth, by_state) = {
+    let (queue_depth, by_state, live_streams) = {
         let st = shared.state.lock().unwrap();
         let mut by_state = [0u64; 4];
+        let mut live_streams = 0u64;
         for job in st.jobs.values() {
             by_state[job.status as usize] += 1;
+            if matches!(job.spec, JobSpec::Run { stream: true, .. })
+                && matches!(job.status, JobStatus::Queued | JobStatus::Running)
+            {
+                live_streams += 1;
+            }
         }
-        (st.queue.len() as u64, by_state)
+        (st.queue.len() as u64, by_state, live_streams)
     };
     p.family("diogenes_jobs", "gauge", "Jobs currently in the table, by state.");
     for (status, n) in [JobStatus::Queued, JobStatus::Running, JobStatus::Done, JobStatus::Failed]
@@ -877,6 +1086,16 @@ fn render_metrics(shared: &Shared) -> String {
     p.sample("diogenes_executors", &[], shared.executors as u64);
     p.family("diogenes_executors_busy", "gauge", "Executors currently running a job.");
     p.sample("diogenes_executors_busy", &[], shared.in_flight.load(Ordering::Relaxed));
+
+    // -- Streaming ---------------------------------------------------------
+    p.family(
+        "diogenes_stream_epochs_total",
+        "counter",
+        "Per-epoch analysis snapshots published by streaming jobs.",
+    );
+    p.sample("diogenes_stream_epochs_total", &[], shared.stream_epochs.load(Ordering::Relaxed));
+    p.family("diogenes_stream_jobs_live", "gauge", "Streaming jobs queued or running.");
+    p.sample("diogenes_stream_jobs_live", &[], live_streams);
 
     // -- Worker pool -------------------------------------------------------
     p.family("diogenes_pool_workers", "gauge", "Workers in the shared compute pool.");
@@ -997,14 +1216,22 @@ mod tests {
         assert!(build_app("nonesuch", false).is_none());
     }
 
+    fn run_spec(app: &str, paper: bool, jobs: usize) -> JobSpec {
+        JobSpec::Run { app: app.into(), paper, jobs, stream: false, window: 0 }
+    }
+
+    fn stream_spec(app: &str, jobs: usize, window: usize) -> JobSpec {
+        JobSpec::Run { app: app.into(), paper: false, jobs, stream: true, window }
+    }
+
     #[test]
     fn job_ids_are_content_derived_and_jobs_blind() {
-        let a = JobSpec::Run { app: "als".into(), paper: false, jobs: 1 };
-        let b = JobSpec::Run { app: "als".into(), paper: false, jobs: 8 };
+        let a = run_spec("als", false, 1);
+        let b = run_spec("als", false, 8);
         assert_eq!(a.id(), b.id(), "worker count never fragments job identity");
-        let c = JobSpec::Run { app: "als".into(), paper: true, jobs: 1 };
+        let c = run_spec("als", true, 1);
         assert_ne!(a.id(), c.id(), "scale is part of identity");
-        let d = JobSpec::Run { app: "amg".into(), paper: false, jobs: 1 };
+        let d = run_spec("amg", false, 1);
         assert_ne!(a.id(), d.id(), "app is part of identity");
         let s = JobSpec::Sweep {
             app: "als".into(),
@@ -1014,6 +1241,17 @@ mod tests {
             jobs: 1,
         };
         assert_ne!(a.id(), s.id(), "run and sweep ids are domain-separated");
+    }
+
+    #[test]
+    fn streaming_is_part_of_job_identity_but_jobs_still_is_not() {
+        let batch = run_spec("als", false, 1);
+        let stream = stream_spec("als", 1, 256);
+        assert_ne!(batch.id(), stream.id(), "streamed jobs publish epochs: distinct identity");
+        let other_window = stream_spec("als", 1, 64);
+        assert_ne!(stream.id(), other_window.id(), "window shapes the epochs");
+        let more_jobs = stream_spec("als", 8, 256);
+        assert_eq!(stream.id(), more_jobs.id(), "worker count still never fragments identity");
     }
 
     #[test]
@@ -1046,11 +1284,13 @@ mod tests {
     #[test]
     fn submissions_parse_and_validate() {
         let doc = Json::parse(r#"{"app": "als"}"#).unwrap();
-        match parse_spec(&doc, false).unwrap() {
-            JobSpec::Run { app, paper, jobs } => {
+        match parse_spec(&doc, false, false).unwrap() {
+            JobSpec::Run { app, paper, jobs, stream, window } => {
                 assert_eq!(app, "als");
                 assert!(!paper);
                 assert_eq!(jobs, 0);
+                assert!(!stream);
+                assert_eq!(window, 0, "batch runs carry no window");
             }
             other => panic!("expected run spec, got {other:?}"),
         }
@@ -1061,7 +1301,7 @@ mod tests {
                 "paired": false}"#,
         )
         .unwrap();
-        match parse_spec(&doc, true).unwrap() {
+        match parse_spec(&doc, true, false).unwrap() {
             JobSpec::Sweep { app, paper, axes, paired, jobs } => {
                 assert_eq!(app, "amg");
                 assert!(paper);
@@ -1081,10 +1321,33 @@ mod tests {
             r#"{"app": "als", "jobs": "many"}"#,
         ] {
             let doc = Json::parse(bad).unwrap();
-            assert!(parse_spec(&doc, false).is_err(), "{bad} must be rejected");
+            assert!(parse_spec(&doc, false, false).is_err(), "{bad} must be rejected");
         }
         let doc = Json::parse(r#"{"app": "als", "axes": [{"field": "x", "values": []}]}"#).unwrap();
-        assert!(parse_spec(&doc, true).is_err(), "empty axis values rejected");
+        assert!(parse_spec(&doc, true, false).is_err(), "empty axis values rejected");
+    }
+
+    #[test]
+    fn streaming_submissions_parse_windows_and_reject_sweeps() {
+        let doc = Json::parse(r#"{"app": "als"}"#).unwrap();
+        match parse_spec(&doc, false, true).unwrap() {
+            JobSpec::Run { stream, window, .. } => {
+                assert!(stream);
+                assert_eq!(window, DEFAULT_STREAM_WINDOW);
+            }
+            other => panic!("expected run spec, got {other:?}"),
+        }
+        let doc = Json::parse(r#"{"app": "als", "stream_window": 64}"#).unwrap();
+        match parse_spec(&doc, false, true).unwrap() {
+            JobSpec::Run { stream: true, window: 64, .. } => {}
+            other => panic!("expected window 64, got {other:?}"),
+        }
+        let doc = Json::parse(r#"{"app": "als", "stream_window": 0}"#).unwrap();
+        assert!(parse_spec(&doc, false, true).is_err(), "zero window rejected");
+        let doc = Json::parse(r#"{"app": "als", "stream_window": "big"}"#).unwrap();
+        assert!(parse_spec(&doc, false, true).is_err(), "non-integer window rejected");
+        let doc = Json::parse(r#"{"app": "als"}"#).unwrap();
+        assert!(parse_spec(&doc, true, true).is_err(), "sweeps do not stream");
     }
 
     /// A bound-but-not-running server: no executors drain the queue, so
@@ -1101,14 +1364,34 @@ mod tests {
         .unwrap()
     }
 
-    fn post(path: &str, body: &str) -> Request {
+    fn request(method: &str, target: &str, body: &str) -> Request {
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (
+                p,
+                q.split('&')
+                    .map(|kv| {
+                        let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+                        (k.to_string(), v.to_string())
+                    })
+                    .collect(),
+            ),
+            None => (target, Vec::new()),
+        };
         Request {
-            method: "POST".to_string(),
+            method: method.to_string(),
             path: path.to_string(),
-            query: Vec::new(),
+            query,
             headers: Vec::new(),
             body: body.as_bytes().to_vec(),
         }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        request("POST", path, body)
+    }
+
+    fn get(path: &str) -> Request {
+        request("GET", path, "")
     }
 
     #[test]
@@ -1159,7 +1442,7 @@ mod tests {
         drop(st);
         // Fetching bumps recency: touch ids[1], complete ids[3], and the
         // next eviction must pick ids[2].
-        let _ = fetch(shared, &ids[1], "run");
+        let _ = fetch(&get("/report/x"), shared, &ids[1], "run");
         let mut st = shared.state.lock().unwrap();
         let job = st.jobs.get_mut(&ids[3]).unwrap();
         job.status = JobStatus::Done;
@@ -1175,7 +1458,7 @@ mod tests {
         assert_eq!(job_trace("00000000000000ffdeadbeefdeadbeef"), TraceId(0xff));
         assert_eq!(job_trace("0000000000000000deadbeefdeadbeef"), TraceId(1), "0 means untraced");
         assert_eq!(job_trace("short"), TraceId(1), "malformed ids fall back");
-        let spec = JobSpec::Run { app: "als".into(), paper: false, jobs: 0 };
+        let spec = run_spec("als", false, 0);
         assert_ne!(job_trace(&spec.id()).0, 0);
     }
 
@@ -1208,5 +1491,104 @@ mod tests {
         assert_eq!(parsed.get("app").and_then(Json::as_str), Some("als"));
         assert!(parse_body(b"").is_err());
         assert!(parse_body(b"not json").is_err());
+    }
+
+    #[test]
+    fn epoch_fetch_serves_snapshots_before_the_job_finishes() {
+        let server = idle_server(256, 64);
+        let shared = &server.shared;
+        let (s, body) = submit(&post("/run?stream=1", r#"{"app": "als"}"#), shared, false);
+        assert_eq!(s, 200);
+        let sub = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        let id = sub.get("id").and_then(Json::as_str).unwrap().to_string();
+        // Simulate the executor publishing two epochs mid-run.
+        {
+            let mut st = shared.state.lock().unwrap();
+            let job = st.jobs.get_mut(&id).unwrap();
+            job.status = JobStatus::Running;
+            job.epochs.push(Arc::new(br#"{"epoch": 0}"#.to_vec()));
+            job.epochs.push(Arc::new(br#"{"epoch": 1}"#.to_vec()));
+        }
+        let (s, body, ct) = fetch(&get("/report/x?epoch=1"), shared, &id, "run");
+        assert_eq!((s, ct), (200, CT_JSON));
+        assert_eq!(body, br#"{"epoch": 1}"#);
+        // An unpublished epoch on a live job: 202 with the count so the
+        // poller knows how far along the stream is.
+        let (s, body, _) = fetch(&get("/report/x?epoch=5"), shared, &id, "run");
+        assert_eq!(s, 202);
+        let doc = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(doc.get("epochs").and_then(Json::as_i128), Some(2));
+        // The whole-report fetch on a live streaming job also reports
+        // published epochs.
+        let (s, body, _) = fetch(&get("/report/x"), shared, &id, "run");
+        assert_eq!(s, 202);
+        let doc = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(doc.get("epochs").and_then(Json::as_i128), Some(2));
+        // Done: out-of-range epochs are a hard 404, not a retry hint.
+        {
+            let mut st = shared.state.lock().unwrap();
+            let job = st.jobs.get_mut(&id).unwrap();
+            job.status = JobStatus::Done;
+            job.result = Some(Arc::new(br#"{"final": true}"#.to_vec()));
+        }
+        let (s, _, _) = fetch(&get("/report/x?epoch=5"), shared, &id, "run");
+        assert_eq!(s, 404);
+        let (s, _, _) = fetch(&get("/report/x?epoch=nope"), shared, &id, "run");
+        assert_eq!(s, 400, "malformed epoch index");
+        let (s, body, _) = fetch(&get("/report/x?epoch=0"), shared, &id, "run");
+        assert_eq!((s, body.as_slice()), (200, br#"{"epoch": 0}"#.as_slice()));
+    }
+
+    #[test]
+    fn ffb_accept_reencodes_results_through_the_codec() {
+        let server = idle_server(256, 64);
+        let shared = &server.shared;
+        let (s, body) = submit(&post("/run", r#"{"app": "als"}"#), shared, false);
+        assert_eq!(s, 200);
+        let sub = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        let id = sub.get("id").and_then(Json::as_str).unwrap().to_string();
+        let stored = Json::obj([("app", Json::Static("als")), ("n", Json::Int(7))]);
+        {
+            let mut st = shared.state.lock().unwrap();
+            let job = st.jobs.get_mut(&id).unwrap();
+            job.status = JobStatus::Done;
+            job.result = Some(Arc::new(stored.to_string_pretty().into_bytes()));
+        }
+        // Default stays JSON.
+        let (s, body, ct) = fetch(&get("/report/x"), shared, &id, "run");
+        assert_eq!((s, ct), (200, CT_JSON));
+        assert!(!is_ffb(&body));
+        // FFB Accept re-encodes the same document.
+        let mut req = get("/report/x");
+        req.headers.push(("accept".to_string(), CT_FFB.to_string()));
+        let (s, body, ct) = fetch(&req, shared, &id, "run");
+        assert_eq!((s, ct), (200, CT_FFB));
+        assert!(is_ffb(&body), "negotiated bytes are FFB");
+        let decoded = decode_any_doc(&body).unwrap();
+        assert_eq!(decoded.get("n").and_then(Json::as_i128), Some(7));
+        // Q-less token lists and parameters still match.
+        let mut req = get("/report/x");
+        req.headers.push(("accept".to_string(), format!("application/json, {CT_FFB};q=0.9")));
+        let (_, body, ct) = fetch(&req, shared, &id, "run");
+        assert_eq!(ct, CT_FFB);
+        assert!(is_ffb(&body));
+    }
+
+    #[test]
+    fn stats_lists_live_streaming_jobs() {
+        let server = idle_server(256, 64);
+        let shared = &server.shared;
+        let (s, _) = submit(&post("/run?stream=1", r#"{"app": "als"}"#), shared, false);
+        let (s2, _) = submit(&post("/run", r#"{"app": "amg"}"#), shared, false);
+        assert_eq!((s, s2), (200, 200));
+        let doc = stats_doc(shared);
+        let live = doc.get("live").and_then(Json::as_arr).unwrap();
+        assert_eq!(live.len(), 1, "batch jobs are not live streams");
+        assert_eq!(live[0].get("status").and_then(Json::as_str), Some("queued"));
+        assert_eq!(live[0].get("epochs").and_then(Json::as_i128), Some(0));
+        let text = render_metrics(shared);
+        assert!(text.contains("diogenes_stream_jobs_live 1"), "{text}");
+        assert!(text.contains("diogenes_stream_epochs_total 0"), "{text}");
+        ffm_core::exposition_well_formed(&text).unwrap();
     }
 }

@@ -214,6 +214,20 @@ echo "== analysis allocation smoke (zero steady-state allocations in grouping) =
 cargo build --release -p diogenes-bench --bin bench_analysis
 ./target/release/bench_analysis --smoke
 
+echo "== streaming determinism (windowed incremental byte-identical to batch) =="
+cargo test -q -p diogenes --test streaming_identity
+STREAM=$(mktemp -d)
+./target/release/diogenes als --jobs 2 --json "$STREAM/batch.json" > /dev/null
+./target/release/diogenes als --jobs 2 --stream-window 64 \
+    --json "$STREAM/stream.json" > /dev/null
+cmp "$STREAM/batch.json" "$STREAM/stream.json"
+rm -rf "$STREAM"
+echo "streaming determinism ok"
+
+echo "== streaming allocation smoke (zero steady-state allocations in fold loop) =="
+cargo build --release -p diogenes-bench --bin bench_stream
+./target/release/bench_stream --smoke
+
 echo "== flight recorder smoke (zero steady-state allocations, ring in budget) =="
 cargo build --release -p diogenes-bench --bin bench_flight
 ./target/release/bench_flight --smoke
