@@ -8,14 +8,19 @@
 //! encode/decode wall time, bytes on disk, and heap-allocation counts
 //! from a counting global allocator local to this binary.
 //!
-//! The headline decode numbers for Stage 4 and sweep matrices use the
-//! reusable columnar readers ([`Stage4Cols`], [`SweepCellCols`]): one
-//! pass over the file into reused column vectors, zero steady-state
-//! allocations (asserted here, same idiom as `bench_analysis`).
+//! The headline decode numbers use the reusable borrowed readers
+//! ([`Stage2Cols`], [`Stage4Cols`], [`SweepCellCols`]): one pass over
+//! the caller-owned buffer into reused column vectors, zero
+//! steady-state allocations. That contract is asserted here for *every*
+//! artifact kind — Discovery, Stage 1–4, and sweep cells — not just the
+//! columnar gap/cell tables. The old owned `decode_artifact` path for
+//! Stage 2 is kept as the `stage2_calls_owned` row so the before/after
+//! of the borrowed-decode change stays in `results/BENCH_codec.json`.
 //!
 //! `--smoke` runs reduced sizes and asserts the contracts instead of
 //! publishing numbers: round-trip identity, the zero-allocation decode
-//! loop, and FFB decode beating JSON parse. CI runs this mode.
+//! loop for all kinds, and FFB decode beating JSON parse. CI runs this
+//! mode.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::HashMap;
@@ -23,13 +28,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use cuda_driver::ApiFn;
+use cuda_driver::{ApiFn, InternalFn};
 use ffm_core::{
     decode_artifact, decode_sweep, encode_artifact, encode_sweep, sweep_to_json, Artifact,
-    ArtifactKind, Axis, Json, OpInstance, Stage2Result, Stage4Cols, Stage4Result, SweepCell,
-    SweepCellCols, SweepMatrix, TracedCall, TransferRec,
+    ArtifactKind, Axis, DiscoveryCols, DuplicateTransfer, Json, OpInstance, ProtectedAccess,
+    Stage1Cols, Stage1Result, Stage2Cols, Stage2Result, Stage3Cols, Stage3Result, Stage4Cols,
+    Stage4Result, SweepCell, SweepCellCols, SweepMatrix, TracedCall, TransferRec,
 };
 use gpu_sim::{Direction, Frame, SourceLoc, StackTrace, WaitReason};
+use instrument::{Digest, Discovery};
 
 // ---------------------------------------------------------------------------
 // Counting allocator (this binary only)
@@ -153,6 +160,77 @@ fn synthetic_stage2(n: usize, seed: u64) -> Stage2Result {
         })
         .collect();
     Stage2Result { exec_time_ns: n as u64 * 6_000, calls }
+}
+
+/// A discovery probe result: the funnel plus per-function wait counts.
+fn synthetic_discovery() -> Discovery {
+    Discovery {
+        sync_fn: InternalFn::SyncWait,
+        waits: [
+            (InternalFn::SyncWait, 1_234_567),
+            (InternalFn::Enqueue, 420),
+            (InternalFn::StageTransfer, 9_001),
+        ]
+        .into_iter()
+        .collect(),
+    }
+}
+
+/// A Stage 1 baseline: the sync-API histogram stage 2 traces from.
+fn synthetic_stage1() -> Stage1Result {
+    Stage1Result {
+        exec_time_ns: 9_876_543,
+        sync_apis: [
+            (ApiFn::CudaFree, 31),
+            (ApiFn::CudaMemcpy, 7),
+            (ApiFn::CudaDeviceSynchronize, 64),
+        ]
+        .into_iter()
+        .collect(),
+        total_wait_ns: 1_234_567,
+        sync_hits: 102,
+    }
+}
+
+/// Stage 3 evidence with `n` observed syncs, half required, plus
+/// accesses, duplicate transfers, and first-use sites.
+fn synthetic_stage3(n: usize, seed: u64) -> Stage3Result {
+    let mut rng = Rng(seed | 1);
+    let files = ["als.cu", "solver.cpp"];
+    let mut s = Stage3Result {
+        hashed_bytes: 123_456_789,
+        exec_time_sync_ns: 5_000_000,
+        exec_time_hash_ns: 7_000_000,
+        exec_time_ns: 12_000_000,
+        ..Default::default()
+    };
+    for i in 0..n as u64 {
+        let op = OpInstance { sig: rng.next() % 10_000, occ: i };
+        s.observed_syncs.insert(op);
+        let site = SourceLoc::new(
+            files[(rng.next() % files.len() as u64) as usize],
+            (rng.next() % 300) as u32 + 1,
+        );
+        if i % 2 == 0 {
+            s.required_syncs.insert(op);
+            s.accesses.push(ProtectedAccess {
+                sync: op,
+                access_site: site,
+                rough_gap_ns: rng.next() % 50_000,
+            });
+            s.first_use_sites.insert(site);
+        }
+        if i % 7 == 0 {
+            s.duplicates.push(DuplicateTransfer {
+                op,
+                site,
+                first_site: SourceLoc::new("als.cu", 17),
+                bytes: 4096 + rng.next() % 100_000,
+                digest: Digest(rng.next() as u128),
+            });
+        }
+    }
+    s
 }
 
 /// A Stage 4 gap table: `n` distinct sync instances with first-use gaps.
@@ -352,22 +430,52 @@ impl Measurement {
     }
 }
 
-/// Steady-state contract for the columnar readers: after one warmup
-/// read sizes the scratch, repeat reads must not touch the heap.
-fn assert_zero_alloc_decode(stage4_ffb: &[u8], sweep_ffb: &[u8]) {
-    let mut cols = Stage4Cols::new();
-    cols.read(stage4_ffb).expect("warmup read");
-    let (allocs, _) = count_allocs(|| {
-        cols.read(std::hint::black_box(stage4_ffb)).expect("steady-state read");
-    });
-    assert_eq!(allocs, 0, "steady-state Stage4Cols::read must not allocate");
+/// Steady-state contract for the borrowed readers: after one warmup
+/// read sizes the scratch (and interns the string vocabulary), repeat
+/// reads must not touch the heap. Checked for every artifact kind the
+/// codec can emit, plus sweep cells.
+fn assert_zero_alloc_decode(
+    discovery_ffb: &[u8],
+    stage1_ffb: &[u8],
+    stage2_ffb: &[u8],
+    stage3_ffb: &[u8],
+    stage4_ffb: &[u8],
+    sweep_ffb: &[u8],
+) {
+    fn steady_state(name: &str, ffb: &[u8], mut read: impl FnMut(&[u8])) {
+        read(ffb); // warmup: size the scratch, intern the strings
+        let (allocs, bytes) = count_allocs(|| read(std::hint::black_box(ffb)));
+        assert_eq!(
+            (allocs, bytes),
+            (0, 0),
+            "steady-state {name} read must not allocate (got {allocs} allocs / {bytes} bytes)"
+        );
+    }
 
-    let mut cells = SweepCellCols::new();
-    cells.read(sweep_ffb).expect("warmup read");
-    let (allocs, _) = count_allocs(|| {
-        cells.read(std::hint::black_box(sweep_ffb)).expect("steady-state read");
+    let mut discovery = DiscoveryCols::new();
+    steady_state("DiscoveryCols", discovery_ffb, |b| {
+        discovery.read(b).expect("discovery reads");
     });
-    assert_eq!(allocs, 0, "steady-state SweepCellCols::read must not allocate");
+    let mut stage1 = Stage1Cols::new();
+    steady_state("Stage1Cols", stage1_ffb, |b| {
+        stage1.read(b).expect("stage1 reads");
+    });
+    let mut stage2 = Stage2Cols::new();
+    steady_state("Stage2Cols", stage2_ffb, |b| {
+        stage2.read(b).expect("stage2 reads");
+    });
+    let mut stage3 = Stage3Cols::new();
+    steady_state("Stage3Cols", stage3_ffb, |b| {
+        stage3.read(b).expect("stage3 reads");
+    });
+    let mut stage4 = Stage4Cols::new();
+    steady_state("Stage4Cols", stage4_ffb, |b| {
+        stage4.read(b).expect("stage4 reads");
+    });
+    let mut cells = SweepCellCols::new();
+    steady_state("SweepCellCols", sweep_ffb, |b| {
+        cells.read(b).expect("sweep reads");
+    });
 }
 
 fn main() {
@@ -387,6 +495,15 @@ fn main() {
     let sweep_ffb = encode_sweep(&sweep).expect("sweep encodes");
     let sweep_json = sweep_to_json(&sweep).to_string_pretty();
 
+    // Small fixtures for the kinds without a headline row: the zero-alloc
+    // contract covers every reader, not just the measured ones.
+    let discovery_ffb = encode_artifact(&Artifact::Discovery(Arc::new(synthetic_discovery())))
+        .expect("discovery encodes");
+    let stage1_ffb =
+        encode_artifact(&Artifact::Stage1(Arc::new(synthetic_stage1()))).expect("stage1 encodes");
+    let stage3_ffb = encode_artifact(&Artifact::Stage3(Arc::new(synthetic_stage3(512, 0x57a9e3))))
+        .expect("stage3 encodes");
+
     // Contracts first: identity round trips and the zero-alloc loop.
     // The records lack PartialEq, but the encoder is deterministic, so
     // decode∘encode being identity is equivalent to the re-encoded bytes
@@ -403,7 +520,14 @@ fn main() {
         sweep_json,
         "sweep round trip must render byte-identically"
     );
-    assert_zero_alloc_decode(&stage4_ffb, &sweep_ffb);
+    assert_zero_alloc_decode(
+        &discovery_ffb,
+        &stage1_ffb,
+        &stage2_ffb,
+        &stage3_ffb,
+        &stage4_ffb,
+        &sweep_ffb,
+    );
 
     if smoke {
         // Sanity: the binary path must actually beat the parser.
@@ -420,7 +544,7 @@ fn main() {
         );
         eprintln!(
             "bench_codec --smoke: ok ({n2}/{n4}/{ncells} records, zero steady-state \
-             allocations, stage4 decode {:.1}x faster than parse)",
+             allocations across all artifact kinds, stage4 decode {:.1}x faster than parse)",
             json_s / ffb_s
         );
         return;
@@ -429,16 +553,16 @@ fn main() {
     eprintln!("bench_codec: {n2} calls / {n4} gaps / {ncells} cells, {ITERS} iterations each");
     let mut rows = Vec::new();
 
-    // Stage 2: row-structured records — decode through the typed
-    // artifact path (stacks and strings intern once per file).
+    // Stage 2: the borrowed columnar hot path — calls and frames land in
+    // reused scratch vectors straight off the buffer, zero steady-state
+    // allocations.
     {
+        let mut cols = Stage2Cols::new();
         let ffb_encode_s = time_median(|| {
             std::hint::black_box(encode_artifact(&stage2_art).expect("encodes"));
         });
         let ffb_decode_s = time_median(|| {
-            std::hint::black_box(
-                decode_artifact(&stage2_ffb, ArtifactKind::Stage2).expect("decodes"),
-            );
+            cols.read(std::hint::black_box(&stage2_ffb)).expect("reads");
         });
         let json_encode_s = time_median(|| {
             std::hint::black_box(stage2_to_json(&stage2).to_string_pretty());
@@ -447,9 +571,7 @@ fn main() {
             std::hint::black_box(Json::parse(&stage2_json).expect("parses"));
         });
         let decode_allocs = count_allocs(|| {
-            std::hint::black_box(
-                decode_artifact(&stage2_ffb, ArtifactKind::Stage2).expect("decodes"),
-            );
+            cols.read(std::hint::black_box(&stage2_ffb)).expect("reads");
         });
         rows.push(Measurement {
             name: "stage2_calls",
@@ -458,6 +580,34 @@ fn main() {
             ffb_decode_s,
             json_encode_s,
             json_parse_s,
+            ffb_bytes: stage2_ffb.len(),
+            json_bytes: stage2_json.len(),
+            decode_allocs,
+        });
+    }
+
+    // Stage 2 through the owned `decode_artifact` path: the pre-borrowed
+    // baseline (one owned `TracedCall` + stack per record), kept as a row
+    // so the report shows what the borrowed reader saves.
+    {
+        let ffb_encode_s = rows[0].ffb_encode_s;
+        let ffb_decode_s = time_median(|| {
+            std::hint::black_box(
+                decode_artifact(&stage2_ffb, ArtifactKind::Stage2).expect("decodes"),
+            );
+        });
+        let decode_allocs = count_allocs(|| {
+            std::hint::black_box(
+                decode_artifact(&stage2_ffb, ArtifactKind::Stage2).expect("decodes"),
+            );
+        });
+        rows.push(Measurement {
+            name: "stage2_calls_owned",
+            records: n2,
+            ffb_encode_s,
+            ffb_decode_s,
+            json_encode_s: rows[0].json_encode_s,
+            json_parse_s: rows[0].json_parse_s,
             ffb_bytes: stage2_ffb.len(),
             json_bytes: stage2_json.len(),
             decode_allocs,
@@ -527,15 +677,18 @@ fn main() {
     }
 
     for row in &rows {
-        if row.name != "stage2_calls" {
-            assert!(
-                row.decode_speedup() >= 5.0,
-                "{}: FFB decode must be >= 5x faster than JSON parse (got {:.2}x)",
-                row.name,
-                row.decode_speedup()
-            );
-            assert_eq!(row.decode_allocs.0, 0, "{}: decode hot loop must not allocate", row.name);
+        // The owned Stage-2 row exists precisely to record the allocating
+        // baseline; every borrowed-reader row must hold the contract.
+        if row.name == "stage2_calls_owned" {
+            continue;
         }
+        assert!(
+            row.decode_speedup() >= 5.0,
+            "{}: FFB decode must be >= 5x faster than JSON parse (got {:.2}x)",
+            row.name,
+            row.decode_speedup()
+        );
+        assert_eq!(row.decode_allocs.0, 0, "{}: decode hot loop must not allocate", row.name);
     }
 
     let doc = Json::obj([

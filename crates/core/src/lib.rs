@@ -65,6 +65,7 @@ pub mod export;
 pub mod graph;
 pub mod grouping;
 pub mod intern;
+pub mod iobuf;
 pub mod json;
 pub mod log;
 pub mod metrics;
@@ -84,7 +85,10 @@ pub use benefit::{
 };
 pub use codec::{
     decode_any_doc, decode_artifact, decode_doc, decode_sweep, encode_artifact, encode_doc,
-    encode_sweep, is_ffb, Ffb, Stage4Cols, SweepCellCols, KIND_DOC, KIND_SWEEP,
+    encode_sweep, is_ffb, read_sweep_header, write_artifact_to, write_doc_to, write_sweep_to,
+    AccessRow, CallRow, ColF64, ColU64, DiscoveryCols, DuplicateRow, Ffb, FfbView, FfbWriter,
+    FrameRow, Stage1Cols, Stage2Cols, Stage3Cols, Stage4Cols, StrTable, SweepCellCols,
+    SweepHeaderRef, KIND_DOC, KIND_SWEEP,
 };
 pub use engine::{
     declared_fields, deps, epoch_key, plan_keys, run_collection, run_stages, stage_key, CollectOut,
@@ -117,8 +121,8 @@ pub use store::{
 };
 pub use sweep::{
     get_field, merge_sweep_docs, run_fleet, run_sweep, run_sweep_with_store, set_field,
-    sweep_to_json, Axis, AxisLayout, CacheMode, Shard, SweepCell, SweepMatrix, SweepPoint,
-    SweepSpec, SweepSummary, SWEEPABLE_FIELDS,
+    sweep_to_json, Axis, AxisLayout, CacheMode, Shard, SweepCell, SweepMatrix, SweepMergeFold,
+    SweepPoint, SweepSpec, SweepSummary, SWEEPABLE_FIELDS,
 };
 pub use telemetry::{
     chrome_duration_event, chrome_duration_event_args, chrome_metadata_event, snapshot_to_json,

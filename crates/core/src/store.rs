@@ -22,7 +22,7 @@
 //! entries read as misses and `clear_cache` can purge them.
 
 use std::collections::HashMap;
-use std::io::Write as _;
+use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -279,11 +279,9 @@ impl ArtifactStore {
     pub fn put(&self, key: StageKey, artifact: Artifact) {
         self.puts.fetch_add(1, Ordering::Relaxed);
         if let Some(dir) = &self.disk {
-            if let Some(bytes) = codec::encode_artifact(&artifact) {
-                let path = entry_path(dir, key, artifact.kind());
-                if let Err(e) = write_entry(&path, &bytes) {
-                    crate::log_warn!("cache write failed for {}: {e}", path.display());
-                }
+            let path = entry_path(dir, key, artifact.kind());
+            if let Err(e) = write_entry(&path, &artifact) {
+                crate::log_warn!("cache write failed for {}: {e}", path.display());
             }
         }
         self.mem.lock().unwrap().insert(key, artifact);
@@ -440,27 +438,93 @@ pub fn build_tag() -> u64 {
     })
 }
 
-fn write_entry(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+fn write_entry(path: &Path, artifact: &Artifact) -> std::io::Result<()> {
     let dir = path.parent().expect("entry path has a parent");
     std::fs::create_dir_all(dir)?;
-    // Write to a unique temp file then rename: concurrent shard processes
+    // Stream to a unique temp file then rename: concurrent shard processes
     // may race on the same key, and rename makes the last writer win with
-    // no torn reads.
+    // no torn reads. The temp file is opened read+write because the
+    // streaming writer re-reads what it wrote to back-patch the checksum.
     let tmp = dir.join(format!(
         ".tmp-{}-{}",
         std::process::id(),
         path.file_name().unwrap_or_default().to_string_lossy()
     ));
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
+    let written = {
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        match codec::write_artifact_to(&mut f, artifact) {
+            Ok(written) => written,
+            Err(e) => {
+                drop(f);
+                let _ = std::fs::remove_file(&tmp);
+                return Err(std::io::Error::other(e));
+            }
+        }
+    };
+    if !written {
+        // Memory-only kind: nothing to persist.
+        let _ = std::fs::remove_file(&tmp);
+        return Ok(());
     }
     std::fs::rename(&tmp, path)
 }
 
+/// Read one disk entry. Absence is an ordinary miss; anything else wrong
+/// with the entry is reported through [`crate::log`] — a corrupt file
+/// should never be silently indistinguishable from a cold cache. The
+/// header is validated before the payload is touched, so a stale or
+/// mangled entry costs one 33-byte read, not a full decode, and the
+/// payload lands in a pooled ingest buffer instead of a fresh allocation.
 fn read_entry(path: &Path, kind: ArtifactKind) -> Option<Artifact> {
-    let bytes = std::fs::read(path).ok()?;
-    codec::decode_artifact(&bytes, kind).ok()
+    let mut file = std::fs::File::open(path).ok()?;
+    let mut header = [0u8; codec::HEADER_LEN];
+    if let Err(e) = file.read_exact(&mut header) {
+        crate::log_warn!(
+            "corrupt cache entry {} (truncated: {e}); treating as a miss",
+            path.display()
+        );
+        return None;
+    }
+    match codec::check_entry_header(&header) {
+        Ok(()) => {}
+        Err(codec::HeaderIssue::Stale(why)) => {
+            // Expected after rebuilds or schema bumps — debug, not warn.
+            crate::log_debug!("stale cache entry {} ({why}); treating as a miss", path.display());
+            return None;
+        }
+        Err(codec::HeaderIssue::Corrupt(why)) => {
+            crate::log_warn!("corrupt cache entry {} ({why}); treating as a miss", path.display());
+            return None;
+        }
+    }
+    let mut buf = crate::iobuf::acquire();
+    buf.extend_from_slice(&header);
+    if let Err(e) = file.read_to_end(&mut buf) {
+        crate::log_warn!(
+            "corrupt cache entry {} (read failed: {e}); treating as a miss",
+            path.display()
+        );
+        return None;
+    }
+    match codec::decode_artifact(&buf, kind) {
+        Ok(a) => Some(a),
+        Err(e) => {
+            crate::log_warn!("corrupt cache entry {} ({e}); treating as a miss", path.display());
+            None
+        }
+    }
+}
+
+/// Check an entry's header without reading its payload.
+fn entry_header_is_current(path: &Path) -> bool {
+    let mut header = [0u8; codec::HEADER_LEN];
+    let Ok(mut f) = std::fs::File::open(path) else { return false };
+    f.read_exact(&mut header).is_ok() && codec::header_is_current(&header)
 }
 
 // ---------------------------------------------------------------------------
@@ -498,9 +562,7 @@ pub fn scan_cache(dir: &Path) -> std::io::Result<CacheReport> {
     let mut report = CacheReport::default();
     for path in cache_files(dir)? {
         let len = std::fs::metadata(&path)?.len();
-        // Reading just the header would do, but entries are small and a
-        // full read keeps this simple.
-        let current = std::fs::read(&path).map(|b| codec::header_is_current(&b)).unwrap_or(false);
+        let current = entry_header_is_current(&path);
         report.entries += 1;
         report.bytes += len;
         if !current {
@@ -527,7 +589,7 @@ pub fn clear_cache(dir: &Path, stale_only: bool) -> std::io::Result<CacheReport>
     }
     for path in cache_files(dir)? {
         let len = std::fs::metadata(&path)?.len();
-        let current = std::fs::read(&path).map(|b| codec::header_is_current(&b)).unwrap_or(false);
+        let current = entry_header_is_current(&path);
         if stale_only && current {
             continue;
         }

@@ -29,6 +29,7 @@ use std::path::PathBuf;
 use cuda_driver::{CudaResult, GpuApp};
 use gpu_sim::Ns;
 
+use crate::codec;
 use crate::json::Json;
 use crate::par::{effective_jobs, try_par_map};
 use crate::pipeline::{run_ffm_with_store, FfmConfig, FfmReport};
@@ -518,43 +519,90 @@ pub fn sweep_to_json(m: &SweepMatrix) -> Json {
 /// exactly through [`Json`], the recomputed argmin/argmax matches what
 /// the unsharded run computed from the in-memory floats.
 pub fn merge_sweep_docs(docs: &[Json]) -> Result<Json, String> {
-    if docs.is_empty() {
-        return Err("no shard documents to merge".to_string());
+    let mut fold = SweepMergeFold::new();
+    for d in docs {
+        fold.add_doc(d)?;
     }
-    let first = &docs[0];
-    for key in ["app", "workload", "layout", "axes", "total_cells"] {
-        if first.get(key).is_none() {
-            return Err(format!("shard document 0 is missing {key:?}"));
-        }
-        for (i, d) in docs.iter().enumerate().skip(1) {
-            if d.get(key) != first.get(key) {
-                return Err(format!("shard document {i} disagrees with document 0 on {key:?}"));
-            }
-        }
-    }
-    let total = first
-        .get("total_cells")
-        .and_then(Json::as_i128)
-        .filter(|&t| t >= 0)
-        .ok_or("total_cells is not a non-negative integer")? as usize;
+    fold.finish()
+}
 
-    let mut shard_n: Option<i128> = None;
-    let mut seen_k: Vec<i128> = Vec::new();
-    for (i, d) in docs.iter().enumerate() {
-        let shard = d.get("shard").ok_or(format!("shard document {i} is missing \"shard\""))?;
-        if matches!(shard, Json::Null) {
+/// The header keys every shard must agree on, in validation order.
+const MERGE_HEADER_KEYS: [&str; 5] = ["app", "workload", "layout", "axes", "total_cells"];
+
+/// Incremental shard merge: feed shard documents one at a time —
+/// parsed JSON via [`SweepMergeFold::add_doc`], binary sweep containers
+/// via [`SweepMergeFold::add_ffb`] (which reads header and cells
+/// straight out of the mapped/pooled file bytes through
+/// [`codec::FfbView`], never materializing an owned document) — then
+/// [`SweepMergeFold::finish`]. Produces the document an unsharded run
+/// would have, byte-identically once rendered, regardless of how each
+/// shard arrived. Peak memory is the merged cell set plus one shard's
+/// columns, not every shard document at once.
+pub struct SweepMergeFold {
+    docs_seen: usize,
+    /// Doc-0 values for [`MERGE_HEADER_KEYS`], in that order.
+    header: Option<[Json; 5]>,
+    total: usize,
+    shard_n: Option<i128>,
+    seen_k: Vec<i128>,
+    cells: Vec<(usize, Json)>,
+    /// Scratch reused across `add_ffb` calls.
+    cols: codec::SweepCellCols,
+    strings: codec::StrTable,
+}
+
+impl Default for SweepMergeFold {
+    fn default() -> Self {
+        SweepMergeFold::new()
+    }
+}
+
+impl SweepMergeFold {
+    pub fn new() -> SweepMergeFold {
+        SweepMergeFold {
+            docs_seen: 0,
+            header: None,
+            total: 0,
+            shard_n: None,
+            seen_k: Vec::new(),
+            cells: Vec::new(),
+            cols: codec::SweepCellCols::new(),
+            strings: codec::StrTable::default(),
+        }
+    }
+
+    /// Record doc 0's header or check a later doc's against it.
+    fn take_header(&mut self, header: [Json; 5]) -> Result<(), String> {
+        let i = self.docs_seen;
+        if let Some(first) = &self.header {
+            for ((key, mine), value) in MERGE_HEADER_KEYS.iter().zip(&header).zip(first) {
+                if mine != value {
+                    return Err(format!("shard document {i} disagrees with document 0 on {key:?}"));
+                }
+            }
+        } else {
+            let total = match &header[4] {
+                Json::Int(t) if *t >= 0 => *t as usize,
+                _ => return Err("total_cells is not a non-negative integer".to_string()),
+            };
+            self.total = total;
+            self.cells.reserve(total);
+            self.header = Some(header);
+        }
+        Ok(())
+    }
+
+    /// Validate this doc's shard tag against the set seen so far.
+    fn take_shard(&mut self, shard: Option<(i128, i128)>) -> Result<(), String> {
+        let i = self.docs_seen;
+        let Some((k, n)) = shard else {
             return Err(format!(
                 "document {i} is not a shard artifact (\"shard\" is null); \
                  merging already-complete sweeps is not meaningful"
             ));
-        }
-        let k = shard.get("k").and_then(Json::as_i128);
-        let n = shard.get("n").and_then(Json::as_i128);
-        let (Some(k), Some(n)) = (k, n) else {
-            return Err(format!("document {i} has a malformed \"shard\" object"));
         };
-        match shard_n {
-            None => shard_n = Some(n),
+        match self.shard_n {
+            None => self.shard_n = Some(n),
             Some(expect) if n != expect => {
                 return Err(format!(
                     "document {i} is a shard of {n}, but earlier documents are shards of {expect}"
@@ -562,15 +610,46 @@ pub fn merge_sweep_docs(docs: &[Json]) -> Result<Json, String> {
             }
             _ => {}
         }
-        if seen_k.contains(&k) {
+        if self.seen_k.contains(&k) {
             return Err(format!("shard {k}/{n} appears more than once"));
         }
-        seen_k.push(k);
+        self.seen_k.push(k);
+        Ok(())
     }
 
-    // Gather cells from all shards and restore global order.
-    let mut cells: Vec<(usize, Json)> = Vec::with_capacity(total);
-    for (i, d) in docs.iter().enumerate() {
+    /// Fold in one parsed JSON shard document.
+    pub fn add_doc(&mut self, d: &Json) -> Result<(), String> {
+        let i = self.docs_seen;
+        if let Some(first) = &self.header {
+            for (key, value) in MERGE_HEADER_KEYS.iter().zip(first) {
+                if d.get(key) != Some(value) {
+                    return Err(format!("shard document {i} disagrees with document 0 on {key:?}"));
+                }
+            }
+        } else {
+            let mut header = Vec::with_capacity(MERGE_HEADER_KEYS.len());
+            for key in MERGE_HEADER_KEYS {
+                let Some(v) = d.get(key) else {
+                    return Err(format!("shard document {i} is missing {key:?}"));
+                };
+                header.push(v.clone());
+            }
+            let header: [Json; 5] = header.try_into().expect("five header keys");
+            self.take_header(header)?;
+        }
+
+        let shard = d.get("shard").ok_or(format!("shard document {i} is missing \"shard\""))?;
+        if matches!(shard, Json::Null) {
+            self.take_shard(None)?;
+        } else {
+            let k = shard.get("k").and_then(Json::as_i128);
+            let n = shard.get("n").and_then(Json::as_i128);
+            let (Some(k), Some(n)) = (k, n) else {
+                return Err(format!("document {i} has a malformed \"shard\" object"));
+            };
+            self.take_shard(Some((k, n)))?;
+        }
+
         let arr = d
             .get("cells")
             .and_then(Json::as_arr)
@@ -581,71 +660,168 @@ pub fn merge_sweep_docs(docs: &[Json]) -> Result<Json, String> {
                 .and_then(Json::as_i128)
                 .filter(|&c| c >= 0)
                 .ok_or(format!("document {i} has a cell without a \"cell\" index"))?;
-            cells.push((idx as usize, cell.clone()));
+            self.cells.push((idx as usize, cell.clone()));
         }
+        self.docs_seen += 1;
+        Ok(())
     }
-    cells.sort_by_key(|(i, _)| *i);
-    if cells.len() != total {
-        return Err(format!(
-            "merged shards hold {} cells but the grid has {total}; \
-             a shard is missing or extra",
-            cells.len()
-        ));
-    }
-    for (pos, (idx, _)) in cells.iter().enumerate() {
-        if *idx != pos {
+
+    /// Fold in one binary shard ([`codec::KIND_SWEEP`]) straight from
+    /// its file bytes. Header strings intern to symbols and cells decode
+    /// into reused columns, so nothing of the source buffer is copied
+    /// beyond the merged cell JSON itself.
+    pub fn add_ffb(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let i = self.docs_seen;
+        let view = codec::FfbView::parse(bytes)?;
+        view.strings_into(&mut self.strings)?;
+        let hdr = codec::read_sweep_header(&view, &self.strings)?;
+        self.cols.read_view(&view)?;
+        if self.cols.axes != hdr.axis_fields.len() {
             return Err(format!(
-                "cell coverage is broken at global index {pos} (found index {idx}); \
-                 duplicate or missing shard cells"
+                "document {i} cells carry {} axes but the header declares {}",
+                self.cols.axes,
+                hdr.axis_fields.len()
             ));
         }
-    }
-    let cells: Vec<Json> = cells.into_iter().map(|(_, c)| c).collect();
 
-    // Recompute the summary over the full grid. Shard-local summaries
-    // are discarded: their argmins only saw a slice.
-    let int_of = |c: &Json, key: &str| -> Result<i128, String> {
-        c.get(key).and_then(Json::as_i128).ok_or(format!("cell is missing integer {key:?}"))
-    };
-    let float_of = |c: &Json, key: &str| -> Result<f64, String> {
-        c.get(key).and_then(Json::as_f64).ok_or(format!("cell is missing number {key:?}"))
-    };
-    let mut benefit: Vec<i128> = Vec::with_capacity(cells.len());
-    let mut overhead: Vec<f64> = Vec::with_capacity(cells.len());
-    for c in &cells {
-        benefit.push(int_of(c, "total_benefit_ns")?);
-        overhead.push(float_of(c, "collection_overhead_factor")?);
+        // Header pieces in the exact shapes `sweep_to_json` emits, so
+        // binary and JSON shards agree on equality and render.
+        let axes_json = Json::Arr(
+            hdr.axis_fields
+                .iter()
+                .zip(&hdr.axis_values)
+                .map(|(f, values)| {
+                    Json::obj([
+                        ("field", Json::Sym(*f)),
+                        (
+                            "values",
+                            Json::Arr(values.iter().map(|&v| Json::Int(v as i128)).collect()),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let layout = match hdr.layout {
+            AxisLayout::Cartesian => "cartesian",
+            AxisLayout::Paired => "paired",
+        };
+        self.take_header([
+            Json::Sym(hdr.app),
+            Json::Sym(hdr.workload),
+            Json::Str(layout.to_string()),
+            axes_json,
+            Json::Int(hdr.total_cells as i128),
+        ])?;
+        self.take_shard(hdr.shard.map(|(k, n)| (k as i128, n as i128)))?;
+
+        let n = self.cols.len();
+        for ci in 0..n {
+            let assignment = Json::Obj(
+                hdr.axis_fields
+                    .iter()
+                    .enumerate()
+                    .map(|(a, f)| {
+                        (
+                            f.resolve().to_string(),
+                            Json::Int(self.cols.axis_values[a * n + ci] as i128),
+                        )
+                    })
+                    .collect(),
+            );
+            let cell = Json::obj([
+                ("cell", Json::Int(self.cols.index[ci] as i128)),
+                ("assignment", assignment),
+                ("baseline_exec_ns", Json::Int(self.cols.baseline_exec_ns[ci] as i128)),
+                ("total_benefit_ns", Json::Int(self.cols.total_benefit_ns[ci] as i128)),
+                ("benefit_pct", Json::Float(self.cols.benefit_pct[ci])),
+                ("problem_count", Json::Int(self.cols.problem_count[ci] as i128)),
+                ("sync_issues", Json::Int(self.cols.sync_issues[ci] as i128)),
+                ("transfer_issues", Json::Int(self.cols.transfer_issues[ci] as i128)),
+                ("sequence_count", Json::Int(self.cols.sequence_count[ci] as i128)),
+                (
+                    "collection_overhead_factor",
+                    Json::Float(self.cols.collection_overhead_factor[ci]),
+                ),
+            ]);
+            let idx = usize::try_from(self.cols.index[ci])
+                .map_err(|_| format!("document {i} has a cell index overflow"))?;
+            self.cells.push((idx, cell));
+        }
+        self.docs_seen += 1;
+        Ok(())
     }
-    fn arg<T: PartialOrd + Copy>(xs: &[T], better: fn(T, T) -> bool) -> Json {
-        let mut best: Option<usize> = None;
-        for (i, &x) in xs.iter().enumerate() {
-            match best {
-                None => best = Some(i),
-                Some(b) if better(x, xs[b]) => best = Some(i),
-                _ => {}
+
+    /// Check coverage, recompute the summary over the full grid, and
+    /// assemble the merged document. Shard-local summaries are
+    /// discarded: their argmins only saw a slice.
+    pub fn finish(self) -> Result<Json, String> {
+        if self.docs_seen == 0 {
+            return Err("no shard documents to merge".to_string());
+        }
+        let total = self.total;
+        let mut cells = self.cells;
+        cells.sort_by_key(|(i, _)| *i);
+        if cells.len() != total {
+            return Err(format!(
+                "merged shards hold {} cells but the grid has {total}; \
+                 a shard is missing or extra",
+                cells.len()
+            ));
+        }
+        for (pos, (idx, _)) in cells.iter().enumerate() {
+            if *idx != pos {
+                return Err(format!(
+                    "cell coverage is broken at global index {pos} (found index {idx}); \
+                     duplicate or missing shard cells"
+                ));
             }
         }
-        best.map(|i| Json::Int(i as i128)).unwrap_or(Json::Null)
-    }
+        let cells: Vec<Json> = cells.into_iter().map(|(_, c)| c).collect();
 
-    Ok(Json::obj([
-        ("app", first.get("app").unwrap().clone()),
-        ("workload", first.get("workload").unwrap().clone()),
-        ("layout", first.get("layout").unwrap().clone()),
-        ("axes", first.get("axes").unwrap().clone()),
-        ("total_cells", Json::Int(total as i128)),
-        ("shard", Json::Null),
-        ("cells", Json::Arr(cells)),
-        (
-            "summary",
-            Json::obj([
-                ("min_benefit_cell", arg(&benefit, |a, b| a < b)),
-                ("max_benefit_cell", arg(&benefit, |a, b| a > b)),
-                ("min_overhead_cell", arg(&overhead, |a, b| a < b)),
-                ("max_overhead_cell", arg(&overhead, |a, b| a > b)),
-            ]),
-        ),
-    ]))
+        let int_of = |c: &Json, key: &str| -> Result<i128, String> {
+            c.get(key).and_then(Json::as_i128).ok_or(format!("cell is missing integer {key:?}"))
+        };
+        let float_of = |c: &Json, key: &str| -> Result<f64, String> {
+            c.get(key).and_then(Json::as_f64).ok_or(format!("cell is missing number {key:?}"))
+        };
+        let mut benefit: Vec<i128> = Vec::with_capacity(cells.len());
+        let mut overhead: Vec<f64> = Vec::with_capacity(cells.len());
+        for c in &cells {
+            benefit.push(int_of(c, "total_benefit_ns")?);
+            overhead.push(float_of(c, "collection_overhead_factor")?);
+        }
+        fn arg<T: PartialOrd + Copy>(xs: &[T], better: fn(T, T) -> bool) -> Json {
+            let mut best: Option<usize> = None;
+            for (i, &x) in xs.iter().enumerate() {
+                match best {
+                    None => best = Some(i),
+                    Some(b) if better(x, xs[b]) => best = Some(i),
+                    _ => {}
+                }
+            }
+            best.map(|i| Json::Int(i as i128)).unwrap_or(Json::Null)
+        }
+
+        let [app, workload, layout, axes, _] = self.header.expect("docs_seen > 0 implies header");
+        Ok(Json::obj([
+            ("app", app),
+            ("workload", workload),
+            ("layout", layout),
+            ("axes", axes),
+            ("total_cells", Json::Int(total as i128)),
+            ("shard", Json::Null),
+            ("cells", Json::Arr(cells)),
+            (
+                "summary",
+                Json::obj([
+                    ("min_benefit_cell", arg(&benefit, |a, b| a < b)),
+                    ("max_benefit_cell", arg(&benefit, |a, b| a > b)),
+                    ("min_overhead_cell", arg(&overhead, |a, b| a < b)),
+                    ("max_overhead_cell", arg(&overhead, |a, b| a > b)),
+                ]),
+            ),
+        ]))
+    }
 }
 
 /// Every sweepable field path, for `--list-fields` style help output.
@@ -974,6 +1150,74 @@ mod tests {
         let overlap = shard_doc(shard_tag(2, 2), &[1, 1]);
         assert!(merge_sweep_docs(&[a, overlap]).unwrap_err().contains("coverage"));
         assert!(merge_sweep_docs(&[]).is_err());
+    }
+
+    #[test]
+    fn ffb_and_json_shards_merge_identically() {
+        let mk = |k: usize, indices: &[usize]| -> SweepMatrix {
+            let cells: Vec<SweepCell> = indices
+                .iter()
+                .map(|&i| SweepCell {
+                    index: i,
+                    assignment: vec![("cost.driver_call_ns".to_string(), 100 + i as u64)],
+                    baseline_exec_ns: 1_000 + i as u64,
+                    total_benefit_ns: 100 - i as u64,
+                    benefit_pct: 1.5 * i as f64,
+                    problem_count: i,
+                    sync_issues: i % 2,
+                    transfer_issues: i / 2,
+                    sequence_count: 1,
+                    collection_overhead_factor: 1.0 + i as f64,
+                })
+                .collect();
+            let summary = SweepMatrix::summarize(&cells);
+            SweepMatrix {
+                app_name: "demo".into(),
+                workload: "w".into(),
+                axes: vec![Axis::new("cost.driver_call_ns", vec![100, 101, 102, 103])],
+                layout: AxisLayout::Cartesian,
+                total_cells: 4,
+                shard: Some(Shard::new(k, 2).unwrap()),
+                cells,
+                summary,
+                cache_stats: None,
+            }
+        };
+        let a = mk(1, &[0, 2]);
+        let b = mk(2, &[1, 3]);
+        let expect = merge_sweep_docs(&[sweep_to_json(&a), sweep_to_json(&b)]).unwrap();
+
+        // Binary-only fold: header and cells come straight off the
+        // container bytes, yet the merged document is identical.
+        let fa = codec::encode_sweep(&a).unwrap();
+        let fb = codec::encode_sweep(&b).unwrap();
+        let mut fold = SweepMergeFold::new();
+        fold.add_ffb(&fa).unwrap();
+        fold.add_ffb(&fb).unwrap();
+        assert_eq!(fold.finish().unwrap(), expect);
+
+        // Mixed binary + JSON shards, either order, render-identically.
+        let mut fold = SweepMergeFold::new();
+        fold.add_doc(&sweep_to_json(&b)).unwrap();
+        fold.add_ffb(&fa).unwrap();
+        assert_eq!(fold.finish().unwrap(), expect);
+        let mut fold = SweepMergeFold::new();
+        fold.add_ffb(&fa).unwrap();
+        fold.add_doc(&sweep_to_json(&b)).unwrap();
+        let mut r1 = Vec::new();
+        fold.finish().unwrap().write_pretty(&mut r1).unwrap();
+        let mut r2 = Vec::new();
+        expect.write_pretty(&mut r2).unwrap();
+        assert_eq!(r1, r2);
+
+        // A complete (unsharded) binary sweep is rejected like its JSON
+        // counterpart.
+        let mut full = mk(1, &[0, 1, 2, 3]);
+        full.shard = None;
+        full.summary = SweepMatrix::summarize(&full.cells);
+        let ffull = codec::encode_sweep(&full).unwrap();
+        let mut fold = SweepMergeFold::new();
+        assert!(fold.add_ffb(&ffull).unwrap_err().contains("not a shard artifact"));
     }
 
     #[test]

@@ -17,11 +17,11 @@
 //! `results/cache/` by default; `--no-cache` disables, `--cache-dir`
 //! redirects) — caching changes speed, never bytes.
 
-use crate::artifact::{load_doc, OutFormat};
+use crate::artifact::OutFormat;
 use cuda_driver::GpuApp;
 use ffm_core::{
-    merge_sweep_docs, run_sweep, sweep_to_json, Axis, FfmConfig, Json, Shard, SweepMatrix,
-    SweepSpec,
+    decode_any_doc, is_ffb, run_sweep, sweep_to_json, Axis, FfbView, FfmConfig, Json, Shard,
+    SweepMatrix, SweepMergeFold, SweepSpec, KIND_SWEEP,
 };
 
 /// Parse one `--axis` argument of the form `field=v1,v2,...`.
@@ -148,8 +148,30 @@ pub fn merge_shard_files(paths: &[String]) -> Result<Json, String> {
     if paths.is_empty() {
         return Err("no shard files to merge (run with --shard k/n first)".to_string());
     }
-    let docs: Vec<Json> = paths.iter().map(|p| load_doc(p)).collect::<Result<_, String>>()?;
-    merge_sweep_docs(&docs)
+    let mut fold = SweepMergeFold::new();
+    for p in paths {
+        // Each shard is mapped (or read into a pooled buffer) and folded
+        // in place: binary sweep shards go header+cells straight off the
+        // buffer via `FfbView`, so no owned document is ever built for
+        // them. The buffer is unmapped/recycled before the next shard.
+        let bytes = ffm_core::iobuf::read_file(std::path::Path::new(p))
+            .map_err(|e| format!("cannot read {p}: {e}"))?;
+        if is_ffb(&bytes) {
+            let view = FfbView::parse(&bytes).map_err(|e| format!("{p}: {e}"))?;
+            if view.kind() == KIND_SWEEP {
+                fold.add_ffb(&bytes).map_err(|e| format!("{p}: {e}"))?;
+            } else {
+                // A shard converted to a generic document container.
+                let doc = decode_any_doc(&bytes).map_err(|e| format!("{p}: {e}"))?;
+                fold.add_doc(&doc).map_err(|e| format!("{p}: {e}"))?;
+            }
+        } else {
+            let text = std::str::from_utf8(&bytes).map_err(|_| format!("{p}: not UTF-8"))?;
+            let doc = Json::parse(text).map_err(|e| format!("{p}: {e}"))?;
+            fold.add_doc(&doc).map_err(|e| format!("{p}: {e}"))?;
+        }
+    }
+    fold.finish()
 }
 
 #[cfg(test)]

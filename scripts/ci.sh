@@ -103,8 +103,25 @@ echo "== FFB shard merge smoke (binary + JSON shards, byte-identical) =="
 ./target/release/diogenes sweep als --merge --in "$FFB/s1.ffb" \
     --in "$FFB/s2.json" --out "$FFB/merged.json" > /dev/null 2>&1
 cmp "$FFB/full.json" "$FFB/merged.json"
-rm -rf "$FFB"
 echo "ffb round-trip smoke ok"
+
+echo "== zero-copy ingestion (mmap vs read-fallback byte-identical) =="
+# The same binary artifact is ingested twice: once through the default
+# mmap path, once with DIOGENES_NO_MMAP forcing the pooled read
+# fallback. Both must convert to byte-identical JSON.
+./target/release/diogenes convert "$FFB/report-1.ffb" \
+    "$FFB/mmap.json" > /dev/null
+DIOGENES_NO_MMAP=1 ./target/release/diogenes convert "$FFB/report-1.ffb" \
+    "$FFB/fallback.json" > /dev/null
+cmp "$FFB/mmap.json" "$FFB/fallback.json"
+./target/release/diogenes sweep als --merge --in "$FFB/s1.ffb" \
+    --in "$FFB/s2.json" --out "$FFB/merged-mmap.json" > /dev/null 2>&1
+DIOGENES_NO_MMAP=1 ./target/release/diogenes sweep als --merge --in "$FFB/s1.ffb" \
+    --in "$FFB/s2.json" --out "$FFB/merged-fallback.json" > /dev/null 2>&1
+cmp "$FFB/merged-mmap.json" "$FFB/merged-fallback.json"
+cmp "$FFB/merged-mmap.json" "$FFB/merged.json"
+rm -rf "$FFB"
+echo "zero-copy ingestion smoke ok"
 
 echo "== serve smoke (daemon report byte-identical to CLI, /metrics + /trace live, clean drain) =="
 SERVE=$(mktemp -d)
@@ -180,6 +197,11 @@ assert sample('diogenes_http_request_duration_ns_count{route="POST /run"}') >= 1
 assert sample('diogenes_jobs_computed_total') == 1
 assert sample('diogenes_flight_recorder_events') > 0
 assert sample('diogenes_flight_recorder_bytes') <= sample('diogenes_flight_recorder_budget_bytes')
+# Zero-copy ingestion: every request body lands in a pooled buffer that
+# is recycled after the response — by this point (several requests into
+# the session) the pool must be seeing reuse.
+assert sample('diogenes_ingest_buffer_reuse_total') >= 1
+assert sample('diogenes_ingest_buffer_allocs_total') >= 1
 
 # /trace: the flight recorder dumps as a Chrome trace; validated
 # structurally by `diogenes trace-check` after shutdown.
